@@ -1,0 +1,171 @@
+package xpushstream
+
+// Ablation benchmarks for the implementation-level design choices recorded
+// in DESIGN.md: the interval-partition predicate index, the unknown-label
+// sentinel symbols, value-state precomputation, and the warm-up strategies
+// (lazy / trained / eager).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/afa"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/predindex"
+	"repro/internal/workload"
+	"repro/internal/xmlval"
+	"repro/internal/xpath"
+)
+
+// BenchmarkAblationPredicateIndex compares the interval-partition index
+// against the naive alternative: evaluating every atomic predicate per
+// value.
+func BenchmarkAblationPredicateIndex(b *testing.B) {
+	type pred struct {
+		op xmlval.Op
+		c  xmlval.Const
+	}
+	const n = 20000
+	preds := make([]pred, n)
+	builder := predindex.NewBuilder()
+	for i := range preds {
+		op := []xmlval.Op{xmlval.OpEq, xmlval.OpEq, xmlval.OpEq, xmlval.OpLt, xmlval.OpGt}[i%5]
+		preds[i] = pred{op, xmlval.NumberConst(float64(i % 5000))}
+		builder.Add(int32(i), preds[i].op, preds[i].c)
+	}
+	ix := builder.Build()
+	values := make([]xmlval.Value, 256)
+	for i := range values {
+		values[i] = xmlval.FromNumber(float64(i * 13 % 5000))
+	}
+	b.Run("interval-index", func(b *testing.B) {
+		for _, v := range values { // warm the touched intervals
+			ix.Match(v)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Match(values[i%len(values)])
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		out := make([]int32, 0, n)
+		for i := 0; i < b.N; i++ {
+			v := values[i%len(values)]
+			out = out[:0]
+			for j := range preds {
+				if xmlval.Eval(preds[j].op, v, preds[j].c) {
+					out = append(out, int32(j))
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSentinelSymbols measures the unknown-label sentinel: a
+// document full of labels no filter mentions costs two shared table entries
+// with sentinels, or one entry per distinct label without them (simulated
+// by interning every document label into the symbol table).
+func BenchmarkAblationSentinelSymbols(b *testing.B) {
+	filters := []string{"//known[x=1]", "//other[y=2]"}
+	var doc strings.Builder
+	doc.WriteString("<root>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&doc, "<u%d><v%d>t</v%d></u%d>", i, i, i, i)
+	}
+	doc.WriteString("</root>")
+	data := []byte(doc.String())
+
+	build := func(intern bool) *core.Machine {
+		a, err := afa.Compile(mustFilters(b, filters))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if intern {
+			for i := 0; i < 400; i++ {
+				a.Syms.Intern(fmt.Sprintf("u%d", i))
+				a.Syms.Intern(fmt.Sprintf("v%d", i))
+			}
+		}
+		return core.New(a, core.Options{})
+	}
+	b.Run("sentinels", func(b *testing.B) {
+		m := build(false)
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := m.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(m.Stats().Lookups-m.Stats().Hits), "misses")
+	})
+	b.Run("per-label", func(b *testing.B) {
+		m := build(true)
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := m.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(m.Stats().Lookups-m.Stats().Hits), "misses")
+	})
+}
+
+// BenchmarkAblationWarmup compares cold lazy start, value-precomputation,
+// synthetic training, and full eager construction on first-pass time.
+func BenchmarkAblationWarmup(b *testing.B) {
+	ds := datagen.ProteinLike()
+	filters := workload.Generate(ds, bench.WorkloadParams(9, 500, 3))
+	data := datagen.NewGenerator(ds, 10).GenerateBytes(256 << 10)
+	mk := func() *afa.AFA {
+		a, err := afa.Compile(filters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	b.Run("cold-lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := core.New(mk(), core.Options{})
+			if err := m.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precomputed-values", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := core.New(mk(), core.Options{PrecomputeValues: true})
+			if err := m.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trained", func(b *testing.B) {
+		td := workload.TrainingData(filters, ds.DTD)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := core.New(mk(), core.Options{})
+			if err := m.Train(td); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func mustFilters(tb testing.TB, queries []string) []*xpath.Filter {
+	tb.Helper()
+	out := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		f, err := xpath.Parse(q)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Command querygen generates synthetic XPath filter workloads against the
+// built-in datasets, mirroring the modified YFilter query generator used in
+// the paper's evaluation (Sec. 7).
+//
+// Usage:
+//
+//	querygen -dataset protein -n 50000 -preds 1.15 > filters.txt
+//	querygen -dataset nasa -n 1000 -preds 10.45 -descendant 0.1 -wildcard 0.1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "protein", "built-in dataset: protein or nasa")
+	n := flag.Int("n", 1000, "number of filters")
+	preds := flag.Float64("preds", 1.15, "mean atomic predicates per filter")
+	wildcard := flag.Float64("wildcard", 0, "probability of a * wildcard per step")
+	descendant := flag.Float64("descendant", 0, "probability of a // axis per step")
+	nested := flag.Float64("nested", 0.2, "probability of a nested (bushy) predicate")
+	orp := flag.Float64("or", 0, "probability of an or connector")
+	notp := flag.Float64("not", 0, "probability of a not(...) wrapper")
+	seed := flag.Int64("seed", 1, "deterministic generator seed")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	ds, ok := datagen.ByName(*dataset)
+	if !ok {
+		fatalf("unknown dataset %q (protein, nasa)", *dataset)
+	}
+	filters := workload.Generate(ds, workload.Params{
+		Seed:           *seed,
+		NumQueries:     *n,
+		MeanPreds:      *preds,
+		WildcardProb:   *wildcard,
+		DescendantProb: *descendant,
+		NestedPredProb: *nested,
+		OrProb:         *orp,
+		NotProb:        *notp,
+	})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprintf(bw, "# dataset=%s n=%d mean-preds=%.2f total-atomic-preds=%d seed=%d\n",
+		ds.Name, *n, *preds, workload.TotalAtomicPredicates(filters), *seed)
+	for _, f := range filters {
+		fmt.Fprintln(bw, f.Source)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "querygen: "+format+"\n", args...)
+	os.Exit(1)
+}

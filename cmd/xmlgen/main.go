@@ -1,0 +1,70 @@
+// Command xmlgen generates synthetic XML streams from the built-in datasets
+// (Protein-like and NASA-like, the substitutes for the paper's evaluation
+// data) or from a user-supplied DTD.
+//
+// Usage:
+//
+//	xmlgen -dataset protein -mb 9.12 -seed 1 > stream.xml
+//	xmlgen -dtd schema.dtd -mb 1 > stream.xml
+//	xmlgen -dataset nasa -print-dtd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/dtd"
+)
+
+func main() {
+	dataset := flag.String("dataset", "protein", "built-in dataset: protein or nasa")
+	dtdPath := flag.String("dtd", "", "generate from this DTD instead of a built-in dataset")
+	mb := flag.Float64("mb", 1.0, "approximate output size in MiB")
+	seed := flag.Int64("seed", 1, "deterministic generator seed")
+	out := flag.String("o", "", "output file (default: stdout)")
+	printDTD := flag.Bool("print-dtd", false, "print the dataset's DTD and exit")
+	flag.Parse()
+
+	var ds *datagen.Dataset
+	if *dtdPath != "" {
+		text, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		d, err := dtd.Parse(string(text))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ds = &datagen.Dataset{Name: *dtdPath, DTD: d, DepthCap: 16}
+	} else {
+		var ok bool
+		ds, ok = datagen.ByName(*dataset)
+		if !ok {
+			fatalf("unknown dataset %q (protein, nasa)", *dataset)
+		}
+	}
+	if *printDTD {
+		fmt.Print(ds.DTD.String())
+		return
+	}
+	data := datagen.NewGenerator(ds, *seed).GenerateBytes(int(*mb * (1 << 20)))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xmlgen: "+format+"\n", args...)
+	os.Exit(1)
+}

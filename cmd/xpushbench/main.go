@@ -1,0 +1,82 @@
+// Command xpushbench regenerates the figures of the paper's evaluation
+// section (Sec. 7, Figs. 5-11, plus the abstract's throughput claims).
+//
+// Usage:
+//
+//	xpushbench -fig all -scale default -dataset protein
+//	xpushbench -fig 5a,6a,7a -scale paper -v
+//
+// Figures sharing a parameter sweep (e.g. 5a/6a/7a) reuse one run. See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure ids ("+strings.Join(bench.FigureIDs, ",")+") or 'all'")
+	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, or paper")
+	dataset := flag.String("dataset", "protein", "dataset: protein or nasa")
+	verbose := flag.Bool("v", false, "log every measured point")
+	out := flag.String("o", "", "write output to a file instead of stdout")
+	csvPath := flag.String("csv", "", "additionally dump raw sweep rows as CSV to this file")
+	flag.Parse()
+
+	scale, ok := bench.Scales[*scaleName]
+	if !ok {
+		fatalf("unknown scale %q (smoke, default, paper)", *scaleName)
+	}
+	ds, ok := datagen.ByName(*dataset)
+	if !ok {
+		fatalf("unknown dataset %q (protein, nasa)", *dataset)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	r := bench.NewRunner(ds, scale, w)
+	r.Verbose = *verbose
+	start := time.Now()
+	if *fig == "all" {
+		if err := r.All(); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			if err := r.Figure(strings.TrimSpace(id)); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\ntotal bench time: %v\n", time.Since(start).Round(time.Millisecond))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := r.WriteCSV(f); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xpushbench: "+format+"\n", args...)
+	os.Exit(1)
+}

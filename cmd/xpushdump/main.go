@@ -1,0 +1,117 @@
+// Command xpushdump inspects a compiled workload: it renders the
+// alternating automata (Fig. 4 of the paper) as Graphviz dot, dumps the
+// eagerly constructed machine tables (Fig. 3), and reports the Theorem 6.1
+// pairwise state analysis.
+//
+// Usage:
+//
+//	xpushdump -q '//a[b/text()=1 and .//a[@c>2]]' -q '//a[@c>2 and b/text()=1]' -tables
+//	xpushdump -queries filters.txt -dot > afa.dot && dot -Tsvg afa.dot > afa.svg
+//	xpushdump -queries filters.txt -analyze
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/afa"
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, "; ") }
+func (q *queryList) Set(v string) error { *q = append(*q, v); return nil }
+
+func main() {
+	var inline queryList
+	flag.Var(&inline, "q", "an XPath filter (repeatable)")
+	queriesPath := flag.String("queries", "", "file with one XPath filter per line")
+	dot := flag.Bool("dot", false, "write the AFA as Graphviz dot")
+	tables := flag.Bool("tables", false, "eagerly construct the machine and dump its tables")
+	analyze := flag.Bool("analyze", false, "print the Theorem 6.1 pairwise analysis")
+	maxStates := flag.Int("maxstates", 100000, "eager-construction state cap for -tables")
+	flag.Parse()
+
+	queries := []string(inline)
+	if *queriesPath != "" {
+		fromFile, err := readLines(*queriesPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		queries = append(queries, fromFile...)
+	}
+	if len(queries) == 0 {
+		fatalf("no queries: use -q or -queries")
+	}
+	filters := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		f, err := xpath.Parse(q)
+		if err != nil {
+			fatalf("query %d: %v", i, err)
+		}
+		filters[i] = f
+	}
+	a, err := afa.Compile(filters)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if !*dot && !*tables && !*analyze {
+		*tables = true // default action
+	}
+	if *dot {
+		if err := a.WriteDot(w); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *analyze {
+		r := a.Analyze()
+		fmt.Fprintf(w, "AFA: %d states across %d filters\n", r.States, len(filters))
+		fmt.Fprintf(w, "subsumption pairs:   %d\n", r.SubsumptionPairs)
+		fmt.Fprintf(w, "equivalent pairs:    %d\n", r.EquivalentPairs)
+		fmt.Fprintf(w, "inconsistent pairs:  %d\n", r.InconsistentPairs)
+		fmt.Fprintf(w, "independent pairs:   %d\n", r.IndependentPairs)
+		fmt.Fprintf(w, "max independent degree: %d\n", r.MaxIndependentDegree)
+	}
+	if *tables {
+		m := core.New(a, core.Options{})
+		n, err := m.PrecomputeEager(*maxStates)
+		if err != nil {
+			fatalf("eager construction: %v (reached %d states; raise -maxstates?)", err, n)
+		}
+		fmt.Fprintf(w, "eager XPush machine: %d bottom-up states\n", n)
+		if err := m.DumpTables(w); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xpushdump: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command xpushfilter evaluates a workload of XPath filters over a stream
+// of XML documents using the XPush machine, printing the matching filters
+// for every document — the message-broker core loop of the paper.
+//
+// Usage:
+//
+//	xpushfilter -queries filters.txt [-xml stream.xml] [-dtd schema.dtd]
+//	            [-topdown] [-order] [-early] [-train] [-stats]
+//
+// The queries file holds one XPath filter per line; blank lines and lines
+// starting with '#' are ignored. XML is read from -xml or stdin and may
+// contain any number of concatenated documents.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	xpushstream "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "xpushfilter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testing.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xpushfilter", flag.ContinueOnError)
+	queriesPath := fs.String("queries", "", "file with one XPath filter per line (required)")
+	xmlPath := fs.String("xml", "", "XML stream file (default: stdin)")
+	dtdPath := fs.String("dtd", "", "DTD file (enables -order and -train)")
+	topdown := fs.Bool("topdown", false, "enable top-down pruning")
+	order := fs.Bool("order", false, "enable the order optimization (needs -dtd)")
+	early := fs.Bool("early", false, "enable early notification (implies -topdown)")
+	train := fs.Bool("train", false, "warm the machine with synthetic training data (needs -dtd)")
+	strict := fs.Bool("strict", false, "reject mixed element/text content")
+	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
+	showQueries := fs.Bool("show-queries", false, "print matching filter text instead of indexes")
+	stats := fs.Bool("stats", false, "print machine statistics after the stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *queriesPath == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	queries, err := readQueries(*queriesPath)
+	if err != nil {
+		return err
+	}
+	cfg := xpushstream.Config{
+		TopDownPruning:     *topdown,
+		OrderOptimization:  *order,
+		EarlyNotification:  *early,
+		Training:           *train,
+		StrictMixedContent: *strict,
+		MaxStates:          *maxStates,
+	}
+	if *dtdPath != "" {
+		text, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			return err
+		}
+		d, err := xpushstream.ParseDTD(string(text))
+		if err != nil {
+			return err
+		}
+		cfg.DTD = d
+	}
+	engine, err := xpushstream.Compile(queries, cfg)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	doc := 0
+	err = engine.FilterStream(in, func(matches []int) {
+		doc++
+		fmt.Fprintf(w, "document %d: %d match(es)", doc, len(matches))
+		if len(matches) > 0 {
+			if *showQueries {
+				fmt.Fprintln(w)
+				for _, m := range matches {
+					fmt.Fprintf(w, "  [%d] %s\n", m, engine.Query(m))
+				}
+			} else {
+				fmt.Fprintf(w, " %v\n", matches)
+			}
+		} else {
+			fmt.Fprintln(w)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if *stats {
+		s := engine.Stats()
+		fmt.Fprintf(w, "---\ndocuments=%d events=%d matches=%d\n", s.Documents, s.Events, s.Matches)
+		fmt.Fprintf(w, "states=%d topdown-states=%d avg-state-size=%.2f\n", s.States, s.TopDownStates, s.AvgStateSize)
+		fmt.Fprintf(w, "table lookups=%d hits=%d hit-ratio=%.4f flushes=%d\n", s.Lookups, s.Hits, s.HitRatio, s.Flushes)
+	}
+	return nil
+}
+
+func readQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no queries", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	queries := writeFile(t, "q.txt", `
+# comment line
+//order[total>100]
+//order[@priority="high"]
+
+/note
+`)
+	xml := writeFile(t, "s.xml",
+		`<order priority="high"><total>250</total></order><note>n</note><order><total>5</total></order>`)
+	var out strings.Builder
+	if err := run([]string{"-queries", queries, "-xml", xml, "-stats", "-topdown"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"document 1: 2 match(es) [0 1]",
+		"document 2: 1 match(es) [2]",
+		"document 3: 0 match(es)",
+		"documents=3",
+		"hit-ratio=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunShowQueries(t *testing.T) {
+	queries := writeFile(t, "q.txt", "/a[b=1]\n")
+	var out strings.Builder
+	err := run([]string{"-queries", queries, "-show-queries"},
+		strings.NewReader("<a><b>1</b></a>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[0] /a[b=1]") {
+		t.Errorf("show-queries output:\n%s", out.String())
+	}
+}
+
+func TestRunWithDTDAndTraining(t *testing.T) {
+	queries := writeFile(t, "q.txt", "/m[v=1]\n")
+	dtd := writeFile(t, "s.dtd", "<!ELEMENT m (v)><!ELEMENT v (#PCDATA)>")
+	var out strings.Builder
+	err := run([]string{"-queries", queries, "-dtd", dtd, "-order", "-train", "-stats"},
+		strings.NewReader("<m><v>1</v></m>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "document 1: 1 match(es)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, nil, &strings.Builder{}); err == nil {
+		t.Error("missing -queries must fail")
+	}
+	empty := writeFile(t, "empty.txt", "# only comments\n")
+	if err := run([]string{"-queries", empty}, nil, &strings.Builder{}); err == nil {
+		t.Error("empty queries file must fail")
+	}
+	bad := writeFile(t, "bad.txt", "not an xpath\n")
+	if err := run([]string{"-queries", bad}, nil, &strings.Builder{}); err == nil {
+		t.Error("bad query must fail")
+	}
+	good := writeFile(t, "good.txt", "/a\n")
+	if err := run([]string{"-queries", good, "-order"}, nil, &strings.Builder{}); err == nil {
+		t.Error("-order without -dtd must fail")
+	}
+	if err := run([]string{"-queries", good, "-xml", "/nonexistent.xml"}, nil, &strings.Builder{}); err == nil {
+		t.Error("missing xml file must fail")
+	}
+	if err := run([]string{"-queries", good, "-strict"},
+		strings.NewReader("<a>x<b/>y</a>"), &strings.Builder{}); err == nil {
+		t.Error("strict mixed content must fail")
+	}
+}
+
+func TestReadQueries(t *testing.T) {
+	path := writeFile(t, "q.txt", "  /a \n\n#skip\n//b[c=1]\n")
+	qs, err := readQueries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] != "/a" || qs[1] != "//b[c=1]" {
+		t.Errorf("queries = %v", qs)
+	}
+	if _, err := readQueries("/nonexistent"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,136 @@
+// Message broker: the paper's motivating application (Sec. 1). Subscribers
+// register XPath filters; producers publish XML messages; the broker routes
+// each message to the subscribers whose filters match, using one shared
+// XPush machine for the entire subscription table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	xpushstream "repro"
+)
+
+// Subscription pairs a subscriber with one XPath filter.
+type Subscription struct {
+	Subscriber string
+	Filter     string
+}
+
+// Broker routes XML messages to subscribers via a compiled XPush engine.
+type Broker struct {
+	engine *xpushstream.Engine
+	subs   []Subscription
+	outs   map[string]chan string
+	mu     sync.Mutex
+	stats  map[string]int
+}
+
+// NewBroker compiles the subscription table.
+func NewBroker(subs []Subscription) (*Broker, error) {
+	queries := make([]string, len(subs))
+	for i, s := range subs {
+		queries[i] = s.Filter
+	}
+	engine, err := xpushstream.Compile(queries, xpushstream.Config{TopDownPruning: true})
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{engine: engine, subs: subs, outs: map[string]chan string{}, stats: map[string]int{}}
+	for _, s := range subs {
+		if _, ok := b.outs[s.Subscriber]; !ok {
+			b.outs[s.Subscriber] = make(chan string, 64)
+		}
+	}
+	return b, nil
+}
+
+// Publish routes one message; it returns the set of subscribers notified.
+func (b *Broker) Publish(message string) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	matches, err := b.engine.FilterDocument([]byte(message))
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range matches {
+		sub := b.subs[m].Subscriber
+		if !seen[sub] {
+			seen[sub] = true
+			b.outs[sub] <- message
+			b.stats[sub]++
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close shuts the subscriber channels.
+func (b *Broker) Close() {
+	for _, ch := range b.outs {
+		close(ch)
+	}
+}
+
+func main() {
+	broker, err := NewBroker([]Subscription{
+		{"billing", `//invoice[total > 0]`},
+		{"fraud", `//invoice[total > 10000]`},
+		{"fraud", `//invoice[customer/@risk = "high"]`},
+		{"eu-compliance", `//invoice[customer/country != "US" and not(customer/vat)]`},
+		{"analytics", `//invoice`},
+		{"analytics", `//payment`},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Consumers drain their channels concurrently.
+	var wg sync.WaitGroup
+	received := make(map[string]int)
+	var mu sync.Mutex
+	for name, ch := range broker.outs {
+		wg.Add(1)
+		go func(name string, ch <-chan string) {
+			defer wg.Done()
+			for range ch {
+				mu.Lock()
+				received[name]++
+				mu.Unlock()
+			}
+		}(name, ch)
+	}
+
+	messages := []string{
+		`<invoice id="1"><customer risk="low"><country>US</country></customer><total>250</total></invoice>`,
+		`<invoice id="2"><customer risk="high"><country>DE</country></customer><total>99</total></invoice>`,
+		`<invoice id="3"><customer risk="low"><country>FR</country><vat>FR123</vat></customer><total>20000</total></invoice>`,
+		`<payment id="4"><amount>250</amount></payment>`,
+	}
+	for _, msg := range messages {
+		to, err := broker.Publish(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("routed -> %v\n", to)
+	}
+	broker.Close()
+	wg.Wait()
+
+	fmt.Println("\ndeliveries per subscriber:")
+	var names []string
+	for n := range received {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-14s %d\n", n, received[n])
+	}
+}

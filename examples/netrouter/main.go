@@ -1,0 +1,281 @@
+// Netrouter: XML packet routing over TCP — the mesh-based content routing
+// application the paper cites as a driver for XML stream processing. A
+// broker listens for subscribers (who register XPath filters with a
+// line-based protocol) and producers (who publish XML packets); each packet
+// is forwarded to every subscriber whose filter matches. Subscriptions can
+// arrive while traffic flows: the broker inserts them with Engine.AddQueries
+// (the paper's layered-machine update path) without discarding its warm
+// machine state.
+//
+// The demo runs a broker, three subscribers, and a producer in one process
+// over real loopback TCP connections.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	xpushstream "repro"
+)
+
+// Broker routes XML packets to matching subscribers.
+type Broker struct {
+	mu      sync.Mutex
+	engine  *xpushstream.Engine
+	writers []chan []byte // per filter index
+	ln      net.Listener
+	wg      sync.WaitGroup
+}
+
+// NewBroker starts a broker on a loopback port.
+func NewBroker() (*Broker, error) {
+	engine, err := xpushstream.Compile(nil, xpushstream.Config{TopDownPruning: true})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{engine: engine, ln: ln}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Close stops the broker.
+func (b *Broker) Close() {
+	b.ln.Close()
+	b.wg.Wait()
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection. The first line decides the role:
+//
+//	SUBSCRIBE <xpath>     (repeatable)  then  READY
+//	PUBLISH <byte-count>  followed by that many bytes of XML (repeatable)
+//	QUIT
+func (b *Broker) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var mine chan []byte // set once this connection subscribes
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		cmd, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
+		switch cmd {
+		case "SUBSCRIBE":
+			ch, err := b.subscribe(rest, mine)
+			if err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			mine = ch
+			fmt.Fprintf(conn, "OK\n")
+		case "READY":
+			// Stream matched packets to this subscriber.
+			for doc := range mine {
+				fmt.Fprintf(conn, "MSG %d\n", len(doc))
+				if _, err := conn.Write(doc); err != nil {
+					return
+				}
+			}
+			return
+		case "PUBLISH":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n <= 0 || n > 1<<20 {
+				fmt.Fprintf(conn, "ERR bad length\n")
+				return
+			}
+			doc := make([]byte, n)
+			if _, err := io.ReadFull(r, doc); err != nil {
+				return
+			}
+			matched, err := b.route(doc)
+			if err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			fmt.Fprintf(conn, "ROUTED %d\n", matched)
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintf(conn, "ERR unknown command %q\n", cmd)
+		}
+	}
+}
+
+// subscribe registers one filter and binds it to the connection's delivery
+// channel (created on the first subscription); several SUBSCRIBE lines on
+// one connection share the channel.
+func (b *Broker) subscribe(query string, ch chan []byte) (chan []byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.engine.AddQueries([]string{query}); err != nil {
+		return nil, err
+	}
+	if ch == nil {
+		ch = make(chan []byte, 128)
+	}
+	b.writers = append(b.writers, ch)
+	return ch, nil
+}
+
+// route filters one packet and fans it out.
+func (b *Broker) route(doc []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	matches, err := b.engine.FilterDocument(doc)
+	if err != nil {
+		return 0, err
+	}
+	delivered := map[chan []byte]bool{}
+	for _, m := range matches {
+		ch := b.writers[m]
+		if !delivered[ch] {
+			delivered[ch] = true
+			select {
+			case ch <- doc:
+			default: // slow subscriber: drop
+			}
+		}
+	}
+	return len(matches), nil
+}
+
+// CloseSubscribers ends all subscriber streams.
+func (b *Broker) CloseSubscribers() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[chan []byte]bool{}
+	for _, ch := range b.writers {
+		if !seen[ch] {
+			seen[ch] = true
+			close(ch)
+		}
+	}
+}
+
+// subscriber connects, registers filters, and counts received packets.
+func subscriber(addr, name string, filters []string, got *sync.Map, done *sync.WaitGroup) {
+	defer done.Done()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for _, f := range filters {
+		fmt.Fprintf(conn, "SUBSCRIBE %s\n", f)
+		resp, _ := r.ReadString('\n')
+		if !strings.HasPrefix(resp, "OK") {
+			log.Fatalf("%s: subscribe failed: %s", name, resp)
+		}
+	}
+	fmt.Fprintf(conn, "READY\n")
+	count := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "MSG %d", &n); err != nil {
+			break
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			break
+		}
+		count++
+	}
+	got.Store(name, count)
+}
+
+func main() {
+	broker, err := NewBroker()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var got sync.Map
+	var subs sync.WaitGroup
+	subs.Add(3)
+	go subscriber(broker.Addr(), "alerts", []string{
+		`//order[total > 1000]`,
+		`//order[@priority = "high"]`,
+	}, &got, &subs)
+	go subscriber(broker.Addr(), "eu-desk", []string{
+		`//order[customer/country != "US"]`,
+	}, &got, &subs)
+	go subscriber(broker.Addr(), "audit", []string{
+		`//order`,
+	}, &got, &subs)
+
+	// Wait until all four filters are registered (a real broker would
+	// acknowledge out of band).
+	for {
+		broker.mu.Lock()
+		n := broker.engine.NumQueries()
+		broker.mu.Unlock()
+		if n == 4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Producer: publish packets over its own TCP connection.
+	conn, err := net.Dial("tcp", broker.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := bufio.NewReader(conn)
+	packets := []string{
+		`<order id="1" priority="high"><customer><country>US</country></customer><total>40</total></order>`,
+		`<order id="2" priority="low"><customer><country>DE</country></customer><total>2500</total></order>`,
+		`<order id="3" priority="low"><customer><country>US</country></customer><total>10</total></order>`,
+		`<note>not an order</note>`,
+	}
+	for _, p := range packets {
+		fmt.Fprintf(conn, "PUBLISH %d\n%s", len(p), p)
+		resp, _ := pr.ReadString('\n')
+		fmt.Printf("published order -> broker says: %s", resp)
+	}
+	fmt.Fprintf(conn, "QUIT\n")
+	conn.Close()
+
+	broker.CloseSubscribers()
+	subs.Wait()
+	broker.Close()
+
+	fmt.Println("\npackets received per subscriber:")
+	for _, name := range []string{"alerts", "audit", "eu-desk"} {
+		n, _ := got.Load(name)
+		fmt.Printf("  %-8s %v\n", name, n)
+	}
+}

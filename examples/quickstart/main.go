@@ -1,0 +1,62 @@
+// Quickstart: compile a handful of XPath filters into one XPush machine and
+// route a few XML messages through it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xpushstream "repro"
+)
+
+func main() {
+	// A message broker's subscription table: boolean XPath filters with
+	// structure navigation and value predicates. The engine compiles all
+	// of them into a single machine; common subexpressions — like the
+	// [total > 1000] predicate below — are evaluated once per message no
+	// matter how many filters share them.
+	queries := []string{
+		`//order[total > 1000]`,
+		`//order[total > 1000 and customer/country = "US"]`,
+		`//order[@priority = "high"]`,
+		`//order[not(customer/country = "US")]`,
+		`//order[item/qty >= 10 or @priority = "high"]`,
+	}
+	engine, err := xpushstream.Compile(queries, xpushstream.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	messages := []string{
+		`<order id="1" priority="high">
+		   <customer><name>Ada</name><country>US</country></customer>
+		   <item><sku>X</sku><qty>2</qty></item>
+		   <total>1500</total>
+		 </order>`,
+		`<order id="2" priority="low">
+		   <customer><name>Grace</name><country>NL</country></customer>
+		   <item><sku>Y</sku><qty>12</qty></item>
+		   <total>80</total>
+		 </order>`,
+		`<order id="3" priority="low">
+		   <customer><name>Alan</name><country>US</country></customer>
+		   <item><sku>Z</sku><qty>1</qty></item>
+		   <total>950</total>
+		 </order>`,
+	}
+
+	for i, msg := range messages {
+		matches, err := engine.FilterDocument([]byte(msg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("message %d matches %d filter(s):\n", i+1, len(matches))
+		for _, m := range matches {
+			fmt.Printf("  [%d] %s\n", m, engine.Query(m))
+		}
+	}
+
+	s := engine.Stats()
+	fmt.Printf("\nmachine: %d states, %.1f AFA states/state, hit ratio %.2f\n",
+		s.States, s.AvgStateSize, s.HitRatio)
+}

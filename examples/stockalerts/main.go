@@ -1,0 +1,96 @@
+// Stock alerts: selective dissemination with thousands of value predicates.
+// Every alert is a threshold on the same few numeric fields, so the atomic
+// predicate index answers all of them with one binary search per tick — the
+// predicate-sharing scenario the paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	xpushstream "repro"
+)
+
+const tickDTD = `
+<!ELEMENT tick (symbol, price, volume, change)>
+<!ELEMENT symbol (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT change (#PCDATA)>
+`
+
+var symbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA", "HOOLI", "STARK", "WAYNE", "TYRELL"}
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+
+	// 8000 alert subscriptions: price/volume thresholds per symbol.
+	var queries []string
+	for i := 0; i < 8000; i++ {
+		sym := symbols[r.Intn(len(symbols))]
+		switch i % 4 {
+		case 0:
+			queries = append(queries, fmt.Sprintf(`/tick[symbol=%q and price > %d]`, sym, 50+r.Intn(200)))
+		case 1:
+			queries = append(queries, fmt.Sprintf(`/tick[symbol=%q and price < %d]`, sym, 20+r.Intn(80)))
+		case 2:
+			queries = append(queries, fmt.Sprintf(`/tick[symbol=%q and volume >= %d]`, sym, 1000*(1+r.Intn(50))))
+		default:
+			queries = append(queries, fmt.Sprintf(`/tick[symbol=%q and change > %d and volume > %d]`,
+				sym, r.Intn(10), 500*(1+r.Intn(20))))
+		}
+	}
+
+	d, err := xpushstream.ParseDTD(tickDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := xpushstream.Compile(queries, xpushstream.Config{
+		TopDownPruning:    true,
+		OrderOptimization: true,
+		Training:          true,
+		DTD:               d,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A burst of ticks as one XML stream.
+	var stream strings.Builder
+	const nTicks = 5000
+	for i := 0; i < nTicks; i++ {
+		fmt.Fprintf(&stream, "<tick><symbol>%s</symbol><price>%d</price><volume>%d</volume><change>%d</change></tick>\n",
+			symbols[r.Intn(len(symbols))], 10+r.Intn(300), r.Intn(60000), r.Intn(12))
+	}
+
+	fired := 0
+	hot := map[int]int{}
+	err = engine.FilterBytes([]byte(stream.String()), func(matches []int) {
+		fired += len(matches)
+		for _, m := range matches {
+			hot[m]++
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := engine.Stats()
+	fmt.Printf("alerts: %d subscriptions, %d ticks, %d alert firings (%.1f per tick)\n",
+		len(queries), nTicks, fired, float64(fired)/nTicks)
+	fmt.Printf("machine: %d states, avg state size %.1f, hit ratio %.4f\n",
+		s.States, s.AvgStateSize, s.HitRatio)
+
+	// The busiest subscription.
+	best, bestN := -1, 0
+	for q, n := range hot {
+		if n > bestN {
+			best, bestN = q, n
+		}
+	}
+	if best >= 0 {
+		fmt.Printf("hottest alert (%d firings): %s\n", bestN, engine.Query(best))
+	}
+}

@@ -1,0 +1,471 @@
+package afa
+
+// Theorem 6.1 analysis (Sec. 6): relationships between AFA states bound the
+// number of accessible XPush states. Two states are related by
+//
+//   - subsumption  s ⇒ s': every node matched by s is matched by s',
+//   - inconsistency s | s': no node is matched by both,
+//   - independence otherwise,
+//
+// and the accessible-state count is at most the number of cliques in the
+// independence graph. Deciding subsumption exactly is tree-pattern
+// containment; this module implements a sound, conservative approximation
+// (it may miss relationships but never invents them), which still yields a
+// valid clique bound. The paper's examples hold under it: for the running
+// example, the A2 initial state subsumes A1's .//a[@c>2] context state, the
+// two =1 leaves are equivalent, and value leaves are inconsistent with all
+// element states (no mixed content).
+
+import (
+	"math"
+
+	"repro/internal/xmlval"
+)
+
+// Relation classifies a state pair.
+type Relation uint8
+
+const (
+	// Independent states can match overlapping but incomparable node
+	// sets.
+	Independent Relation = iota
+	// Subsumes means the first state's matches are contained in the
+	// second's (s ⇒ s').
+	Subsumes
+	// SubsumedBy is the converse (s' ⇒ s).
+	SubsumedBy
+	// Equivalent means mutual subsumption.
+	Equivalent
+	// Inconsistent states never match the same node.
+	Inconsistent
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Subsumes:
+		return "⇒"
+	case SubsumedBy:
+		return "⇐"
+	case Equivalent:
+		return "⇔"
+	case Inconsistent:
+		return "|"
+	default:
+		return "∥"
+	}
+}
+
+// Report summarises the pairwise analysis.
+type Report struct {
+	States            int
+	SubsumptionPairs  int // ordered pairs s ⇒ s' with s ≠ s'
+	EquivalentPairs   int // unordered
+	InconsistentPairs int // unordered
+	IndependentPairs  int // unordered
+	// MaxIndependentDegree is the largest independence-graph degree; a
+	// rough clique-bound indicator (cliques are at most 2^degree+1
+	// around any vertex).
+	MaxIndependentDegree int
+}
+
+// Analyzer performs pairwise relationship queries with memoisation.
+type Analyzer struct {
+	a    *AFA
+	memo map[[2]int32]bool // subsumption cache
+	open map[[2]int32]bool // cycle guard (self-loops)
+}
+
+// NewAnalyzer returns an Analyzer for the AFA.
+func (a *AFA) NewAnalyzer() *Analyzer {
+	return &Analyzer{a: a, memo: map[[2]int32]bool{}, open: map[[2]int32]bool{}}
+}
+
+// Relate classifies a state pair.
+func (an *Analyzer) Relate(s, t int32) Relation {
+	if an.Inconsistent(s, t) {
+		return Inconsistent
+	}
+	fw := an.Subsumes(s, t)
+	bw := an.Subsumes(t, s)
+	switch {
+	case fw && bw:
+		return Equivalent
+	case fw:
+		return Subsumes
+	case bw:
+		return SubsumedBy
+	default:
+		return Independent
+	}
+}
+
+// Subsumes conservatively decides s ⇒ s' (false negatives possible, no
+// false positives).
+func (an *Analyzer) Subsumes(s, t int32) bool {
+	if s == t {
+		return true
+	}
+	key := [2]int32{s, t}
+	if v, ok := an.memo[key]; ok {
+		return v
+	}
+	if an.open[key] {
+		// Recursing through self-loops: assume the weaker answer.
+		return false
+	}
+	an.open[key] = true
+	v := an.subsumes(s, t)
+	delete(an.open, key)
+	an.memo[key] = v
+	return v
+}
+
+func (an *Analyzer) subsumes(s, t int32) bool {
+	a := an.a
+	ss, ts := &a.states[s], &a.states[t]
+	// Anything subsumed by a universal terminal.
+	if ts.terminal == TrueTerminal {
+		return true
+	}
+	if ss.terminal == TrueTerminal {
+		return false // TT matches everything; t (≠TT) does not
+	}
+	// Value leaves match data nodes only; element states match elements.
+	if ss.terminal == LeafTerminal || ts.terminal == LeafTerminal {
+		if ss.terminal != LeafTerminal || ts.terminal != LeafTerminal {
+			return false
+		}
+		return predImplies(ss.op, ss.konst, ts.op, ts.konst)
+	}
+	// NOT: only the syntactically identical structure (not handled
+	// beyond equality) — conservative.
+	if ss.kind == NOT || ts.kind == NOT {
+		return an.sameShape(s, t)
+	}
+	// s AND: every conjunct must hold, so a single conjunct subsuming t
+	// suffices. t AND: s must imply every conjunct.
+	if ts.kind == AND {
+		for _, c := range ts.eps {
+			if !an.Subsumes(s, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if ss.kind == AND {
+		for _, c := range ss.eps {
+			if an.Subsumes(c, t) {
+				return true
+			}
+		}
+		return false
+	}
+	// OR s (ε alternatives): all alternatives must be subsumed.
+	// OR t: finding one subsuming alternative suffices.
+	if len(ss.eps) > 0 {
+		for _, c := range ss.eps {
+			if !an.Subsumes(c, t) {
+				return false
+			}
+		}
+		if len(ss.edges) == 0 {
+			return true
+		}
+	}
+	if len(ts.eps) > 0 {
+		for _, c := range ts.eps {
+			if an.Subsumes(s, c) {
+				return true
+			}
+		}
+		if len(ts.edges) == 0 {
+			return false
+		}
+	}
+	// Navigation OR states: s matches x via some edge (sym → tgt) on a
+	// matching child; t must be able to cover every such way. For each
+	// edge of s there must be an edge of t whose label covers it and
+	// whose target subsumes it. Self-loops (descendant) require t to be
+	// descendant-closed too.
+	if len(ss.edges) == 0 {
+		return false
+	}
+	for _, es := range ss.edges {
+		if es.to == s {
+			// Descendant loop: t must also loop (deep matches).
+			if !hasSelfLoop(ts, t) {
+				return false
+			}
+			continue
+		}
+		ok := false
+		for _, et := range ts.edges {
+			if et.to == t {
+				continue
+			}
+			if symCovers(a.Syms, et.sym, es.sym) && an.Subsumes(es.to, et.to) {
+				ok = true
+				break
+			}
+			// A descendant loop on t also covers deeper matches
+			// of s... handled conservatively by the loop check.
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func hasSelfLoop(st *state, id int32) bool {
+	for _, e := range st.edges {
+		if e.to == id {
+			return true
+		}
+	}
+	return false
+}
+
+// symCovers reports whether transition label a fires on every input label b
+// fires on.
+func symCovers(s *Symbols, a, b int32) bool {
+	if a == b {
+		return true
+	}
+	if a == SymAnyElem {
+		return !s.IsAttr(b)
+	}
+	if a == SymAnyAttr {
+		return s.IsAttr(b)
+	}
+	return false
+}
+
+// sameShape checks structural identity (same kinds, labels, predicates) —
+// the equivalence that arises from common subexpressions across filters.
+func (an *Analyzer) sameShape(s, t int32) bool {
+	if s == t {
+		return true
+	}
+	a := an.a
+	ss, ts := &a.states[s], &a.states[t]
+	if ss.kind != ts.kind || ss.terminal != ts.terminal ||
+		len(ss.eps) != len(ts.eps) || len(ss.edges) != len(ts.edges) {
+		return false
+	}
+	if ss.terminal == LeafTerminal {
+		return ss.op == ts.op && ss.konst == ts.konst
+	}
+	key := [2]int32{s, t}
+	if an.open[key] {
+		return true // self-loop pair: assume shapes match along the loop
+	}
+	an.open[key] = true
+	defer delete(an.open, key)
+	for i := range ss.eps {
+		if !an.sameShape(ss.eps[i], ts.eps[i]) {
+			return false
+		}
+	}
+	for i := range ss.edges {
+		es, et := ss.edges[i], ts.edges[i]
+		if es.sym != et.sym {
+			return false
+		}
+		esSelf, etSelf := es.to == s, et.to == t
+		if esSelf != etSelf {
+			return false
+		}
+		if !esSelf && !an.sameShape(es.to, et.to) {
+			return false
+		}
+	}
+	return true
+}
+
+// Inconsistent conservatively decides s | s'.
+func (an *Analyzer) Inconsistent(s, t int32) bool {
+	if s == t {
+		return false
+	}
+	a := an.a
+	ss, ts := &a.states[s], &a.states[t]
+	sLeaf := ss.terminal == LeafTerminal
+	tLeaf := ts.terminal == LeafTerminal
+	// No mixed content: a value leaf never matches together with an
+	// element-matching state (Sec. 6: "4 | s for every state s ≠ 13").
+	if sLeaf != tLeaf {
+		return true
+	}
+	if sLeaf && tLeaf {
+		return predsDisjoint(ss.op, ss.konst, ts.op, ts.konst)
+	}
+	return false
+}
+
+// predImplies decides whether satisfying (op1 c1) forces (op2 c2) on every
+// value.
+func predImplies(op1 xmlval.Op, c1 xmlval.Const, op2 xmlval.Op, c2 xmlval.Const) bool {
+	if op2 == xmlval.OpExists {
+		return true
+	}
+	if op1 == op2 && c1 == c2 {
+		return true
+	}
+	// Mixed domains: a numeric range never pins down string predicates
+	// and vice versa, except equality of the same literal (handled
+	// above).
+	if c1.Kind != c2.Kind {
+		return false
+	}
+	if c1.Kind != xmlval.Number {
+		// String implication: only via equality.
+		if op1 == xmlval.OpEq {
+			v := xmlval.New(c1.Str)
+			return xmlval.Eval(op2, v, c2)
+		}
+		return false
+	}
+	a, b := c1.Num, c2.Num
+	switch op1 {
+	case xmlval.OpEq:
+		return xmlval.Eval(op2, xmlval.FromNumber(a), c2)
+	case xmlval.OpLt: // v < a
+		switch op2 {
+		case xmlval.OpLt:
+			return a <= b
+		case xmlval.OpLe:
+			return a <= b // v < a ≤ b ⇒ v ≤ b (even v < b)
+		case xmlval.OpNe:
+			return a <= b
+		}
+	case xmlval.OpLe: // v ≤ a
+		switch op2 {
+		case xmlval.OpLe:
+			return a <= b
+		case xmlval.OpLt:
+			return a < b
+		case xmlval.OpNe:
+			return a < b
+		}
+	case xmlval.OpGt: // v > a
+		switch op2 {
+		case xmlval.OpGt:
+			return a >= b
+		case xmlval.OpGe:
+			return a >= b
+		case xmlval.OpNe:
+			return a >= b
+		}
+	case xmlval.OpGe: // v ≥ a
+		switch op2 {
+		case xmlval.OpGe:
+			return a >= b
+		case xmlval.OpGt:
+			return a > b
+		case xmlval.OpNe:
+			return a > b
+		}
+	}
+	return false
+}
+
+// predsDisjoint decides whether two atomic predicates can never hold on the
+// same value.
+func predsDisjoint(op1 xmlval.Op, c1 xmlval.Const, op2 xmlval.Op, c2 xmlval.Const) bool {
+	if op1 == xmlval.OpExists || op2 == xmlval.OpExists {
+		return false
+	}
+	if c1.Kind != c2.Kind {
+		// A value can satisfy a numeric and a string predicate at
+		// once ("10" = 10 and "10" = "10").
+		return false
+	}
+	if c1.Kind != xmlval.Number {
+		if op1 == xmlval.OpEq && op2 == xmlval.OpEq {
+			return c1.Str != c2.Str
+		}
+		return false
+	}
+	a, b := c1.Num, c2.Num
+	type iv struct {
+		lo, hi         float64
+		loOpen, hiOpen bool
+	}
+	toIv := func(op xmlval.Op, c float64) (iv, bool) {
+		inf := math.Inf(1)
+		switch op {
+		case xmlval.OpEq:
+			return iv{lo: c, hi: c}, true
+		case xmlval.OpLt:
+			return iv{lo: -inf, hi: c, hiOpen: true}, true
+		case xmlval.OpLe:
+			return iv{lo: -inf, hi: c}, true
+		case xmlval.OpGt:
+			return iv{lo: c, hi: inf, loOpen: true}, true
+		case xmlval.OpGe:
+			return iv{lo: c, hi: inf}, true
+		default:
+			return iv{}, false // !=, contains, ... not intervals
+		}
+	}
+	i1, ok1 := toIv(op1, a)
+	i2, ok2 := toIv(op2, b)
+	if !ok1 || !ok2 {
+		// != c1 vs = c2 conflicts only when c1 == c2.
+		if op1 == xmlval.OpNe && op2 == xmlval.OpEq {
+			return a == b
+		}
+		if op2 == xmlval.OpNe && op1 == xmlval.OpEq {
+			return a == b
+		}
+		return false
+	}
+	lo, loOpen := i1.lo, i1.loOpen
+	if i2.lo > lo || i2.lo == lo && i2.loOpen {
+		lo, loOpen = i2.lo, i2.loOpen
+	}
+	hi, hiOpen := i1.hi, i1.hiOpen
+	if i2.hi < hi || i2.hi == hi && i2.hiOpen {
+		hi, hiOpen = i2.hi, i2.hiOpen
+	}
+	if lo > hi {
+		return true
+	}
+	if lo == hi && (loOpen || hiOpen) {
+		return true
+	}
+	return false
+}
+
+// Analyze computes the pairwise report. Quadratic in the number of AFA
+// states; intended for workload diagnostics, not the hot path.
+func (a *AFA) Analyze() Report {
+	an := a.NewAnalyzer()
+	n := a.NumStates()
+	r := Report{States: n}
+	degree := make([]int, n)
+	for s := int32(0); s < int32(n); s++ {
+		for t := s + 1; t < int32(n); t++ {
+			switch an.Relate(s, t) {
+			case Inconsistent:
+				r.InconsistentPairs++
+			case Equivalent:
+				r.EquivalentPairs++
+				r.SubsumptionPairs += 2
+			case Subsumes, SubsumedBy:
+				r.SubsumptionPairs++
+			default:
+				r.IndependentPairs++
+				degree[s]++
+				degree[t]++
+			}
+		}
+	}
+	for _, d := range degree {
+		if d > r.MaxIndependentDegree {
+			r.MaxIndependentDegree = d
+		}
+	}
+	return r
+}

@@ -1,0 +1,229 @@
+package afa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/xmlval"
+	"repro/internal/xpath"
+)
+
+// TestRunningExampleRelations checks the Sec. 6 facts on the running
+// example (translated to our numbering: paper 8 ↦ 7, paper 5 ↦ 3, paper
+// 4/13 ↦ 1/10).
+func TestRunningExampleRelations(t *testing.T) {
+	a := compileRunning(t)
+	an := a.NewAnalyzer()
+	// Paper: "8 ⇒ 5" — A2's initial state subsumes A1's .//a[@c>2]
+	// context state (ours: 7 ⇒ 3).
+	if !an.Subsumes(7, 3) {
+		t.Error("7 (A2 initial) should subsume 3 (.//a[@c>2] context)")
+	}
+	if an.Subsumes(3, 7) {
+		t.Error("3 must not subsume 7 (7 additionally requires b=1)")
+	}
+	// Paper: "4 ⇔ 13" — the two =1 leaves are equivalent (ours: 1 ⇔ 10).
+	if an.Relate(1, 10) != Equivalent {
+		t.Errorf("leaves 1 and 10 should be equivalent, got %v", an.Relate(1, 10))
+	}
+	// Paper: "4 | s for every state s ≠ 13": leaves are inconsistent
+	// with all element states.
+	for s := int32(0); s < int32(a.NumStates()); s++ {
+		if s == 1 || s == 10 {
+			continue
+		}
+		if a.Terminal(s) == LeafTerminal {
+			continue // the >2 leaves are merely disjoint ranges
+		}
+		if !an.Inconsistent(1, s) {
+			t.Errorf("leaf 1 should be inconsistent with element state %d", s)
+		}
+	}
+	// The two >2 leaves are equivalent to each other and disjoint from
+	// the =1 leaves (1 ∉ (2,∞)).
+	if an.Relate(4, 8) != Equivalent {
+		t.Errorf("the two >2 leaves: %v", an.Relate(4, 8))
+	}
+	if !an.Inconsistent(1, 4) {
+		t.Error("=1 and >2 are disjoint")
+	}
+}
+
+func TestPredImplies(t *testing.T) {
+	n := xmlval.NumberConst
+	cases := []struct {
+		op1  xmlval.Op
+		c1   xmlval.Const
+		op2  xmlval.Op
+		c2   xmlval.Const
+		want bool
+	}{
+		{xmlval.OpEq, n(5), xmlval.OpGt, n(2), true},
+		{xmlval.OpEq, n(5), xmlval.OpGt, n(5), false},
+		{xmlval.OpEq, n(5), xmlval.OpNe, n(4), true},
+		{xmlval.OpLt, n(3), xmlval.OpLt, n(5), true},
+		{xmlval.OpLt, n(5), xmlval.OpLt, n(3), false},
+		{xmlval.OpLt, n(3), xmlval.OpLe, n(3), true},
+		{xmlval.OpLe, n(3), xmlval.OpLt, n(3), false},
+		{xmlval.OpGe, n(5), xmlval.OpGt, n(3), true},
+		{xmlval.OpGt, n(5), xmlval.OpGe, n(5), true},
+		{xmlval.OpGt, n(5), xmlval.OpNe, n(5), true},
+		{xmlval.OpEq, xmlval.StringConst("x"), xmlval.OpGe, xmlval.StringConst("a"), true},
+		{xmlval.OpEq, xmlval.StringConst("x"), xmlval.OpEq, xmlval.StringConst("y"), false},
+		{xmlval.OpEq, n(5), xmlval.OpExists, xmlval.Const{}, true},
+		{xmlval.OpEq, n(10), xmlval.OpEq, xmlval.StringConst("10"), false}, // cross-domain
+	}
+	for _, tc := range cases {
+		if got := predImplies(tc.op1, tc.c1, tc.op2, tc.c2); got != tc.want {
+			t.Errorf("(%v %v) ⇒ (%v %v): got %v, want %v", tc.op1, tc.c1, tc.op2, tc.c2, got, tc.want)
+		}
+	}
+}
+
+func TestPredsDisjoint(t *testing.T) {
+	n := xmlval.NumberConst
+	cases := []struct {
+		op1  xmlval.Op
+		c1   xmlval.Const
+		op2  xmlval.Op
+		c2   xmlval.Const
+		want bool
+	}{
+		{xmlval.OpEq, n(1), xmlval.OpEq, n(2), true},
+		{xmlval.OpEq, n(1), xmlval.OpEq, n(1), false},
+		{xmlval.OpLt, n(1), xmlval.OpGt, n(2), true},
+		{xmlval.OpLt, n(2), xmlval.OpGt, n(1), false},
+		{xmlval.OpLe, n(1), xmlval.OpGe, n(1), false}, // both at 1
+		{xmlval.OpLt, n(1), xmlval.OpGe, n(1), true},
+		{xmlval.OpEq, n(1), xmlval.OpNe, n(1), true},
+		{xmlval.OpEq, n(1), xmlval.OpNe, n(2), false},
+		{xmlval.OpEq, xmlval.StringConst("a"), xmlval.OpEq, xmlval.StringConst("b"), true},
+		{xmlval.OpEq, n(10), xmlval.OpEq, xmlval.StringConst("10"), false},
+		{xmlval.OpExists, xmlval.Const{}, xmlval.OpEq, n(1), false},
+	}
+	for _, tc := range cases {
+		if got := predsDisjoint(tc.op1, tc.c1, tc.op2, tc.c2); got != tc.want {
+			t.Errorf("(%v %v) | (%v %v): got %v, want %v", tc.op1, tc.c1, tc.op2, tc.c2, got, tc.want)
+		}
+	}
+}
+
+func TestSubsumptionStructural(t *testing.T) {
+	a := MustCompile(
+		xpath.MustParse("/a[b>5]"),
+		xpath.MustParse("/a[b>2]"),
+		xpath.MustParse("/a[b]"),
+		xpath.MustParse("//a[b>5]"),
+	)
+	an := a.NewAnalyzer()
+	i0 := a.Queries[0].Initial
+	i1 := a.Queries[1].Initial
+	i2 := a.Queries[2].Initial
+	i3 := a.Queries[3].Initial
+	if !an.Subsumes(i0, i1) {
+		t.Error("/a[b>5] should subsume /a[b>2]")
+	}
+	if an.Subsumes(i1, i0) {
+		t.Error("/a[b>2] must not subsume /a[b>5]")
+	}
+	if !an.Subsumes(i0, i2) {
+		t.Error("/a[b>5] should subsume /a[b] (existence)")
+	}
+	if !an.Subsumes(i0, i3) {
+		t.Error("/a[b>5] should subsume //a[b>5] (child is a descendant)")
+	}
+	if an.Subsumes(i3, i0) {
+		t.Error("//a[b>5] must not subsume /a[b>5]")
+	}
+}
+
+// TestSubsumptionSoundness validates the conservative subsumption decision
+// against the semantics: whenever the analyzer claims s ⇒ s' for query
+// initial states, every random document matching the first filter matches
+// the second.
+func TestSubsumptionSoundness(t *testing.T) {
+	queries := []string{
+		"/a[b>5]", "/a[b>2]", "/a[b]", "//a[b>2]", "/a[b=7]",
+		"/a[b>2 and c=1]", "/a[c=1]", "/a/*[x=1]", "/a/d[x=1]",
+		"//b", "/a/b", "/a[not(b=1)]", "/a[b=1 or b=2]",
+	}
+	filters := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		filters[i] = xpath.MustParse(q)
+	}
+	a, err := Compile(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := a.NewAnalyzer()
+	type pair struct{ i, j int }
+	var claimed []pair
+	for i := range queries {
+		for j := range queries {
+			if i != j && an.Subsumes(a.Queries[i].Initial, a.Queries[j].Initial) {
+				claimed = append(claimed, pair{i, j})
+			}
+		}
+	}
+	if len(claimed) == 0 {
+		t.Fatal("analyzer found no subsumptions at all")
+	}
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 400; trial++ {
+		doc := randomAnalysisDoc(r)
+		docs, err := naive.Build([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range claimed {
+			if naive.Matches(filters[p.i], docs[0]) && !naive.Matches(filters[p.j], docs[0]) {
+				t.Fatalf("unsound subsumption %q ⇒ %q on %s", queries[p.i], queries[p.j], doc)
+			}
+		}
+	}
+}
+
+func randomAnalysisDoc(r *rand.Rand) string {
+	labels := []string{"a", "b", "c", "d", "x"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		l := labels[r.Intn(len(labels))]
+		if depth == 0 || r.Intn(3) == 0 {
+			return "<" + l + ">" + []string{"1", "2", "3", "6", "7"}[r.Intn(5)] + "</" + l + ">"
+		}
+		inner := ""
+		for i := 0; i < 1+r.Intn(3); i++ {
+			inner += build(depth - 1)
+		}
+		return "<" + l + ">" + inner + "</" + l + ">"
+	}
+	return build(3)
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	a := compileRunning(t)
+	r := a.Analyze()
+	if r.States != 13 {
+		t.Errorf("states = %d", r.States)
+	}
+	if r.EquivalentPairs < 2 { // the =1 pair and the >2 pair
+		t.Errorf("equivalent pairs = %d", r.EquivalentPairs)
+	}
+	if r.InconsistentPairs == 0 || r.SubsumptionPairs == 0 {
+		t.Errorf("report = %+v", r)
+	}
+	total := r.EquivalentPairs + r.InconsistentPairs + r.IndependentPairs
+	for i := 0; i < r.States; i++ {
+		// Relate returns one class per unordered pair; Subsumes /
+		// SubsumedBy pairs are counted in SubsumptionPairs but are
+		// neither equivalent, inconsistent, nor independent.
+		_ = i
+	}
+	if total > r.States*(r.States-1)/2 {
+		t.Errorf("pair classes overflow: %+v", r)
+	}
+	if r.MaxIndependentDegree <= 0 {
+		t.Errorf("degree = %d", r.MaxIndependentDegree)
+	}
+}

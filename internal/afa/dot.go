@@ -1,0 +1,73 @@
+package afa
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the AFA in Graphviz dot format, one cluster per filter —
+// the picture of Fig. 4. Label transitions are solid edges, ε transitions
+// dashed; AND states are boxes, NOT states diamonds, terminals doubled.
+func (a *AFA) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph afa {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [fontname=\"Helvetica\", fontsize=11];")
+
+	// Assign states to their filters for clustering.
+	owner := make([]int32, a.NumStates())
+	for i := range a.states {
+		owner[i] = a.states[i].query
+	}
+	for qi, q := range a.Queries {
+		fmt.Fprintf(w, "  subgraph cluster_q%d {\n", qi)
+		fmt.Fprintf(w, "    label=%q;\n", fmt.Sprintf("P%d: %s", qi+1, q.Source))
+		fmt.Fprintln(w, "    color=gray;")
+		for s := int32(0); s < int32(a.NumStates()); s++ {
+			if owner[s] != int32(qi) {
+				continue
+			}
+			fmt.Fprintf(w, "    s%d %s;\n", s, a.dotNodeAttrs(s, q))
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for s := int32(0); s < int32(a.NumStates()); s++ {
+		st := &a.states[s]
+		for _, e := range st.edges {
+			fmt.Fprintf(w, "  s%d -> s%d [label=%q];\n", s, e.to, a.Syms.Name(e.sym))
+		}
+		for _, t := range st.eps {
+			fmt.Fprintf(w, "  s%d -> s%d [style=dashed, label=\"ε\"];\n", s, t)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func (a *AFA) dotNodeAttrs(s int32, q QueryInfo) string {
+	st := &a.states[s]
+	label := fmt.Sprintf("%d", s)
+	shape := "ellipse"
+	extra := ""
+	switch st.kind {
+	case AND:
+		shape = "box"
+		label += " AND"
+	case NOT:
+		shape = "diamond"
+		label += " NOT"
+	}
+	switch st.terminal {
+	case LeafTerminal:
+		label += fmt.Sprintf("\\n%s%s", st.op, st.konst)
+		extra = ", peripheries=2"
+	case TrueTerminal:
+		label += "\\ntrue"
+		extra = ", peripheries=2"
+	}
+	if s == q.Initial {
+		extra += ", style=bold"
+	}
+	return fmt.Sprintf("[shape=%s, label=%q%s]", shape, label, extra)
+}

@@ -1,0 +1,48 @@
+package afa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+func TestWriteDot(t *testing.T) {
+	a := compileRunning(t)
+	var buf bytes.Buffer
+	if err := a.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph afa {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a dot digraph:\n%s", out)
+	}
+	for _, want := range []string{
+		"subgraph cluster_q0",
+		"subgraph cluster_q1",
+		`label="ε"`,
+		"shape=box",     // the AND states
+		"peripheries=2", // terminals
+		"s0 -> s0",      // the // self-loop on the initial state
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+	// One node line per state.
+	if n := strings.Count(out, "[shape="); n != a.NumStates() {
+		t.Errorf("node lines = %d, want %d", n, a.NumStates())
+	}
+}
+
+func TestWriteDotNotState(t *testing.T) {
+	a := MustCompile(xpath.MustParse("/a[not(b=1)]"))
+	var buf bytes.Buffer
+	if err := a.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shape=diamond") {
+		t.Error("NOT state not rendered as diamond")
+	}
+}

@@ -1,0 +1,196 @@
+package afa
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// Property tests for the eval closure (Sec. 3.2): for any input set q,
+// eval(q) ⊇ q, eval is idempotent, monotone in its input for NOT-free
+// workloads, and deterministic.
+func propertyAFA(t *testing.T, queries ...string) *AFA {
+	t.Helper()
+	fs := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		fs[i] = xpath.MustParse(q)
+	}
+	a, err := Compile(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randomSet(r *rand.Rand, n int) []int32 {
+	var out []int32
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func copyOf(a []int32) []int32 { return append([]int32(nil), a...) }
+
+func TestEvalExtensive(t *testing.T) {
+	workloads := [][]string{
+		{"//a[b/text()=1 and .//a[@c>2]]", "//a[@c>2 and b/text()=1]"},
+		{"/a[b=1 or c=2 or d=3]", "/a[(b=1 or c=2) and d=3]"},
+		{"/a[b[c[d=1]]]", "/a[.//x=1]", "//y[z>5 and w<3]"},
+	}
+	r := rand.New(rand.NewSource(31))
+	for _, queries := range workloads {
+		a := propertyAFA(t, queries...)
+		ev := a.NewEvaluator()
+		for trial := 0; trial < 300; trial++ {
+			q := randomSet(r, a.NumStates())
+			out := copyOf(ev.Eval(q, nil))
+			// Superset of the input.
+			if !isSubset(q, out) {
+				t.Fatalf("eval(%v) = %v does not contain input", q, out)
+			}
+			// Sorted, deduplicated.
+			if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+				t.Fatalf("eval output unsorted: %v", out)
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i] == out[i-1] {
+					t.Fatalf("eval output has duplicates: %v", out)
+				}
+			}
+			// Idempotent.
+			out2 := copyOf(ev.Eval(out, nil))
+			if !equalSets(out, out2) {
+				t.Fatalf("eval not idempotent: %v -> %v", out, out2)
+			}
+			// Deterministic.
+			out3 := copyOf(ev.Eval(q, nil))
+			if !equalSets(out, out3) {
+				t.Fatalf("eval not deterministic: %v vs %v", out, out3)
+			}
+		}
+	}
+}
+
+func TestEvalMonotoneWithoutNot(t *testing.T) {
+	// Without NOT states, q ⊆ q' implies eval(q) ⊆ eval(q').
+	a := propertyAFA(t,
+		"/a[b=1 and c=2 and d=3]",
+		"/a[b=1 or c[x=4]]",
+		"//m[n=1 and .//p=2]",
+	)
+	ev := a.NewEvaluator()
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 300; trial++ {
+		q1 := randomSet(r, a.NumStates())
+		q2 := copyOf(q1)
+		// Grow q2 by a few extra states.
+		for i := 0; i < 3; i++ {
+			q2 = append(q2, int32(r.Intn(a.NumStates())))
+		}
+		sort.Slice(q2, func(i, j int) bool { return q2[i] < q2[j] })
+		q2 = dedup(q2)
+		e1 := copyOf(ev.Eval(q1, nil))
+		e2 := copyOf(ev.Eval(q2, nil))
+		if !isSubset(e1, e2) {
+			t.Fatalf("monotonicity violated: eval(%v)=%v ⊄ eval(%v)=%v", q1, e1, q2, e2)
+		}
+	}
+}
+
+func TestEvalAntitoneNot(t *testing.T) {
+	// A NOT state is in eval(q) exactly when its successor is not implied
+	// by q: adding the successor must remove the NOT.
+	a := propertyAFA(t, "/a[not(b=1)]")
+	ev := a.NewEvaluator()
+	var not int32 = -1
+	for i := 0; i < a.NumStates(); i++ {
+		if a.Kind(int32(i)) == NOT {
+			not = int32(i)
+		}
+	}
+	if not < 0 {
+		t.Fatal("no NOT state")
+	}
+	succ := a.Eps(not)[0]
+	with := copyOf(ev.Eval([]int32{succ}, nil))
+	without := copyOf(ev.Eval(nil, nil))
+	if containsState(with, not) {
+		t.Errorf("NOT fired although successor present: %v", with)
+	}
+	if !containsState(without, not) {
+		t.Errorf("NOT did not fire on empty set: %v", without)
+	}
+}
+
+func TestDeltaInvSorted(t *testing.T) {
+	a := propertyAFA(t, "//a[b=1]", "//a//b[c=2]", "/x/*/y[@z=3]")
+	r := rand.New(rand.NewSource(33))
+	syms := []int32{SymOtherElem, SymOtherAttr}
+	for name := range map[string]bool{"a": true, "b": true, "c": true, "x": true, "y": true, "@z": true} {
+		if id, ok := a.Syms.Lookup(name); ok {
+			syms = append(syms, id)
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		q := randomSet(r, a.NumStates())
+		sym := syms[r.Intn(len(syms))]
+		out := a.DeltaInv(q, sym, nil)
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+			t.Fatalf("DeltaInv unsorted: %v", out)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				t.Fatalf("DeltaInv duplicates: %v", out)
+			}
+		}
+		// Every reported state really transitions into q on sym.
+		for _, s := range out {
+			hit := false
+			for _, tgt := range a.Delta(s, sym, nil) {
+				if containsState(q, tgt) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("DeltaInv reported %d which has no %s-edge into %v",
+					s, a.Syms.Name(sym), q)
+			}
+		}
+	}
+}
+
+func isSubset(sub, super []int32) bool {
+	for _, x := range sub {
+		if !containsState(super, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsState(set []int32, x int32) bool {
+	for _, e := range set {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+func equalSets(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package afa
+
+// Symbols interns element and attribute labels to dense int32 ids so state
+// sets and transition tables work on integers. Attribute labels use the "@"
+// prefix convention of the sax package.
+
+// Reserved symbol ids.
+const (
+	// SymAnyElem is the * wildcard (any element label).
+	SymAnyElem int32 = 0
+	// SymAnyAttr is the @* wildcard (any attribute label).
+	SymAnyAttr int32 = 1
+	// SymOtherElem stands for every element label that occurs in no
+	// query. All such labels behave identically (only wildcard
+	// transitions can fire on them), so mapping them to one symbol lets
+	// the lazy transition tables share their entries.
+	SymOtherElem int32 = 2
+	// SymOtherAttr is the attribute counterpart of SymOtherElem.
+	SymOtherAttr int32 = 3
+)
+
+// Symbols is an interning table for labels.
+type Symbols struct {
+	byName map[string]int32
+	names  []string
+	isAttr []bool
+}
+
+// NewSymbols returns a table with the wildcards and unknown-label sentinels
+// pre-interned.
+func NewSymbols() *Symbols {
+	s := &Symbols{byName: make(map[string]int32)}
+	s.names = append(s.names, "*", "@*", "⟨elem⟩", "⟨attr⟩")
+	s.isAttr = append(s.isAttr, false, true, false, true)
+	for i, n := range s.names {
+		s.byName[n] = int32(i)
+	}
+	return s
+}
+
+// InputSym maps a SAX event label to the symbol the machine should use:
+// known labels map to their interned id; unknown labels collapse to the
+// shared sentinel for their node class.
+func (s *Symbols) InputSym(label string) int32 {
+	if id, ok := s.byName[label]; ok {
+		return id
+	}
+	if len(label) > 0 && label[0] == '@' {
+		return SymOtherAttr
+	}
+	return SymOtherElem
+}
+
+// Intern returns the id for a label, creating it if new. Labels beginning
+// with '@' are attribute labels.
+func (s *Symbols) Intern(label string) int32 {
+	if id, ok := s.byName[label]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.names = append(s.names, label)
+	s.isAttr = append(s.isAttr, len(label) > 0 && label[0] == '@')
+	s.byName[label] = id
+	return id
+}
+
+// Lookup returns the id for a label without creating it; ok is false for
+// unknown labels.
+func (s *Symbols) Lookup(label string) (int32, bool) {
+	id, ok := s.byName[label]
+	return id, ok
+}
+
+// Name returns the label for an id.
+func (s *Symbols) Name(id int32) string { return s.names[id] }
+
+// IsAttr reports whether the id denotes an attribute label (or @*).
+func (s *Symbols) IsAttr(id int32) bool { return s.isAttr[id] }
+
+// Len returns the number of interned symbols, wildcards included.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Matches reports whether a transition labeled sym fires on an input label
+// in (a concrete element or attribute symbol): exact match, or the
+// appropriate wildcard.
+func (s *Symbols) Matches(sym, in int32) bool {
+	if sym == in {
+		return true
+	}
+	if sym == SymAnyElem {
+		return !s.isAttr[in]
+	}
+	if sym == SymAnyAttr {
+		return s.isAttr[in]
+	}
+	return false
+}

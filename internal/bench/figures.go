@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/datagen"
+)
+
+// Scale selects experiment sizes. The paper's hardware (700 MHz Pentium
+// III) and full scale (200 000 queries over 9.12 MB) are reproducible with
+// Scale "paper" but take a while; "default" keeps every figure's shape at a
+// fraction of the cost.
+type Scale struct {
+	Name string
+	// QueryCounts is the Fig. 5(a)/6(a)/7(a) x-axis (paper: 50k..200k at
+	// 1.15 predicates per query).
+	QueryCounts []int
+	// HighPredQueryCounts is the Fig. 5(b)/6(b)/7(b) x-axis (paper:
+	// 5k..20k at 10.45 predicates per query).
+	HighPredQueryCounts []int
+	// DataBytes is the stream size for the query/predicate sweeps
+	// (paper: 9.12 MB).
+	DataBytes int
+	// PredCounts is the Fig. 9(a)/10(a)/11(a) x-axis (paper: 1..20
+	// predicates per query with 200k total atomic predicates).
+	PredCounts []int
+	// TotalPreds is the fixed total for the predicate sweep.
+	TotalPreds int
+	// DataWorkloads are the series of Figs. 8/9(b)/10(b)/11(b) (paper:
+	// 50k..200k queries at 5 predicates each).
+	DataWorkloads []int
+	// ChunkBytes × Chunks is the Fig. 8/9(b) stream (paper: 100 MB).
+	ChunkBytes int
+	Chunks     int
+	// AbstractQueries sizes the abstract-claim run.
+	AbstractQueries int
+}
+
+// Scales are the built-in experiment sizes.
+var Scales = map[string]Scale{
+	"smoke": {
+		Name:                "smoke",
+		QueryCounts:         []int{200, 400},
+		HighPredQueryCounts: []int{50, 100},
+		DataBytes:           128 << 10,
+		PredCounts:          []int{1, 2, 5},
+		TotalPreds:          1000,
+		DataWorkloads:       []int{200},
+		ChunkBytes:          128 << 10,
+		Chunks:              4,
+		AbstractQueries:     500,
+	},
+	"default": {
+		Name:                "default",
+		QueryCounts:         []int{2500, 5000, 7500, 10000},
+		HighPredQueryCounts: []int{250, 500, 750, 1000},
+		DataBytes:           2 << 20,
+		PredCounts:          []int{1, 2, 5, 10, 15, 20},
+		TotalPreds:          10000,
+		DataWorkloads:       []int{2500, 5000, 7500, 10000},
+		ChunkBytes:          1 << 20,
+		Chunks:              10,
+		AbstractQueries:     10000,
+	},
+	"paper": {
+		Name:                "paper",
+		QueryCounts:         []int{50000, 100000, 150000, 200000},
+		HighPredQueryCounts: []int{5000, 10000, 15000, 20000},
+		DataBytes:           9561088, // 9.12 MB
+		PredCounts:          []int{1, 2, 5, 10, 15, 20},
+		TotalPreds:          200000,
+		DataWorkloads:       []int{50000, 100000, 150000, 200000},
+		ChunkBytes:          5 << 20,
+		Chunks:              20,
+		AbstractQueries:     175000, // ≈200k atomic predicates at 1.15/query
+	},
+}
+
+// FigureIDs lists the reproducible figures in paper order.
+var FigureIDs = []string{
+	"5a", "5b", "6a", "6b", "7a", "7b", "8",
+	"9a", "9b", "10a", "10b", "11a", "11b", "abstract",
+}
+
+// figureInfo describes one figure: which sweep it views and which metric it
+// plots.
+type figureInfo struct {
+	Title  string
+	Sweep  string // "q115", "q1045", "preds", "data"
+	Metric string // "time", "states", "avgsize", "hit"
+	XLabel string
+}
+
+var figures = map[string]figureInfo{
+	"5a":  {"Fig 5(a): Filtering time, 1.15 predicates/query", "q115", "time", "queries"},
+	"5b":  {"Fig 5(b): Filtering time, 10.45 predicates/query", "q1045", "time", "queries"},
+	"6a":  {"Fig 6(a): Number of XPush states, 1.15 predicates/query", "q115", "states", "queries"},
+	"6b":  {"Fig 6(b): Number of XPush states, 10.45 predicates/query", "q1045", "states", "queries"},
+	"7a":  {"Fig 7(a): Average XPush state size, 1.15 predicates/query", "q115", "avgsize", "queries"},
+	"7b":  {"Fig 7(b): Average XPush state size, 10.45 predicates/query", "q1045", "avgsize", "queries"},
+	"8":   {"Fig 8: Hit ratio vs data processed", "data", "hit", "MB"},
+	"9a":  {"Fig 9(a): Filtering time vs predicates/query (total atomic predicates fixed)", "preds", "time", "preds/query"},
+	"9b":  {"Fig 9(b): Filtering time vs data size", "data", "time", "MB"},
+	"10a": {"Fig 10(a): Number of states vs predicates/query", "preds", "states", "preds/query"},
+	"10b": {"Fig 10(b): Number of states vs data size", "data", "states", "MB"},
+	"11a": {"Fig 11(a): Average state size vs predicates/query", "preds", "avgsize", "preds/query"},
+	"11b": {"Fig 11(b): Average state size vs data size", "data", "avgsize", "MB"},
+}
+
+// Runner executes figures against one dataset at one scale, caching the
+// underlying sweeps so that e.g. Figs. 5(a), 6(a) and 7(a) share a run.
+type Runner struct {
+	DS      *datagen.Dataset
+	Scale   Scale
+	Out     io.Writer
+	Verbose bool
+	cache   map[string][]Row
+}
+
+// NewRunner builds a Runner.
+func NewRunner(ds *datagen.Dataset, scale Scale, out io.Writer) *Runner {
+	return &Runner{DS: ds, Scale: scale, Out: out, cache: map[string][]Row{}}
+}
+
+func (r *Runner) log() io.Writer {
+	if r.Verbose {
+		return r.Out
+	}
+	return nil
+}
+
+func (r *Runner) sweep(name string) ([]Row, error) {
+	if rows, ok := r.cache[name]; ok {
+		return rows, nil
+	}
+	var rows []Row
+	var err error
+	switch name {
+	case "q115":
+		rows, err = SweepQueries(r.DS, r.Scale.QueryCounts, 1.15, r.Scale.DataBytes, r.log())
+	case "q1045":
+		rows, err = SweepQueries(r.DS, r.Scale.HighPredQueryCounts, 10.45, r.Scale.DataBytes, r.log())
+	case "preds":
+		rows, err = SweepPreds(r.DS, r.Scale.PredCounts, r.Scale.TotalPreds, r.Scale.DataBytes, r.log())
+	case "data":
+		rows, err = SweepData(r.DS, r.Scale.DataWorkloads, r.Scale.ChunkBytes, r.Scale.Chunks, r.log())
+	default:
+		err = fmt.Errorf("unknown sweep %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.cache[name] = rows
+	return rows, nil
+}
+
+// Figure runs (or reuses) the sweep behind a figure and renders its table.
+func (r *Runner) Figure(id string) error {
+	if id == "abstract" {
+		return r.abstract()
+	}
+	info, ok := figures[id]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (have %v)", id, FigureIDs)
+	}
+	rows, err := r.sweep(info.Sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "\n%s  [dataset=%s scale=%s]\n", info.Title, r.DS.Name, r.Scale.Name)
+	renderPivot(r.Out, rows, info, id)
+	return nil
+}
+
+// All runs every figure.
+func (r *Runner) All() error {
+	for _, id := range FigureIDs {
+		if err := r.Figure(id); err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) abstract() error {
+	fmt.Fprintf(r.Out, "\nAbstract throughput claims  [dataset=%s scale=%s]\n", r.DS.Name, r.Scale.Name)
+	// Single-predicate workload (the "4.5 MB/s" end of the claim).
+	one, err := Abstract(r.DS, r.Scale.AbstractQueries, 1, r.Scale.DataBytes)
+	if err != nil {
+		return err
+	}
+	// Predicate-heavy workload at the same total atomic predicates.
+	heavy, err := Abstract(r.DS, r.Scale.AbstractQueries/10, 10.45, r.Scale.DataBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out, "  %-34s %12s %12s %12s\n", "workload", "cold MB/s", "warm MB/s", "preds")
+	fmt.Fprintf(r.Out, "  %-34s %12.2f %12.2f %12d\n",
+		"1 predicate/filter", one.ColdMBPerSec, one.WarmMBPerSec, one.TotalPreds)
+	fmt.Fprintf(r.Out, "  %-34s %12.2f %12.2f %12d\n",
+		"10.45 predicates/filter", heavy.ColdMBPerSec, heavy.WarmMBPerSec, heavy.TotalPreds)
+	fmt.Fprintf(r.Out, "  %-34s %12.2f\n", "hand-written parser alone", one.ScannerMBPerSec)
+	fmt.Fprintf(r.Out, "  %-34s %12.2f\n", "encoding/xml parser alone", one.StdParserMBPerSec)
+	return nil
+}
+
+// WriteCSV dumps every cached sweep's raw rows as CSV (one line per
+// measured point, all metrics), for plotting the figures externally.
+func (r *Runner) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "sweep,series,x,seconds,mb_per_sec,states,avg_state_size,hit_ratio,total_atomic_preds,matches,approx_mem_bytes"); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.cache))
+	for name := range r.cache {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, row := range r.cache[name] {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%.3f,%d,%.2f,%.4f,%d,%d,%d\n",
+				name, row.Series, fmtX(row.X), row.Time.Seconds(), row.MBPerSec,
+				row.States, row.AvgSize, row.HitRatio, row.TotalPred, row.Matches, row.MemBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderPivot prints rows as an x-by-series table of the figure's metric.
+func renderPivot(w io.Writer, rows []Row, info figureInfo, id string) {
+	// Collect axes.
+	var xs []float64
+	var series []string
+	seenX := map[float64]bool{}
+	seenS := map[string]bool{}
+	cell := map[[2]string]string{}
+	for _, row := range rows {
+		if skipRow(info, row) {
+			continue
+		}
+		if !seenX[row.X] {
+			seenX[row.X] = true
+			xs = append(xs, row.X)
+		}
+		if !seenS[row.Series] {
+			seenS[row.Series] = true
+			series = append(series, row.Series)
+		}
+		cell[[2]string{fmtX(row.X), row.Series}] = metric(info.Metric, row)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(w, "  %-12s", info.XLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, " %*s", colWidth(s), s)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "  %-12s", fmtX(x))
+		for _, s := range series {
+			v := cell[[2]string{fmtX(x), s}]
+			if v == "" {
+				v = "-"
+			}
+			fmt.Fprintf(w, " %*s", colWidth(s), v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// skipRow drops series that have no values for a figure's metric (the parse
+// series has no state counts).
+func skipRow(info figureInfo, row Row) bool {
+	if info.Metric != "time" && (row.Series == "parse" || row.Series == "stdparse") {
+		return true
+	}
+	return false
+}
+
+func colWidth(series string) int {
+	if w := len(series); w > 10 {
+		return w
+	}
+	return 10
+}
+
+func fmtX(x float64) string {
+	if x == float64(int64(x)) {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'f', 1, 64)
+}
+
+func metric(kind string, row Row) string {
+	switch kind {
+	case "time":
+		return fmt.Sprintf("%.3fs", row.Time.Seconds())
+	case "states":
+		return strconv.Itoa(row.States)
+	case "avgsize":
+		return fmt.Sprintf("%.1f", row.AvgSize)
+	case "hit":
+		return fmt.Sprintf("%.4f", row.HitRatio)
+	default:
+		return "?"
+	}
+}

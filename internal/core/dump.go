@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpTables renders the machine's materialised states and transition
+// tables in the style of Fig. 3 of the paper: the bottom-up state family,
+// the value index entries, Tpop, Tbadd and Taccept. Intended for
+// debugging, teaching, and the xpushdump tool; combine with PrecomputeEager
+// to see the complete machine of a small workload.
+func (m *Machine) DumpTables(w io.Writer) error {
+	fmt.Fprintf(w, "bottom-up states (%d):\n", len(m.bsets))
+	for i, set := range m.bsets {
+		fmt.Fprintf(w, "  q%-4d = %v\n", i, set)
+	}
+	if m.opts.TopDown {
+		fmt.Fprintf(w, "top-down states (%d):\n", len(m.tsets))
+		for i, set := range m.tsets {
+			fmt.Fprintf(w, "  t%-4d = %v\n", i, set)
+		}
+	}
+
+	fmt.Fprintln(w, "Tvalue (representative value -> state):")
+	for _, v := range m.index.Representatives() {
+		id := m.valueState(m.qtForDump(), v)
+		fmt.Fprintf(w, "  %-16q -> q%d\n", v.Text, id)
+	}
+
+	fmt.Fprintln(w, "Tpop[q][label] -> q:")
+	popKeys := make([]popKey, 0, len(m.popTab))
+	for k := range m.popTab {
+		popKeys = append(popKeys, k)
+	}
+	sort.Slice(popKeys, func(i, j int) bool {
+		a, b := popKeys[i], popKeys[j]
+		if a.qb != b.qb {
+			return a.qb < b.qb
+		}
+		return a.sym < b.sym
+	})
+	for _, k := range popKeys {
+		e := m.popTab[k]
+		fmt.Fprintf(w, "  Tpop[q%d][%s] = q%d", k.qb, m.afa.Syms.Name(k.sym), e.state)
+		if len(e.early) > 0 {
+			fmt.Fprintf(w, "  (early: %v)", e.early)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "Tbadd[qs][q] -> q:")
+	addKeys := make([]addKey, 0, len(m.addTab))
+	for k := range m.addTab {
+		addKeys = append(addKeys, k)
+	}
+	sort.Slice(addKeys, func(i, j int) bool {
+		a, b := addKeys[i], addKeys[j]
+		if a.qbs != b.qbs {
+			return a.qbs < b.qbs
+		}
+		return a.qaux < b.qaux
+	})
+	for _, k := range addKeys {
+		fmt.Fprintf(w, "  Tbadd[q%d][q%d] = q%d\n", k.qbs, k.qaux, m.addTab[k])
+	}
+
+	fmt.Fprintln(w, "Taccept (non-empty):")
+	for i := range m.bsets {
+		if acc := m.acceptOf(int32(i)); len(acc) > 0 {
+			fmt.Fprintf(w, "  Taccept[q%d] = %v\n", i, acc)
+		}
+	}
+	return nil
+}
+
+// qtForDump returns the top-down state to key dump lookups by (the basic
+// machine always uses 0).
+func (m *Machine) qtForDump() int32 { return 0 }

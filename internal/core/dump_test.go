@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpTables(t *testing.T) {
+	m := runningMachine(t, Options{})
+	if _, err := m.PrecomputeEager(10000); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.DumpTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"bottom-up states (22):",
+		"q0    = []",
+		"Tvalue (representative value -> state):",
+		"Tpop[q",
+		"Tbadd[q",
+		"Taccept (non-empty):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// The accepting states report both filters somewhere.
+	if !strings.Contains(out, "= [0 1]") {
+		t.Errorf("no state accepts both filters:\n%s", out)
+	}
+}
+
+func TestDumpTablesTopDown(t *testing.T) {
+	m := runningMachine(t, Options{TopDown: true})
+	if _, err := m.FilterDocument([]byte(`<a><b>1</b></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.DumpTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "top-down states") {
+		t.Errorf("top-down dump missing:\n%s", buf.String())
+	}
+}

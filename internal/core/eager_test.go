@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestEagerFig3Exactly22States: Example 3.2 states that the running
+// example's bottom-up XPush machine has exactly 22 bottom-up states
+// (q0..q21). The eager closure must reproduce that family precisely
+// (translated to our AFA numbering: paper state k maps as documented in
+// machine_test.go).
+func TestEagerFig3Exactly22States(t *testing.T) {
+	m := runningMachine(t, Options{})
+	n, err := m.PrecomputeEager(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 22 {
+		t.Fatalf("eager states = %d, want the paper's 22", n)
+	}
+	// The exact state family of Fig. 3/4, paper numbering translated via
+	// 1→0, 2→6, 3→2, 4→1, 5→3, 6→5, 7→4, 8→7, 9→12, 10→9, 11→8, 12→11,
+	// 13→10 and sorted.
+	want := []string{
+		"[]",               // q0
+		"[1 10]",           // q1  {4,13}
+		"[4 8]",            // q2  {7,11}
+		"[2 11]",           // q3  {3,12}
+		"[5 9]",            // q4  {6,10}
+		"[2 5 9 11]",       // q5  {3,6,10,12}
+		"[3]",              // q6  {5}
+		"[3 7]",            // q7  {5,8}
+		"[2 3 11]",         // q8  {3,5,12}
+		"[2 3 7 11]",       // q9  {3,5,8,12}
+		"[3 5 9]",          // q10 {5,6,10}
+		"[3 5 7 9]",        // q11 {5,6,8,10}
+		"[2 3 5 9 11]",     // q12 {3,5,6,10,12}
+		"[2 3 5 7 9 11]",   // q13 {3,5,6,8,10,12}
+		"[0 3]",            // q14 {1,5}
+		"[0 3 7]",          // q15 {1,5,8}
+		"[0 2 3 11]",       // q16 {1,3,5,12}
+		"[0 2 3 7 11]",     // q17 {1,3,5,8,12}
+		"[0 3 5 9]",        // q18 {1,5,6,10}
+		"[0 3 5 7 9]",      // q19 {1,5,6,8,10}
+		"[0 2 3 5 9 11]",   // q20 {1,3,5,6,10,12}
+		"[0 2 3 5 7 9 11]", // q21 {1,3,5,6,8,10,12}
+	}
+	var got []string
+	for i := 0; i < n; i++ {
+		got = append(got, fmt.Sprint(m.BStateSet(int32(i))))
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("state family differs from Fig. 3:\n got  %v\n want %v", got, want)
+		}
+	}
+}
+
+// TestEagerMachineRunsWithoutMisses: after eager construction the Fig. 3
+// document runs entirely on cache hits (the "completed" machine of Sec. 7).
+func TestEagerMachineRunsWithoutMisses(t *testing.T) {
+	m := runningMachine(t, Options{})
+	if _, err := m.PrecomputeEager(10000); err != nil {
+		t.Fatal(err)
+	}
+	states := m.Stats().BStates
+	l0, h0 := m.Stats().Lookups, m.Stats().Hits
+	got, err := m.FilterDocument([]byte(`<a><b>1</b><a c="3"><b>1</b></a></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1]" {
+		t.Fatalf("matches = %v", got)
+	}
+	st := m.Stats()
+	if st.BStates != states {
+		t.Errorf("eager machine created states at runtime: %d -> %d", states, st.BStates)
+	}
+	if st.Hits-h0 != st.Lookups-l0 {
+		t.Errorf("eager machine missed: %d/%d", st.Hits-h0, st.Lookups-l0)
+	}
+}
+
+func TestEagerRequiresBasicMachine(t *testing.T) {
+	m := runningMachine(t, Options{TopDown: true})
+	if _, err := m.PrecomputeEager(100); err == nil {
+		t.Error("eager construction must reject top-down machines")
+	}
+}
+
+// TestLazyAvoidsEagerBlowup reproduces the Sec. 4 argument for laziness:
+// n phone-equality filters need ~2^n eager states, but if every person in
+// the data has one phone (or occasionally two), the lazy machine builds
+// only slightly more than n.
+func TestLazyAvoidsEagerBlowup(t *testing.T) {
+	const n = 12
+	queries := make([]string, n)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("/person[phone=%d]", i)
+	}
+	m := New(compileWorkload(t, queries...), Options{})
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf("<person><phone>%d</phone></person>", i)
+		if got, err := m.FilterDocument([]byte(doc)); err != nil || len(got) != 1 {
+			t.Fatalf("doc %d: %v %v", i, got, err)
+		}
+	}
+	// Occasionally two phones.
+	if _, err := m.FilterDocument([]byte("<person><phone>3</phone><phone>7</phone></person>")); err != nil {
+		t.Fatal(err)
+	}
+	states := m.Stats().BStates
+	// Paper: "at most n+1 states" with single phones, "n(n-1)/2" with
+	// pairs; allow the value/interval states on top.
+	if states > 4*n {
+		t.Errorf("lazy machine built %d states for n=%d (expected O(n))", states, n)
+	}
+}
+
+func TestEagerMaxStatesBound(t *testing.T) {
+	queries := make([]string, 12)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("/person[phone=%d]", i)
+	}
+	m := New(compileWorkload(t, queries...), Options{})
+	// 12 independent phone predicates: the eager machine needs 2^12
+	// subsets (the paper's person/phone example, Sec. 4); a small cap
+	// must trip.
+	if _, err := m.PrecomputeEager(500); err == nil {
+		t.Error("expected the exponential workload to exceed the cap")
+	}
+}

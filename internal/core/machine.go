@@ -1,0 +1,713 @@
+// Package core implements the XPush Machine of the paper (Sec. 3-5): a
+// single deterministic pushdown automaton, lazily constructed at runtime,
+// that evaluates an entire workload of XPath filters over a stream of SAX
+// events in O(1) time per event.
+//
+// A bottom-up state q^b is a set of AFA states — the states that have
+// matched the current XML node so far; a top-down state q^t (when top-down
+// pruning is enabled) is the set of enabled AFA states. Both are interned as
+// sorted arrays with 64-bit signatures (Sec. 4). The six transition
+// functions tpush, tvalue, tpop, tbadd, ttadd, taccept are realised as
+// lazily filled hash tables; the paper's "hit ratio" statistic counts their
+// lookups.
+//
+// Deviations from the paper's Fig. 2 pseudo-code are deliberate and
+// documented in DESIGN.md:
+//
+//   - text(str) merges the value state into q^b instead of overwriting it,
+//     so documents mixing attributes and text (<a c="2"> 1 </a>, which
+//     Sec. 3.2 requires to work) are handled;
+//   - purely structural sub-filters use TrueTerminal states that are
+//     injected into eval at every endElement instead of being stored in
+//     states;
+//   - the no-mixed-content pruning of Sec. 3.2 is unnecessary under lazy
+//     construction (states that never occur are never built), so mixed
+//     content is processed with union semantics and merely counted; a
+//     strict mode reports it as an error.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/afa"
+	"repro/internal/predindex"
+	"repro/internal/sax"
+	"repro/internal/xmlval"
+)
+
+// Order is the sibling partial order consumed by the order optimization
+// (satisfied by *dtd.Order).
+type Order interface {
+	Precedes(a, b string) bool
+}
+
+// Options selects the optimizations of Sec. 5.
+type Options struct {
+	// TopDown enables top-down pruning: bottom-up computation starts only
+	// at branches enabled by the downward navigation.
+	TopDown bool
+	// Order, when non-nil, enables the order optimization using the
+	// sibling partial order (usually derived from a DTD).
+	Order Order
+	// Early enables early notification: a filter is reported as soon as
+	// its first branching state matches, and its states are dropped from
+	// subsequent XPush states. Implies TopDown (required for
+	// correctness, Sec. 5). Firings only count for states enabled in the
+	// current top-down state, and with descendant axes in the workload
+	// the machine additionally intersects the bottom-up state with the
+	// top-down state after every pop — the two halves of the paper's
+	// "intersect bottom-up with top-down" correction. Filters whose
+	// first branching state can fire through a not(...) branch opt out
+	// entirely (see afa.QueryInfo.Early).
+	Early bool
+	// PrecomputeValues eagerly computes the atomic predicate index's
+	// point-interval value states (Sec. 4, "State Precomputation"). Only
+	// effective without TopDown: with top-down pruning, value states
+	// depend on the top-down state and cannot be precomputed — exactly
+	// the deficiency the paper observes for TD in isolation — but
+	// training regenerates them.
+	PrecomputeValues bool
+	// StrictMixedContent makes mixed element/text content an error
+	// reported by Err; by default it is processed with union semantics
+	// and counted in Stats.
+	StrictMixedContent bool
+	// MaxStates, when positive, caps the number of interned bottom-up
+	// states: at the next document boundary past the cap, all lazily
+	// built states and tables are flushed ("equivalent to flushing an
+	// entire cache", Sec. 8). Zero means unlimited.
+	MaxStates int
+}
+
+// Stats exposes the machine's runtime counters, which drive every figure of
+// the paper's evaluation section.
+type Stats struct {
+	// BStates and TStates count interned bottom-up / top-down states.
+	BStates int
+	TStates int
+	// BStateAFASum is the total number of AFA states across all interned
+	// bottom-up states; BStateAFASum/BStates is the paper's "average
+	// size of each state" (Figs. 7 and 11).
+	BStateAFASum int64
+	// Lookups and Hits count transition-table lookups and successful
+	// ones (Fig. 8's hit ratio).
+	Lookups, Hits int64
+	// Docs and Events count processed documents and SAX events.
+	Docs, Events int64
+	// Matches counts reported (document, filter) match pairs.
+	Matches int64
+	// MixedContentEvents counts violations of the no-mixed-content
+	// assumption.
+	MixedContentEvents int64
+	// Flushes counts MaxStates cache flushes.
+	Flushes int64
+}
+
+// AvgStateSize returns the mean number of AFA states per XPush state.
+func (s Stats) AvgStateSize() float64 {
+	if s.BStates == 0 {
+		return 0
+	}
+	return float64(s.BStateAFASum) / float64(s.BStates)
+}
+
+// HitRatio returns Hits/Lookups.
+func (s Stats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type pushKey struct {
+	qt  int32
+	sym int32
+}
+
+type popKey struct {
+	qb  int32
+	qt  int32
+	sym int32
+}
+
+type addKey struct {
+	qbs  int32
+	qaux int32
+}
+
+type valueKey struct {
+	qt       int32
+	interval int64
+}
+
+// entry is a transition-table value: the resulting state plus the filter
+// oids whose early state fired while computing it.
+type entry struct {
+	state int32
+	early []int32
+}
+
+type frame struct {
+	qt, qb       int32
+	sawText      bool
+	sawElemChild bool
+}
+
+// Machine is a lazy XPush machine. It implements sax.Handler; one Machine
+// serves one stream (it is not safe for concurrent use).
+type Machine struct {
+	afa   *afa.AFA
+	opts  Options
+	ev    *afa.Evaluator
+	index *predindex.Index
+
+	// Interned states. Id 0 is the empty bottom-up state q0^b and the
+	// initial top-down state q0^t respectively.
+	bsets   [][]int32
+	bintern map[uint64][]int32
+	baccept [][]int32
+	tsets   [][]int32
+	tintern map[uint64][]int32
+	ttOf    [][]int32 // per top-down state: enabled TrueTerminals
+
+	pushTab  map[pushKey]int32
+	popTab   map[popKey]entry
+	addTab   map[addKey]int32
+	valueTab map[valueKey]entry
+	sectTab  map[addKey]int32
+
+	isEarly     []bool // per AFA state
+	needIsect   bool   // early + descendant: intersect after pops
+	earlyOn     bool
+	trueTermAll []int32
+
+	// Run state.
+	qt, qb  int32
+	stack   []frame
+	cur     frame // flags of the current element
+	matched []bool
+	results []int32
+	inDoc   bool
+	err     error
+
+	stats    Stats
+	training bool
+
+	// OnDocument, when set, receives the sorted oids of matching filters
+	// at every endDocument.
+	OnDocument func(matches []int32)
+
+	scratch  []int32
+	scratch2 []int32
+}
+
+// New builds a lazy XPush machine for a compiled AFA. The machine takes
+// ownership of the AFA (ApplyOrder mutates it).
+func New(a *afa.AFA, opts Options) *Machine {
+	if opts.Early {
+		opts.TopDown = true // required for correctness (Sec. 5)
+	}
+	m := &Machine{
+		afa:     a,
+		opts:    opts,
+		ev:      a.NewEvaluator(),
+		matched: make([]bool, len(a.Queries)),
+	}
+	b := predindex.NewBuilder()
+	a.EachLeafTerminal(func(s int32, op xmlval.Op, c xmlval.Const) {
+		b.Add(s, op, c)
+	})
+	m.index = b.Build()
+	if opts.Order != nil {
+		a.ApplyOrder(opts.Order)
+	}
+	m.isEarly = make([]bool, a.NumStates())
+	for _, q := range a.Queries {
+		if q.Early >= 0 {
+			m.isEarly[q.Early] = true
+		}
+	}
+	m.earlyOn = opts.Early
+	m.needIsect = opts.Early && a.HasDescendant()
+	m.trueTermAll = a.TrueTerminals()
+	m.reset()
+	return m
+}
+
+// reset drops all lazily built states and tables (the cache-flush of
+// Sec. 8's update discussion and of the MaxStates cap).
+func (m *Machine) reset() {
+	m.bsets = [][]int32{nil}
+	m.bintern = make(map[uint64][]int32)
+	m.baccept = [][]int32{nil}
+	m.tsets = [][]int32{nil}
+	m.tintern = make(map[uint64][]int32)
+	m.ttOf = [][]int32{nil}
+	if m.opts.TopDown {
+		m.tsets[0] = m.afa.Initials()
+		m.ttOf[0] = intersectSorted(m.trueTermAll, m.tsets[0], nil)
+	} else {
+		m.ttOf[0] = m.trueTermAll
+	}
+	m.pushTab = make(map[pushKey]int32)
+	m.popTab = make(map[popKey]entry)
+	m.addTab = make(map[addKey]int32)
+	m.valueTab = make(map[valueKey]entry)
+	m.sectTab = make(map[addKey]int32)
+	m.stats.BStates = 1
+	m.stats.TStates = 1
+	m.stats.BStateAFASum = 0
+	if m.opts.PrecomputeValues && !m.opts.TopDown {
+		for _, v := range m.index.Representatives() {
+			m.valueState(0, v)
+		}
+	}
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Err reports the first strict-mode violation encountered, if any.
+func (m *Machine) Err() error { return m.err }
+
+// Results returns the match oids of the most recently completed document.
+func (m *Machine) Results() []int32 { return m.results }
+
+// NumQueries returns the workload size.
+func (m *Machine) NumQueries() int { return len(m.afa.Queries) }
+
+// internB interns a sorted AFA-state set as a bottom-up state.
+func (m *Machine) internB(set []int32) int32 {
+	if len(set) == 0 {
+		return 0
+	}
+	h := hashIDs(set)
+	for _, id := range m.bintern[h] {
+		if equalIDs(m.bsets[id], set) {
+			return id
+		}
+	}
+	cp := make([]int32, len(set))
+	copy(cp, set)
+	id := int32(len(m.bsets))
+	m.bsets = append(m.bsets, cp)
+	m.baccept = append(m.baccept, nil)
+	m.bintern[h] = append(m.bintern[h], id)
+	m.stats.BStates++
+	m.stats.BStateAFASum += int64(len(set))
+	return id
+}
+
+// internT interns a sorted AFA-state set as a top-down state and caches its
+// enabled TrueTerminal subset. Unlike bottom-up states, the empty set is NOT
+// id 0: id 0 is the initial state q0^t, which is non-empty under top-down
+// pruning.
+func (m *Machine) internT(set []int32) int32 {
+	if equalIDs(set, m.tsets[0]) {
+		return 0
+	}
+	h := hashIDs(set)
+	for _, id := range m.tintern[h] {
+		if equalIDs(m.tsets[id], set) {
+			return id
+		}
+	}
+	cp := make([]int32, len(set))
+	copy(cp, set)
+	id := int32(len(m.tsets))
+	m.tsets = append(m.tsets, cp)
+	m.ttOf = append(m.ttOf, intersectSorted(m.trueTermAll, cp, nil))
+	m.tintern[h] = append(m.tintern[h], id)
+	m.stats.TStates++
+	return id
+}
+
+// StartDocument implements sax.Handler.
+func (m *Machine) StartDocument() {
+	if m.opts.MaxStates > 0 && len(m.bsets) > m.opts.MaxStates {
+		m.reset()
+		m.stats.Flushes++
+	}
+	m.qt, m.qb = 0, 0
+	m.stack = m.stack[:0]
+	m.cur = frame{}
+	for i := range m.matched {
+		m.matched[i] = false
+	}
+	m.results = m.results[:0]
+	m.inDoc = true
+	m.stats.Events++
+	m.stats.Docs++
+}
+
+// StartElement implements sax.Handler (the tpush transition).
+func (m *Machine) StartElement(name string) {
+	m.stats.Events++
+	sym := m.afa.Syms.InputSym(name)
+	isAttr := m.afa.Syms.IsAttr(sym)
+	if !isAttr {
+		if m.cur.sawText {
+			m.mixedContent()
+		}
+		m.cur.sawElemChild = true
+	}
+	m.stack = append(m.stack, frame{qt: m.qt, qb: m.qb, sawText: m.cur.sawText, sawElemChild: m.cur.sawElemChild})
+	m.cur = frame{}
+	if m.opts.TopDown {
+		m.qt = m.pushState(m.qt, sym)
+	}
+	m.qb = 0
+}
+
+// pushState computes tpush(qt, sym) = close({δ(s, sym) | s ∈ qt}) lazily.
+func (m *Machine) pushState(qt, sym int32) int32 {
+	key := pushKey{qt: qt, sym: sym}
+	m.stats.Lookups++
+	if id, ok := m.pushTab[key]; ok {
+		m.stats.Hits++
+		return id
+	}
+	m.scratch = m.scratch[:0]
+	for _, s := range m.tsets[qt] {
+		m.scratch = m.afa.Delta(s, sym, m.scratch)
+	}
+	sort.Slice(m.scratch, func(i, j int) bool { return m.scratch[i] < m.scratch[j] })
+	closed := m.ev.CloseEps(dedupSorted(m.scratch))
+	id := m.internT(closed)
+	m.pushTab[key] = id
+	return id
+}
+
+// Text implements sax.Handler (the tvalue transition, merged into q^b).
+func (m *Machine) Text(data string) {
+	m.stats.Events++
+	if m.cur.sawElemChild {
+		m.mixedContent()
+	}
+	m.cur.sawText = true
+	vb := m.valueState(m.qt, xmlval.New(data))
+	if vb != 0 {
+		m.qb = m.addStates(m.qb, vb)
+	}
+}
+
+// valueState computes tvalue(qt, v): the interned state of leaf terminals
+// whose predicate holds on v (restricted to enabled states under top-down
+// pruning).
+func (m *Machine) valueState(qt int32, v xmlval.Value) int32 {
+	cacheable := !m.index.HasStringFuncs()
+	var key valueKey
+	if cacheable {
+		key = valueKey{qt: qt, interval: m.index.IntervalKey(v)}
+		m.stats.Lookups++
+		if e, ok := m.valueTab[key]; ok {
+			m.stats.Hits++
+			m.recordEarly(e.early)
+			return e.state
+		}
+	}
+	ids := m.index.Match(v)
+	if m.opts.TopDown {
+		m.scratch = intersectSorted(ids, m.tsets[qt], m.scratch[:0])
+		ids = m.scratch
+	}
+	e := m.stripEarly(ids)
+	if len(e.early) > 0 {
+		// Intern without the matched filters' states.
+		e.state = m.internB(m.scratch2)
+	} else {
+		e.state = m.internB(ids)
+	}
+	if cacheable {
+		m.valueTab[key] = e
+	}
+	m.recordEarly(e.early)
+	return e.state
+}
+
+// stripEarly scans a set for early states; when any fire, it writes the set
+// minus all states of the matched filters into m.scratch2 and returns their
+// oids.
+func (m *Machine) stripEarly(set []int32) entry {
+	if !m.earlyOn {
+		return entry{}
+	}
+	var oids []int32
+	for _, s := range set {
+		if m.isEarly[s] {
+			oids = appendOid(oids, m.afa.QueryOf(s))
+		}
+	}
+	if len(oids) == 0 {
+		return entry{}
+	}
+	m.scratch2 = m.scratch2[:0]
+	for _, s := range set {
+		if !containsSorted(oids, m.afa.QueryOf(s)) {
+			m.scratch2 = append(m.scratch2, s)
+		}
+	}
+	return entry{early: oids}
+}
+
+func appendOid(oids []int32, q int32) []int32 {
+	if containsSorted(oids, q) {
+		return oids
+	}
+	oids = append(oids, q)
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}
+
+func (m *Machine) recordEarly(oids []int32) {
+	for _, q := range oids {
+		if !m.matched[q] {
+			m.matched[q] = true
+			m.results = append(m.results, q)
+		}
+	}
+}
+
+// EndElement implements sax.Handler (tpop followed by tbadd/ttadd).
+func (m *Machine) EndElement(name string) {
+	m.stats.Events++
+	if len(m.stack) == 0 {
+		// Malformed event sequence (only possible via Drive on
+		// hand-built events; the scanners guarantee balance).
+		return
+	}
+	sym := m.afa.Syms.InputSym(name)
+	qaux := m.popState(m.qb, m.qt, sym)
+	top := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	if m.needIsect && qaux != 0 && top.qt != 0 {
+		qaux = m.intersectState(qaux, top.qt)
+	}
+	m.qt = top.qt // ttadd(qt_s, qaux) = qt_s
+	m.qb = m.addStates(top.qb, qaux)
+	m.cur = frame{sawText: top.sawText, sawElemChild: top.sawElemChild}
+}
+
+// popState computes tpop(qb, sym) = δ⁻¹(eval(qb ∪ TT_enabled), sym) lazily.
+// The top-down state participates in the key because the TrueTerminal
+// injection depends on it.
+func (m *Machine) popState(qb, qt, sym int32) int32 {
+	key := popKey{qb: qb, qt: qt, sym: sym}
+	m.stats.Lookups++
+	if e, ok := m.popTab[key]; ok {
+		m.stats.Hits++
+		m.recordEarly(e.early)
+		return e.state
+	}
+	evaled := m.ev.Eval(m.bsets[qb], m.ttOf[qt])
+	res := m.afa.DeltaInv(evaled, sym, m.scratch[:0])
+	m.scratch = res
+	var e entry
+	if m.earlyOn {
+		// Early states become true in the eval closure; scan it. A
+		// firing counts only when the state is enabled in the current
+		// top-down state: eval adds NOT states (and AND states whose
+		// conjuncts include position-sloppy descendant branches) at
+		// arbitrary nodes, and qt membership is what pins the firing
+		// to a node that actually matches the filter's navigation —
+		// the bottom-up ∩ top-down correction of Sec. 5.
+		for _, s := range evaled {
+			if m.isEarly[s] && containsSorted(m.tsets[qt], s) {
+				e.early = appendOid(e.early, m.afa.QueryOf(s))
+			}
+		}
+		if len(e.early) > 0 {
+			m.scratch2 = m.scratch2[:0]
+			for _, s := range res {
+				if !containsSorted(e.early, m.afa.QueryOf(s)) {
+					m.scratch2 = append(m.scratch2, s)
+				}
+			}
+			res = m.scratch2
+		}
+	}
+	e.state = m.internB(res)
+	m.popTab[key] = e
+	m.recordEarly(e.early)
+	return e.state
+}
+
+// intersectState implements the early-notification descendant fix: keep only
+// the bottom-up states enabled in the parent's top-down state.
+func (m *Machine) intersectState(qaux, qt int32) int32 {
+	key := addKey{qbs: qaux, qaux: qt}
+	m.stats.Lookups++
+	if id, ok := m.sectTab[key]; ok {
+		m.stats.Hits++
+		return id
+	}
+	out := intersectSorted(m.bsets[qaux], m.tsets[qt], m.scratch[:0])
+	m.scratch = out
+	id := m.internB(out)
+	m.sectTab[key] = id
+	return id
+}
+
+// addStates computes tbadd(qbs, qaux) = qbs ∪ qaux lazily, with the order
+// optimization's filter {s ∈ qaux | prec(s) ⊆ qbs} when enabled.
+func (m *Machine) addStates(qbs, qaux int32) int32 {
+	if qaux == 0 {
+		return qbs
+	}
+	if qbs == 0 && m.opts.Order == nil {
+		return qaux
+	}
+	key := addKey{qbs: qbs, qaux: qaux}
+	m.stats.Lookups++
+	if id, ok := m.addTab[key]; ok {
+		m.stats.Hits++
+		return id
+	}
+	b := m.bsets[qbs]
+	add := m.bsets[qaux]
+	if m.opts.Order != nil {
+		m.scratch2 = m.scratch2[:0]
+		for _, s := range add {
+			if p := m.afa.Prec(s); len(p) == 0 || subsetOfSorted(p, b) {
+				m.scratch2 = append(m.scratch2, s)
+			}
+		}
+		add = m.scratch2
+	}
+	out := unionSorted(b, add, m.scratch[:0])
+	m.scratch = out
+	id := m.internB(out)
+	m.addTab[key] = id
+	return id
+}
+
+// EndDocument implements sax.Handler (taccept plus early matches).
+func (m *Machine) EndDocument() {
+	m.stats.Events++
+	m.inDoc = false
+	for _, q := range m.acceptOf(m.qb) {
+		if !m.matched[q] {
+			m.matched[q] = true
+			m.results = append(m.results, q)
+		}
+	}
+	sort.Slice(m.results, func(i, j int) bool { return m.results[i] < m.results[j] })
+	m.stats.Matches += int64(len(m.results))
+	if m.OnDocument != nil && !m.training {
+		m.OnDocument(m.results)
+	}
+}
+
+// acceptOf computes taccept(qb): the oids whose initial AFA state is in the
+// set. Results are cached per state.
+func (m *Machine) acceptOf(qb int32) []int32 {
+	if qb == 0 {
+		return nil
+	}
+	if acc := m.baccept[qb]; acc != nil {
+		return acc
+	}
+	m.scratch = intersectSorted(m.bsets[qb], m.afa.Initials(), m.scratch[:0])
+	acc := make([]int32, 0, len(m.scratch))
+	for _, s := range m.scratch {
+		acc = append(acc, m.afa.QueryOf(s))
+	}
+	sort.Slice(acc, func(i, j int) bool { return acc[i] < acc[j] })
+	if len(acc) == 0 {
+		acc = emptyAccept
+	}
+	m.baccept[qb] = acc
+	return acc
+}
+
+var emptyAccept = make([]int32, 0)
+
+func (m *Machine) mixedContent() {
+	m.stats.MixedContentEvents++
+	if m.opts.StrictMixedContent && m.err == nil {
+		m.err = fmt.Errorf("xpush: mixed element/text content encountered (document %d)", m.stats.Docs)
+	}
+}
+
+// Run streams one or more concatenated XML documents through the machine.
+// Match sets are delivered via OnDocument.
+func (m *Machine) Run(data []byte) error {
+	if err := sax.Parse(data, m); err != nil {
+		return err
+	}
+	return m.err
+}
+
+// FilterDocument processes a single document and returns the sorted oids of
+// matching filters.
+func (m *Machine) FilterDocument(data []byte) ([]int32, error) {
+	if err := sax.Parse(data, m); err != nil {
+		return nil, err
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	out := make([]int32, len(m.results))
+	copy(out, m.results)
+	return out, nil
+}
+
+// Train runs the machine over training data (Sec. 5): states created here
+// persist, warming the caches, but lookup statistics and document counters
+// are reset afterwards so subsequent measurements reflect the warmed
+// machine.
+func (m *Machine) Train(data []byte) error {
+	m.training = true
+	err := sax.Parse(data, m)
+	m.training = false
+	m.stats.Lookups = 0
+	m.stats.Hits = 0
+	m.stats.Docs = 0
+	m.stats.Events = 0
+	m.stats.Matches = 0
+	return err
+}
+
+func dedupSorted(ids []int32) []int32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// ApproxMemoryBytes estimates the memory held by the lazily built states
+// and transition tables (state arrays plus table entries; map overhead
+// approximated at 3x entry payload). It backs the paper's observation that
+// total memory grows slightly above linearly with the workload
+// (Figs. 6 + 7 combined).
+func (m *Machine) ApproxMemoryBytes() int64 {
+	var b int64
+	b += 4 * m.stats.BStateAFASum // bottom-up state arrays
+	for _, t := range m.tsets {
+		b += 4 * int64(len(t))
+	}
+	const mapFactor = 3
+	b += mapFactor * int64(len(m.pushTab)) * 12
+	b += mapFactor * int64(len(m.popTab)) * 24
+	b += mapFactor * int64(len(m.addTab)) * 12
+	b += mapFactor * int64(len(m.valueTab)) * 28
+	b += mapFactor * int64(len(m.sectTab)) * 12
+	return b
+}
+
+// BStateSet exposes an interned bottom-up state's AFA set (for tests and
+// debugging).
+func (m *Machine) BStateSet(id int32) []int32 { return m.bsets[id] }
+
+// Current returns the current (top-down, bottom-up) state ids.
+func (m *Machine) Current() (qt, qb int32) { return m.qt, m.qb }
+
+// StackDepth returns the current stack depth.
+func (m *Machine) StackDepth() int { return len(m.stack) }

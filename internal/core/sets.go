@@ -1,0 +1,106 @@
+package core
+
+// Sorted-int32-set helpers. XPush states are sorted arrays of AFA state ids
+// (Sec. 4: "an XPush state is represented as a sorted array of AFA states,
+// plus a 32 bit signature"); all operations below preserve sortedness so no
+// explicit re-sorting is ever required.
+
+// hashIDs computes the FNV-1a signature of a sorted id array.
+func hashIDs(ids []int32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		x := uint32(id)
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(x))
+			h *= prime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionSorted merges two sorted sets into out (a merge-join, per Sec. 4:
+// "tbadd implies a merge-join of two sorted arrays").
+func unionSorted(a, b, out []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// intersectSorted appends a ∩ b to out.
+func intersectSorted(a, b, out []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether a sorted set contains id.
+func containsSorted(set []int32, id int32) bool {
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if set[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == id
+}
+
+// subsetOfSorted reports whether every element of sub (sorted) is in set
+// (sorted).
+func subsetOfSorted(sub, set []int32) bool {
+	j := 0
+	for _, x := range sub {
+		for j < len(set) && set[j] < x {
+			j++
+		}
+		if j >= len(set) || set[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// normalize turns an arbitrary int32 slice into a sorted set.
+func normalize(in []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range in {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func isSet(a []int32) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnionSortedProperties(t *testing.T) {
+	f := func(x, y []int32) bool {
+		a, b := normalize(x), normalize(y)
+		u := unionSorted(a, b, nil)
+		if !isSet(u) {
+			return false
+		}
+		// u ⊇ a, u ⊇ b, and every element of u is in a or b.
+		if !subsetOfSorted(a, u) || !subsetOfSorted(b, u) {
+			return false
+		}
+		for _, e := range u {
+			if !containsSorted(a, e) && !containsSorted(b, e) {
+				return false
+			}
+		}
+		// Commutative.
+		v := unionSorted(b, a, nil)
+		return equalIDs(u, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectSortedProperties(t *testing.T) {
+	f := func(x, y []int32) bool {
+		a, b := normalize(x), normalize(y)
+		s := intersectSorted(a, b, nil)
+		if !isSet(s) {
+			return false
+		}
+		for _, e := range s {
+			if !containsSorted(a, e) || !containsSorted(b, e) {
+				return false
+			}
+		}
+		// Every common element appears.
+		for _, e := range a {
+			if containsSorted(b, e) && !containsSorted(s, e) {
+				return false
+			}
+		}
+		// Intersection is a subset of the union.
+		return subsetOfSorted(s, unionSorted(a, b, nil))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetOfSortedProperties(t *testing.T) {
+	f := func(x, y []int32) bool {
+		a, b := normalize(x), normalize(y)
+		want := true
+		for _, e := range a {
+			if !containsSorted(b, e) {
+				want = false
+				break
+			}
+		}
+		if subsetOfSorted(a, b) != want {
+			return false
+		}
+		// Reflexive, and everything contains the empty set.
+		return subsetOfSorted(a, a) && subsetOfSorted(nil, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsSortedMatchesLinearScan(t *testing.T) {
+	f := func(x []int32, probe int32) bool {
+		a := normalize(x)
+		want := false
+		for _, e := range a {
+			if e == probe {
+				want = true
+			}
+		}
+		return containsSorted(a, probe) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashIDsProperties(t *testing.T) {
+	// Equal sets hash equal; hash must depend on content and length.
+	f := func(x []int32) bool {
+		a := normalize(x)
+		b := append([]int32(nil), a...)
+		if hashIDs(a) != hashIDs(b) {
+			return false
+		}
+		if len(a) > 0 {
+			mutated := append([]int32(nil), a...)
+			mutated[0]++
+			if hashIDs(mutated) == hashIDs(a) && !equalIDs(mutated, a) {
+				// A single collision is possible in principle but
+				// astronomically unlikely for FNV-64 on short inputs;
+				// treat it as a failure to surface bugs.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if hashIDs(nil) != hashIDs([]int32{}) {
+		t.Error("nil and empty must hash equal")
+	}
+	if hashIDs([]int32{0}) == hashIDs(nil) {
+		t.Error("zero-element set must differ from empty")
+	}
+}
+
+func TestEqualIDs(t *testing.T) {
+	if !equalIDs(nil, nil) || !equalIDs([]int32{1, 2}, []int32{1, 2}) {
+		t.Error("equal sets misreported")
+	}
+	if equalIDs([]int32{1}, []int32{1, 2}) || equalIDs([]int32{1, 2}, []int32{1, 3}) {
+		t.Error("unequal sets misreported")
+	}
+}

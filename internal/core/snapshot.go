@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Machine state snapshots: a broker can persist its lazily built (or
+// trained) state tables and restart warm, instead of re-paying lazy
+// construction after every restart — the operational complement to the
+// paper's training optimization. The snapshot is tied to the exact workload
+// and option set via a fingerprint; loading into a machine built from a
+// different workload is rejected.
+
+const snapshotMagic uint64 = 0x5850555348534e31 // "XPUSHSN1"
+
+// Fingerprint identifies the (workload, options) pair a snapshot belongs
+// to.
+func (m *Machine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var opts uint64
+	if m.opts.TopDown {
+		opts |= 1
+	}
+	if m.opts.Order != nil {
+		opts |= 2
+	}
+	if m.opts.Early {
+		opts |= 4
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], opts)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.afa.NumStates()))
+	h.Write(buf[:])
+	for _, q := range m.afa.Queries {
+		io.WriteString(h, q.Source)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+type snapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (sw *snapWriter) u64(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, sw.err = sw.w.Write(buf[:])
+}
+
+func (sw *snapWriter) i32(v int32) { sw.u64(uint64(uint32(v))) }
+
+func (sw *snapWriter) ids(s []int32) {
+	sw.u64(uint64(len(s)))
+	for _, v := range s {
+		sw.i32(v)
+	}
+}
+
+type snapReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (sr *snapReader) u64() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(sr.r, buf[:]); err != nil {
+		sr.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (sr *snapReader) i32() int32 { return int32(uint32(sr.u64())) }
+
+func (sr *snapReader) ids() []int32 {
+	n := sr.u64()
+	if sr.err != nil || n > 1<<28 {
+		if sr.err == nil {
+			sr.err = fmt.Errorf("xpush: corrupt snapshot (slice length %d)", n)
+		}
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = sr.i32()
+	}
+	return out
+}
+
+// WriteSnapshot serialises the machine's interned states and transition
+// tables.
+func (m *Machine) WriteSnapshot(w io.Writer) error {
+	sw := &snapWriter{w: bufio.NewWriter(w)}
+	sw.u64(snapshotMagic)
+	sw.u64(m.Fingerprint())
+
+	sw.u64(uint64(len(m.bsets)))
+	for _, s := range m.bsets {
+		sw.ids(s)
+	}
+	sw.u64(uint64(len(m.tsets)))
+	for _, s := range m.tsets {
+		sw.ids(s)
+	}
+	sw.u64(uint64(len(m.pushTab)))
+	for k, v := range m.pushTab {
+		sw.i32(k.qt)
+		sw.i32(k.sym)
+		sw.i32(v)
+	}
+	sw.u64(uint64(len(m.popTab)))
+	for k, v := range m.popTab {
+		sw.i32(k.qb)
+		sw.i32(k.qt)
+		sw.i32(k.sym)
+		sw.i32(v.state)
+		sw.ids(v.early)
+	}
+	sw.u64(uint64(len(m.addTab)))
+	for k, v := range m.addTab {
+		sw.i32(k.qbs)
+		sw.i32(k.qaux)
+		sw.i32(v)
+	}
+	sw.u64(uint64(len(m.valueTab)))
+	for k, v := range m.valueTab {
+		sw.i32(k.qt)
+		sw.u64(uint64(k.interval))
+		sw.i32(v.state)
+		sw.ids(v.early)
+	}
+	sw.u64(uint64(len(m.sectTab)))
+	for k, v := range m.sectTab {
+		sw.i32(k.qbs)
+		sw.i32(k.qaux)
+		sw.i32(v)
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// ReadSnapshot restores a snapshot into a machine built from the same
+// workload and options, replacing any lazily built state. The machine must
+// not be mid-document.
+func (m *Machine) ReadSnapshot(r io.Reader) error {
+	if m.inDoc {
+		return fmt.Errorf("xpush: cannot load a snapshot mid-document")
+	}
+	sr := &snapReader{r: bufio.NewReader(r)}
+	if sr.u64() != snapshotMagic {
+		return fmt.Errorf("xpush: not a machine snapshot")
+	}
+	if fp := sr.u64(); fp != m.Fingerprint() {
+		return fmt.Errorf("xpush: snapshot fingerprint mismatch (different workload or options)")
+	}
+
+	nB := sr.u64()
+	if sr.err != nil || nB == 0 || nB > 1<<28 {
+		return fmt.Errorf("xpush: corrupt snapshot: %v", sr.err)
+	}
+	bsets := make([][]int32, nB)
+	for i := range bsets {
+		bsets[i] = sr.ids()
+	}
+	nT := sr.u64()
+	if sr.err != nil || nT == 0 || nT > 1<<28 {
+		return fmt.Errorf("xpush: corrupt snapshot: %v", sr.err)
+	}
+	tsets := make([][]int32, nT)
+	for i := range tsets {
+		tsets[i] = sr.ids()
+	}
+	pushTab := make(map[pushKey]int32)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		k := pushKey{qt: sr.i32(), sym: sr.i32()}
+		pushTab[k] = sr.i32()
+	}
+	popTab := make(map[popKey]entry)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		k := popKey{qb: sr.i32(), qt: sr.i32(), sym: sr.i32()}
+		e := entry{state: sr.i32()}
+		e.early = sr.ids()
+		if len(e.early) == 0 {
+			e.early = nil
+		}
+		popTab[k] = e
+	}
+	addTab := make(map[addKey]int32)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		k := addKey{qbs: sr.i32(), qaux: sr.i32()}
+		addTab[k] = sr.i32()
+	}
+	valueTab := make(map[valueKey]entry)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		k := valueKey{qt: sr.i32(), interval: int64(sr.u64())}
+		e := entry{state: sr.i32()}
+		e.early = sr.ids()
+		if len(e.early) == 0 {
+			e.early = nil
+		}
+		valueTab[k] = e
+	}
+	sectTab := make(map[addKey]int32)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		k := addKey{qbs: sr.i32(), qaux: sr.i32()}
+		sectTab[k] = sr.i32()
+	}
+	if sr.err != nil {
+		return fmt.Errorf("xpush: corrupt snapshot: %v", sr.err)
+	}
+
+	// Validate state references before installing.
+	checkB := func(id int32) error {
+		if id < 0 || int(id) >= len(bsets) {
+			return fmt.Errorf("xpush: corrupt snapshot: bottom-up state %d out of range", id)
+		}
+		return nil
+	}
+	checkT := func(id int32) error {
+		if id < 0 || int(id) >= len(tsets) {
+			return fmt.Errorf("xpush: corrupt snapshot: top-down state %d out of range", id)
+		}
+		return nil
+	}
+	nStates := int32(m.afa.NumStates())
+	for _, set := range bsets {
+		for _, s := range set {
+			if s < 0 || s >= nStates {
+				return fmt.Errorf("xpush: corrupt snapshot: AFA state %d out of range", s)
+			}
+		}
+	}
+	for k, v := range pushTab {
+		if err := checkT(k.qt); err != nil {
+			return err
+		}
+		if err := checkT(v); err != nil {
+			return err
+		}
+	}
+	for k, v := range popTab {
+		if err := checkB(k.qb); err != nil {
+			return err
+		}
+		if err := checkT(k.qt); err != nil {
+			return err
+		}
+		if err := checkB(v.state); err != nil {
+			return err
+		}
+	}
+	for k, v := range addTab {
+		if err := checkB(k.qbs); err != nil {
+			return err
+		}
+		if err := checkB(k.qaux); err != nil {
+			return err
+		}
+		if err := checkB(v); err != nil {
+			return err
+		}
+	}
+	for k, v := range valueTab {
+		if err := checkT(k.qt); err != nil {
+			return err
+		}
+		if err := checkB(v.state); err != nil {
+			return err
+		}
+	}
+	for k, v := range sectTab {
+		if err := checkB(k.qbs); err != nil {
+			return err
+		}
+		if err := checkT(k.qaux); err != nil {
+			return err
+		}
+		if err := checkB(v); err != nil {
+			return err
+		}
+	}
+
+	// Install: rebuild intern indexes and derived caches.
+	m.bsets = bsets
+	m.bintern = make(map[uint64][]int32, len(bsets))
+	m.baccept = make([][]int32, len(bsets))
+	m.stats.BStates = len(bsets)
+	m.stats.BStateAFASum = 0
+	for i, s := range bsets {
+		h := hashIDs(s)
+		m.bintern[h] = append(m.bintern[h], int32(i))
+		m.stats.BStateAFASum += int64(len(s))
+	}
+	m.tsets = tsets
+	m.tintern = make(map[uint64][]int32, len(tsets))
+	m.ttOf = make([][]int32, len(tsets))
+	m.stats.TStates = len(tsets)
+	for i, s := range tsets {
+		if i > 0 {
+			h := hashIDs(s)
+			m.tintern[h] = append(m.tintern[h], int32(i))
+		}
+		m.ttOf[i] = intersectSorted(m.trueTermAll, s, nil)
+	}
+	if !m.opts.TopDown {
+		// The basic machine's single top-down state enables every
+		// TrueTerminal.
+		m.ttOf[0] = m.trueTermAll
+	}
+	m.pushTab = pushTab
+	m.popTab = popTab
+	m.addTab = addTab
+	m.valueTab = valueTab
+	m.sectTab = sectTab
+	m.qt, m.qb = 0, 0
+	m.stack = m.stack[:0]
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package datagen generates synthetic XML streams from a DTD with
+// controllable value distributions. It substitutes for the two real datasets
+// of the paper's evaluation (Sec. 7): the Protein Information Resource
+// dataset (non-recursive DTD, maximum depth 7) and the NASA ADC dataset
+// (recursive DTD, maximum depth 8). The experiments depend on document
+// shape, depth, fan-out and value selectivity — all reproduced here — not on
+// the actual biological or astronomical payload; DESIGN.md records the
+// substitution.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/sax"
+)
+
+// PoolKind selects a value pool's domain.
+type PoolKind uint8
+
+const (
+	// IntPool draws integers from [Lo, Hi].
+	IntPool PoolKind = iota
+	// StrPool draws from a fixed word list.
+	StrPool
+)
+
+// Pool describes the value distribution of one leaf element or attribute
+// label. Sampling is Zipf-skewed when Skew > 0, so some values are frequent
+// (high selectivity) and most are rare (low selectivity) — the regime
+// Theorem 6.2 analyses.
+type Pool struct {
+	Kind  PoolKind
+	Lo    int64
+	Hi    int64
+	Words []string
+	Skew  float64
+}
+
+// Sample draws a data value from the pool.
+func (p *Pool) Sample(r *rand.Rand) string {
+	switch p.Kind {
+	case IntPool:
+		n := p.Hi - p.Lo + 1
+		return fmt.Sprintf("%d", p.Lo+p.rank(r, n))
+	default:
+		return p.Words[p.rank(r, int64(len(p.Words)))]
+	}
+}
+
+// rank picks an index in [0, n) with optional Zipf skew.
+func (p *Pool) rank(r *rand.Rand, n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	if p.Skew <= 0 {
+		return r.Int63n(n)
+	}
+	// Inverse-CDF of a power-law: small indexes are frequent.
+	u := r.Float64()
+	idx := int64(float64(n) * math.Pow(u, 1+p.Skew))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Dataset bundles a DTD with its value pools.
+type Dataset struct {
+	Name  string
+	DTD   *dtd.DTD
+	Pools map[string]*Pool
+	// DepthCap bounds recursion (NASA-like DTDs recurse).
+	DepthCap int
+}
+
+// Pool returns the value pool for a label ("@name" for attributes), falling
+// back to a generic pool.
+func (d *Dataset) Pool(label string) *Pool {
+	if p, ok := d.Pools[label]; ok {
+		return p
+	}
+	return genericPool
+}
+
+var genericPool = &Pool{Kind: IntPool, Lo: 0, Hi: 9999}
+
+// Generator produces a deterministic XML stream for a dataset.
+type Generator struct {
+	ds *Dataset
+	r  *rand.Rand
+}
+
+// NewGenerator returns a generator with its own deterministic source.
+func NewGenerator(ds *Dataset, seed int64) *Generator {
+	return &Generator{ds: ds, r: rand.New(rand.NewSource(seed))}
+}
+
+// GenerateBytes produces at least target bytes of XML: a concatenation of
+// documents, each rooted at the DTD's root element.
+func (g *Generator) GenerateBytes(target int) []byte {
+	var sb strings.Builder
+	sb.Grow(target + 4096)
+	for sb.Len() < target {
+		g.writeDocument(&sb)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// GenerateDocument produces a single document.
+func (g *Generator) GenerateDocument() []byte {
+	var sb strings.Builder
+	g.writeDocument(&sb)
+	return []byte(sb.String())
+}
+
+func (g *Generator) writeDocument(sb *strings.Builder) {
+	g.writeElement(sb, g.ds.DTD.Root, 1)
+}
+
+func (g *Generator) writeElement(sb *strings.Builder, name string, depth int) {
+	el := g.ds.DTD.Element(name)
+	sb.WriteByte('<')
+	sb.WriteString(name)
+	if el != nil {
+		for _, a := range el.Attrs {
+			if !a.Required && g.r.Intn(2) == 0 {
+				continue
+			}
+			var v string
+			switch {
+			case len(a.Enum) > 0:
+				v = a.Enum[g.r.Intn(len(a.Enum))]
+			case a.Default != "" && g.r.Intn(3) == 0:
+				v = a.Default
+			default:
+				v = g.ds.Pool("@" + a.Name).Sample(g.r)
+			}
+			fmt.Fprintf(sb, ` %s="%s"`, a.Name, sax.EscapeAttr(v))
+		}
+	}
+	cap := g.ds.DepthCap
+	if cap == 0 {
+		cap = 32
+	}
+	if el == nil || depth >= cap && el.Kind != dtd.PCData {
+		sb.WriteString("/>")
+		return
+	}
+	switch el.Kind {
+	case dtd.Empty:
+		sb.WriteString("/>")
+		return
+	case dtd.PCData, dtd.Mixed, dtd.Any:
+		sb.WriteByte('>')
+		sb.WriteString(sax.EscapeText(g.ds.Pool(name).Sample(g.r)))
+	case dtd.Children:
+		sb.WriteByte('>')
+		g.writeParticle(sb, name, el.Content, depth)
+	}
+	sb.WriteString("</")
+	sb.WriteString(name)
+	sb.WriteByte('>')
+}
+
+func (g *Generator) writeParticle(sb *strings.Builder, parent string, p *dtd.Particle, depth int) {
+	count := 1
+	switch p.Rep {
+	case dtd.Opt:
+		if g.r.Intn(2) == 0 {
+			return
+		}
+	case dtd.Star:
+		count = g.geometric()
+		if count == 0 {
+			return
+		}
+	case dtd.Plus:
+		count = 1 + g.geometric()
+	}
+	for i := 0; i < count; i++ {
+		switch p.Kind {
+		case dtd.NameParticle:
+			if depth+1 > g.depthCap() && (p.Rep == dtd.Star || p.Rep == dtd.Opt) {
+				// Prune optional subtrees at the depth cap;
+				// required ones are flattened by writeElement.
+				return
+			}
+			g.writeElement(sb, p.Name, depth+1)
+		case dtd.SeqParticle:
+			for _, c := range p.Children {
+				g.writeParticle(sb, parent, c, depth)
+			}
+		case dtd.ChoiceParticle:
+			g.writeParticle(sb, parent, p.Children[g.r.Intn(len(p.Children))], depth)
+		}
+	}
+}
+
+func (g *Generator) depthCap() int {
+	if g.ds.DepthCap == 0 {
+		return 32
+	}
+	return g.ds.DepthCap
+}
+
+// geometric returns a small geometric count with mean ≈ 1.5 (list fan-out).
+func (g *Generator) geometric() int {
+	n := 1
+	for g.r.Intn(3) == 0 && n < 8 {
+		n++
+	}
+	return n
+}

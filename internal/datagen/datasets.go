@@ -1,0 +1,207 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+)
+
+// proteinDTD mirrors the shape of the PIR Protein dataset used in Sec. 7:
+// non-recursive, maximum document depth 7 (ProteinDatabase / ProteinEntry /
+// reference / refinfo / xrefs / xref / db), attribute and text leaves.
+const proteinDTD = `
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+, genetics?, classification?, keywords?, feature*, summary, sequence)>
+<!ATTLIST ProteinEntry id CDATA #REQUIRED>
+<!ELEMENT header (uid, accession+, created_date, seq-rev_date, txt-rev_date)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created_date (#PCDATA)>
+<!ELEMENT seq-rev_date (#PCDATA)>
+<!ELEMENT txt-rev_date (#PCDATA)>
+<!ELEMENT protein (name, classification?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT classification (superfamily*)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT organism (source, common?, formal?)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo?)>
+<!ELEMENT refinfo (authors, citation, volume?, year, pages?, title?, xrefs?)>
+<!ATTLIST refinfo refid CDATA #REQUIRED>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT xrefs (xref+)>
+<!ELEMENT xref (db, uid)>
+<!ELEMENT db (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, seq-spec?)>
+<!ATTLIST accinfo refid CDATA #IMPLIED>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT genetics (gene?, introns?)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT introns (#PCDATA)>
+<!ELEMENT keywords (keyword+)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (feature-type, description?, seq-spec?)>
+<!ATTLIST feature label CDATA #IMPLIED>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+`
+
+// nasaDTD mirrors the shape of the NASA ADC dataset: a recursive DTD
+// (tableHead nests tableHead) with maximum document depth 8.
+const nasaDTD = `
+<!ELEMENT datasets (dataset+)>
+<!ELEMENT dataset (title, altname*, abstract?, keywords?, author+, holdings?, identifier, tableHead?, history?)>
+<!ATTLIST dataset subject CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT altname (#PCDATA)>
+<!ATTLIST altname type CDATA #IMPLIED>
+<!ELEMENT abstract (para+)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT keywords (keyword+)>
+<!ATTLIST keywords parentListURL CDATA #IMPLIED>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT author (initial?, lastName, affiliation?)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT lastName (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT holdings (stars?, records?)>
+<!ATTLIST holdings media CDATA #IMPLIED>
+<!ELEMENT stars (#PCDATA)>
+<!ELEMENT records (#PCDATA)>
+<!ELEMENT identifier (#PCDATA)>
+<!ELEMENT tableHead (tableLinks?, fields?, tableHead?)>
+<!ELEMENT tableLinks (tableLink+)>
+<!ELEMENT tableLink (#PCDATA)>
+<!ATTLIST tableLink href CDATA #IMPLIED>
+<!ELEMENT fields (field+)>
+<!ELEMENT field (name, definition?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT definition (#PCDATA)>
+<!ELEMENT history (ingest?, revisions?)>
+<!ELEMENT ingest (creator, date)>
+<!ELEMENT creator (lastName)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT revisions (revision*)>
+<!ELEMENT revision (date, description)>
+<!ELEMENT description (#PCDATA)>
+`
+
+var surnames = []string{
+	"Smith", "Johnson", "Lee", "Garcia", "Kim", "Chen", "Patel", "Mueller",
+	"Ivanov", "Tanaka", "Brown", "Davis", "Lopez", "Singh", "Nguyen", "Cohen",
+}
+
+var proteinNames = []string{
+	"cytochrome", "hemoglobin", "myoglobin", "insulin", "ferritin",
+	"keratin", "collagen", "actin", "myosin", "tubulin", "albumin",
+	"lysozyme", "trypsin", "pepsin", "amylase", "catalase",
+}
+
+var keywordWords = []string{
+	"oxygen", "transport", "membrane", "binding", "kinase", "receptor",
+	"transferase", "hydrolase", "structural", "signal", "transcription",
+	"photometry", "spectroscopy", "survey", "catalog", "infrared",
+}
+
+func words(base string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", base, i)
+	}
+	return out
+}
+
+// ProteinLike returns the Protein-dataset substitute.
+func ProteinLike() *Dataset {
+	return &Dataset{
+		Name:     "protein",
+		DTD:      dtd.MustParse(proteinDTD),
+		DepthCap: 7,
+		Pools: map[string]*Pool{
+			"@id":          {Kind: StrPool, Words: words("PIR", 40000)},
+			"uid":          {Kind: StrPool, Words: words("U", 30000)},
+			"accession":    {Kind: StrPool, Words: words("A", 30000)},
+			"created_date": {Kind: IntPool, Lo: 1980, Hi: 2003},
+			"seq-rev_date": {Kind: IntPool, Lo: 1980, Hi: 2003},
+			"txt-rev_date": {Kind: IntPool, Lo: 1980, Hi: 2003},
+			"name":         {Kind: StrPool, Words: proteinNames, Skew: 0.4},
+			"superfamily":  {Kind: StrPool, Words: words("sf", 500), Skew: 0.6},
+			"source":       {Kind: StrPool, Words: words("organism", 800), Skew: 0.5},
+			"common":       {Kind: StrPool, Words: words("common", 400)},
+			"formal":       {Kind: StrPool, Words: words("formal", 400)},
+			"author":       {Kind: StrPool, Words: surnames, Skew: 0.3},
+			"citation":     {Kind: StrPool, Words: words("jrnl", 300), Skew: 0.5},
+			"volume":       {Kind: IntPool, Lo: 1, Hi: 350},
+			"year":         {Kind: IntPool, Lo: 1970, Hi: 2003},
+			"pages":        {Kind: IntPool, Lo: 1, Hi: 2000},
+			"title":        {Kind: StrPool, Words: words("title", 5000)},
+			"db":           {Kind: StrPool, Words: []string{"GenBank", "EMBL", "PDB", "SwissProt", "PIR"}, Skew: 0.4},
+			"@refid":       {Kind: StrPool, Words: words("R", 8000)},
+			"mol-type":     {Kind: StrPool, Words: []string{"DNA", "mRNA", "protein"}},
+			"seq-spec":     {Kind: StrPool, Words: words("spec", 900)},
+			"gene":         {Kind: StrPool, Words: words("gene", 2000), Skew: 0.4},
+			"introns":      {Kind: IntPool, Lo: 0, Hi: 40},
+			"keyword":      {Kind: StrPool, Words: keywordWords, Skew: 0.5},
+			"feature-type": {Kind: StrPool, Words: []string{"domain", "site", "binding", "modified", "disulfide"}},
+			"description":  {Kind: StrPool, Words: words("desc", 3000)},
+			"@label":       {Kind: StrPool, Words: words("lbl", 600)},
+			"length":       {Kind: IntPool, Lo: 40, Hi: 3000},
+			"type":         {Kind: StrPool, Words: []string{"complete", "fragment", "precursor"}},
+			"sequence":     {Kind: StrPool, Words: words("MKVLAAGSQRTDEHWFYPNCIMKVLAAGSQRTDEHWFYPNCIMKVLAAGSQRTDEHWFYPNCI", 12000)},
+		},
+	}
+}
+
+// NASALike returns the NASA-dataset substitute (recursive DTD, depth 8).
+func NASALike() *Dataset {
+	return &Dataset{
+		Name:     "nasa",
+		DTD:      dtd.MustParse(nasaDTD),
+		DepthCap: 8,
+		Pools: map[string]*Pool{
+			"@subject":    {Kind: StrPool, Words: []string{"astronomy", "astrometry", "photometry", "spectra"}},
+			"title":       {Kind: StrPool, Words: words("survey", 4000)},
+			"altname":     {Kind: StrPool, Words: words("alt", 3000)},
+			"@type":       {Kind: StrPool, Words: []string{"ADC", "CDS", "brief"}},
+			"para":        {Kind: StrPool, Words: words("abstract", 6000)},
+			"keyword":     {Kind: StrPool, Words: keywordWords, Skew: 0.5},
+			"initial":     {Kind: StrPool, Words: []string{"A", "B", "C", "D", "E", "J", "K", "M"}},
+			"lastName":    {Kind: StrPool, Words: surnames, Skew: 0.3},
+			"affiliation": {Kind: StrPool, Words: words("inst", 300), Skew: 0.5},
+			"stars":       {Kind: IntPool, Lo: 10, Hi: 500000},
+			"records":     {Kind: IntPool, Lo: 10, Hi: 1000000},
+			"identifier":  {Kind: StrPool, Words: words("ID", 30000)},
+			"tableLink":   {Kind: StrPool, Words: words("link", 2000)},
+			"@href":       {Kind: StrPool, Words: words("href", 2000)},
+			"name":        {Kind: StrPool, Words: words("field", 400), Skew: 0.4},
+			"definition":  {Kind: StrPool, Words: words("def", 2500)},
+			"date":        {Kind: IntPool, Lo: 1985, Hi: 2003},
+			"description": {Kind: StrPool, Words: words("rev", 2500)},
+		},
+	}
+}
+
+// ByName returns a built-in dataset ("protein" or "nasa").
+func ByName(name string) (*Dataset, bool) {
+	switch name {
+	case "protein":
+		return ProteinLike(), true
+	case "nasa":
+		return NASALike(), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,705 @@
+// Package dtd parses the subset of XML DTDs needed by the paper's
+// optimizations and generators: <!ELEMENT> content models and <!ATTLIST>
+// declarations. From a parsed DTD the package derives
+//
+//   - the sibling partial order a ≺ b of Sec. 5 ("a must precede b whenever
+//     a and b are siblings"), which drives the order optimization,
+//   - the element/attribute graph used to expand wildcards and descendant
+//     axes when generating training data (Sec. 5) and synthetic documents,
+//   - recursion detection and a depth estimate (the paper distinguishes the
+//     non-recursive Protein DTD, depth 7, from the recursive NASA DTD,
+//     depth 8).
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ContentKind classifies an element's declared content.
+type ContentKind uint8
+
+const (
+	// Empty is EMPTY content.
+	Empty ContentKind = iota
+	// Any is ANY content.
+	Any
+	// PCData is (#PCDATA) text-only content.
+	PCData
+	// Mixed is (#PCDATA|a|b)* mixed content. The paper's data model
+	// excludes mixed content; we parse it but generators refuse it.
+	Mixed
+	// Children is a regular-expression content model over child elements.
+	Children
+)
+
+// Rep is a repetition suffix on a content particle.
+type Rep uint8
+
+const (
+	// One means exactly once (no suffix).
+	One Rep = iota
+	// Opt is the ? suffix.
+	Opt
+	// Star is the * suffix.
+	Star
+	// Plus is the + suffix.
+	Plus
+)
+
+func (r Rep) String() string {
+	switch r {
+	case Opt:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ParticleKind classifies a content-model particle.
+type ParticleKind uint8
+
+const (
+	// NameParticle is a child element name.
+	NameParticle ParticleKind = iota
+	// SeqParticle is a comma sequence (p1, p2, ...).
+	SeqParticle
+	// ChoiceParticle is a bar choice (p1 | p2 | ...).
+	ChoiceParticle
+)
+
+// Particle is a node of a content-model expression.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string // for NameParticle
+	Children []*Particle
+	Rep      Rep
+}
+
+func (p *Particle) String() string {
+	var sb strings.Builder
+	p.write(&sb)
+	return sb.String()
+}
+
+func (p *Particle) write(sb *strings.Builder) {
+	switch p.Kind {
+	case NameParticle:
+		sb.WriteString(p.Name)
+	default:
+		sep := ", "
+		if p.Kind == ChoiceParticle {
+			sep = " | "
+		}
+		sb.WriteByte('(')
+		for i, c := range p.Children {
+			if i > 0 {
+				sb.WriteString(sep)
+			}
+			c.write(sb)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteString(p.Rep.String())
+}
+
+// ContentSpec renders an element's declared content as valid DTD syntax
+// (re-parseable by Parse).
+func (el *Element) ContentSpec() string {
+	switch el.Kind {
+	case Empty:
+		return "EMPTY"
+	case Any:
+		return "ANY"
+	case PCData:
+		return "(#PCDATA)"
+	case Mixed:
+		return "(#PCDATA|" + strings.Join(el.Mixed, "|") + ")*"
+	default:
+		s := el.Content.String()
+		if !strings.HasPrefix(s, "(") {
+			// A bare name particle needs the group parentheses.
+			return "(" + s + ")"
+		}
+		return s
+	}
+}
+
+// String renders the full <!ELEMENT>/<!ATTLIST> declarations of a DTD; the
+// result re-parses to an equivalent DTD.
+func (d *DTD) String() string {
+	var sb strings.Builder
+	for _, name := range d.order {
+		el := d.Elements[name]
+		fmt.Fprintf(&sb, "<!ELEMENT %s %s>\n", name, el.ContentSpec())
+		if len(el.Attrs) > 0 {
+			fmt.Fprintf(&sb, "<!ATTLIST %s", name)
+			for _, a := range el.Attrs {
+				typ := a.Type
+				if typ == "ENUM" {
+					typ = "(" + strings.Join(a.Enum, "|") + ")"
+				}
+				def := "#IMPLIED"
+				switch {
+				case a.Required && a.Default != "":
+					def = fmt.Sprintf("#FIXED %q", a.Default)
+				case a.Required:
+					def = "#REQUIRED"
+				case a.Default != "":
+					def = fmt.Sprintf("%q", a.Default)
+				}
+				fmt.Fprintf(&sb, " %s %s %s", a.Name, typ, def)
+			}
+			sb.WriteString(">\n")
+		}
+	}
+	return sb.String()
+}
+
+// Attr is one declared attribute.
+type Attr struct {
+	Name     string
+	Type     string // CDATA, ID, NMTOKEN, or an enumeration "(a|b)"
+	Enum     []string
+	Required bool
+	Default  string
+}
+
+// Element is one declared element.
+type Element struct {
+	Name    string
+	Kind    ContentKind
+	Content *Particle // set when Kind == Children
+	Mixed   []string  // child names when Kind == Mixed
+	Attrs   []Attr
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Root is the name of the first declared element, the conventional
+	// document root for generation purposes.
+	Root     string
+	Elements map[string]*Element
+	order    []string // declaration order
+}
+
+// ElementNames returns the declared element names in declaration order.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Element returns a declared element, or nil.
+func (d *DTD) Element(name string) *Element { return d.Elements[name] }
+
+// Error reports a DTD parse failure.
+type Error struct {
+	Offset int
+	Msg    string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("dtd: %s at offset %d", e.Msg, e.Offset) }
+
+// Parse parses a standalone DTD text (the external-subset syntax; the same
+// declarations accepted inside <!DOCTYPE x [...]>).
+func Parse(text string) (*DTD, error) {
+	p := &dtdParser{in: text}
+	d := &DTD{Elements: map[string]*Element{}}
+	for {
+		p.skipMisc()
+		if p.pos >= len(p.in) {
+			break
+		}
+		switch {
+		case p.consume("<!ELEMENT"):
+			if err := p.parseElement(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<!ATTLIST"):
+			if err := p.parseAttlist(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<!ENTITY"):
+			// Entities are outside our subset: skip to '>'.
+			if !p.skipTo('>') {
+				return nil, p.errf("unterminated <!ENTITY")
+			}
+		case p.consume("<!NOTATION"):
+			if !p.skipTo('>') {
+				return nil, p.errf("unterminated <!NOTATION")
+			}
+		default:
+			return nil, p.errf("expected declaration, got %q", p.peekSnippet())
+		}
+	}
+	if d.Root == "" {
+		return nil, p.errf("DTD declares no elements")
+	}
+	return d, nil
+}
+
+// MustParse panics on error; for statically known DTDs.
+func MustParse(text string) *DTD {
+	d, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type dtdParser struct {
+	in  string
+	pos int
+}
+
+func (p *dtdParser) errf(format string, args ...any) error {
+	return &Error{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *dtdParser) peekSnippet() string {
+	end := p.pos + 20
+	if end > len(p.in) {
+		end = len(p.in)
+	}
+	return p.in[p.pos:end]
+}
+
+func (p *dtdParser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// skipMisc skips whitespace, comments and processing instructions.
+func (p *dtdParser) skipMisc() {
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.in[p.pos:], "<!--") {
+			i := strings.Index(p.in[p.pos+4:], "-->")
+			if i < 0 {
+				p.pos = len(p.in)
+				return
+			}
+			p.pos += 4 + i + 3
+			continue
+		}
+		if strings.HasPrefix(p.in[p.pos:], "<?") {
+			i := strings.Index(p.in[p.pos+2:], "?>")
+			if i < 0 {
+				p.pos = len(p.in)
+				return
+			}
+			p.pos += 2 + i + 2
+			continue
+		}
+		return
+	}
+}
+
+func (p *dtdParser) consume(prefix string) bool {
+	if strings.HasPrefix(p.in[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+func (p *dtdParser) skipTo(c byte) bool {
+	i := strings.IndexByte(p.in[p.pos:], c)
+	if i < 0 {
+		p.pos = len(p.in)
+		return false
+	}
+	p.pos += i + 1
+	return true
+}
+
+func isDTDNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *dtdParser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && isDTDNameChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *dtdParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *dtdParser) parseElement(d *DTD) error {
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if _, dup := d.Elements[name]; dup {
+		return p.errf("element %s declared twice", name)
+	}
+	el := &Element{Name: name}
+	p.skipSpace()
+	switch {
+	case p.consume("EMPTY"):
+		el.Kind = Empty
+	case p.consume("ANY"):
+		el.Kind = Any
+	default:
+		if err := p.expect('('); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.consume("#PCDATA") {
+			// (#PCDATA) or (#PCDATA|a|b)*
+			p.skipSpace()
+			if p.consume(")") {
+				p.consume("*") // (#PCDATA)* is legal
+				el.Kind = PCData
+			} else {
+				el.Kind = Mixed
+				for {
+					if err := p.expect('|'); err != nil {
+						return err
+					}
+					child, err := p.name()
+					if err != nil {
+						return err
+					}
+					el.Mixed = append(el.Mixed, child)
+					p.skipSpace()
+					if p.consume(")") {
+						break
+					}
+				}
+				if !p.consume("*") {
+					return p.errf("mixed content must end with )*")
+				}
+			}
+		} else {
+			el.Kind = Children
+			content, err := p.parseGroup()
+			if err != nil {
+				return err
+			}
+			el.Content = content
+		}
+	}
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	d.Elements[name] = el
+	d.order = append(d.order, name)
+	if d.Root == "" {
+		d.Root = name
+	}
+	return nil
+}
+
+// parseGroup parses a parenthesised content particle; the opening '(' has
+// been consumed.
+func (p *dtdParser) parseGroup() (*Particle, error) {
+	var parts []*Particle
+	var sep byte
+	for {
+		p.skipSpace()
+		var part *Particle
+		if p.consume("(") {
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			part = inner
+		} else {
+			name, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			part = &Particle{Kind: NameParticle, Name: name}
+		}
+		part.Rep = p.rep(part.Rep)
+		parts = append(parts, part)
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return nil, p.errf("unterminated content group")
+		}
+		c := p.in[p.pos]
+		if c == ')' {
+			p.pos++
+			break
+		}
+		if c != ',' && c != '|' {
+			return nil, p.errf("expected ',' '|' or ')' in content model")
+		}
+		if sep == 0 {
+			sep = c
+		} else if sep != c {
+			return nil, p.errf("cannot mix ',' and '|' in one group")
+		}
+		p.pos++
+	}
+	var g *Particle
+	if len(parts) == 1 && sep == 0 {
+		g = parts[0]
+	} else if sep == '|' {
+		g = &Particle{Kind: ChoiceParticle, Children: parts}
+	} else {
+		g = &Particle{Kind: SeqParticle, Children: parts}
+	}
+	g.Rep = p.rep(g.Rep)
+	return g, nil
+}
+
+// rep consumes an optional repetition suffix; if the particle already has
+// one (a single name whose suffix was read inside the group), the outer
+// suffix composes conservatively to Star.
+func (p *dtdParser) rep(existing Rep) Rep {
+	if p.pos >= len(p.in) {
+		return existing
+	}
+	var r Rep
+	switch p.in[p.pos] {
+	case '?':
+		r = Opt
+	case '*':
+		r = Star
+	case '+':
+		r = Plus
+	default:
+		return existing
+	}
+	p.pos++
+	if existing == One {
+		return r
+	}
+	return Star
+}
+
+func (p *dtdParser) parseAttlist(d *DTD) error {
+	elName, err := p.name()
+	if err != nil {
+		return err
+	}
+	el := d.Elements[elName]
+	if el == nil {
+		// ATTLIST may precede ELEMENT; create a placeholder.
+		el = &Element{Name: elName, Kind: Any}
+		d.Elements[elName] = el
+		d.order = append(d.order, elName)
+		if d.Root == "" {
+			d.Root = elName
+		}
+	}
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return nil
+		}
+		a := Attr{}
+		a.Name, err = p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.consume("(") {
+			a.Type = "ENUM"
+			for {
+				v, err := p.name()
+				if err != nil {
+					return err
+				}
+				a.Enum = append(a.Enum, v)
+				p.skipSpace()
+				if p.consume(")") {
+					break
+				}
+				if err := p.expect('|'); err != nil {
+					return err
+				}
+			}
+		} else {
+			a.Type, err = p.name()
+			if err != nil {
+				return err
+			}
+		}
+		p.skipSpace()
+		switch {
+		case p.consume("#REQUIRED"):
+			a.Required = true
+		case p.consume("#IMPLIED"):
+		case p.consume("#FIXED"):
+			def, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = def
+			a.Required = true
+		default:
+			def, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = def
+		}
+		el.Attrs = append(el.Attrs, a)
+	}
+}
+
+func (p *dtdParser) quoted() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '"' && p.in[p.pos] != '\'' {
+		return "", p.errf("expected quoted default value")
+	}
+	q := p.in[p.pos]
+	p.pos++
+	i := strings.IndexByte(p.in[p.pos:], q)
+	if i < 0 {
+		return "", p.errf("unterminated default value")
+	}
+	s := p.in[p.pos : p.pos+i]
+	p.pos += i + 1
+	return s, nil
+}
+
+// childNames returns the set of element names reachable as direct children.
+func (el *Element) childNames() []string {
+	switch el.Kind {
+	case Mixed:
+		out := make([]string, len(el.Mixed))
+		copy(out, el.Mixed)
+		return out
+	case Children:
+		seen := map[string]bool{}
+		var out []string
+		var walk func(*Particle)
+		walk = func(q *Particle) {
+			if q.Kind == NameParticle {
+				if !seen[q.Name] {
+					seen[q.Name] = true
+					out = append(out, q.Name)
+				}
+				return
+			}
+			for _, c := range q.Children {
+				walk(c)
+			}
+		}
+		walk(el.Content)
+		sort.Strings(out)
+		return out
+	default:
+		return nil
+	}
+}
+
+// Children returns the possible direct child element names of an element.
+func (d *DTD) Children(name string) []string {
+	el := d.Elements[name]
+	if el == nil {
+		return nil
+	}
+	if el.Kind == Any {
+		return d.ElementNames()
+	}
+	return el.childNames()
+}
+
+// HasText reports whether an element may directly contain character data.
+func (d *DTD) HasText(name string) bool {
+	el := d.Elements[name]
+	return el != nil && (el.Kind == PCData || el.Kind == Mixed || el.Kind == Any)
+}
+
+// IsRecursive reports whether some element can (transitively) contain
+// itself.
+func (d *DTD) IsRecursive() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		switch color[n] {
+		case gray:
+			return true
+		case black:
+			return false
+		}
+		color[n] = gray
+		for _, c := range d.Children(n) {
+			if d.Elements[c] != nil && visit(c) {
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range d.order {
+		if visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDepth returns the maximum element nesting depth from the root, counting
+// the root as depth 1. Recursive DTDs return the supplied cap.
+func (d *DTD) MaxDepth(cap int) int {
+	memo := map[string]int{}
+	onPath := map[string]bool{}
+	var depth func(string) int
+	depth = func(n string) int {
+		if onPath[n] {
+			return cap // recursion: report the cap
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		onPath[n] = true
+		best := 1
+		for _, c := range d.Children(n) {
+			if d.Elements[c] == nil {
+				continue
+			}
+			dc := depth(c) + 1
+			if dc > best {
+				best = dc
+			}
+			if best >= cap {
+				best = cap
+				break
+			}
+		}
+		onPath[n] = false
+		memo[n] = best
+		return best
+	}
+	if d.Root == "" {
+		return 0
+	}
+	return depth(d.Root)
+}

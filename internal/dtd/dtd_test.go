@@ -1,0 +1,247 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const personDTD = `
+<!-- the person example of Sec. 5 -->
+<!ELEMENT person (name, age?, phone*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ATTLIST person id CDATA #REQUIRED kind (member|guest) "member">
+`
+
+func TestParsePersonDTD(t *testing.T) {
+	d, err := Parse(personDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "person" {
+		t.Errorf("Root = %q", d.Root)
+	}
+	p := d.Element("person")
+	if p == nil || p.Kind != Children {
+		t.Fatalf("person = %+v", p)
+	}
+	if got := p.Content.String(); got != "(name, age?, phone*)" {
+		t.Errorf("content = %q", got)
+	}
+	if len(p.Attrs) != 2 {
+		t.Fatalf("attrs = %+v", p.Attrs)
+	}
+	if p.Attrs[0].Name != "id" || !p.Attrs[0].Required || p.Attrs[0].Type != "CDATA" {
+		t.Errorf("id attr = %+v", p.Attrs[0])
+	}
+	if p.Attrs[1].Type != "ENUM" || len(p.Attrs[1].Enum) != 2 || p.Attrs[1].Default != "member" {
+		t.Errorf("kind attr = %+v", p.Attrs[1])
+	}
+	if d.Element("name").Kind != PCData {
+		t.Error("name should be PCDATA")
+	}
+	if got := d.Children("person"); strings.Join(got, ",") != "age,name,phone" {
+		t.Errorf("Children(person) = %v", got)
+	}
+	if !d.HasText("name") || d.HasText("person") {
+		t.Error("HasText misreports")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT a (b | (c, d))+>
+<!ELEMENT b EMPTY>
+<!ELEMENT c ANY>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e (#PCDATA)>
+<?pi ignored?>
+<!ENTITY x "ignored">
+`)
+	if d.Element("a").Content.String() != "(b | (c, d))+" {
+		t.Errorf("a content = %q", d.Element("a").Content)
+	}
+	if d.Element("b").Kind != Empty || d.Element("c").Kind != Any {
+		t.Error("EMPTY/ANY misparsed")
+	}
+	if d.Element("d").Kind != Mixed || d.Element("d").Mixed[0] != "e" {
+		t.Errorf("mixed = %+v", d.Element("d"))
+	}
+	// ANY children = all declared elements.
+	if len(d.Children("c")) != 5 {
+		t.Errorf("Children(ANY) = %v", d.Children("c"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<!ELEMENT>`,
+		`<!ELEMENT a>`,
+		`<!ELEMENT a (b>`,
+		`<!ELEMENT a (b,c|d)>`,
+		`<!ELEMENT a (#PCDATA|b)>`, // mixed must end )*
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`,
+		`<!ATTLIST a x CDATA>`, // missing default
+		`garbage`,
+		`<!ELEMENT a (#PCDATA)> trailing`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestAttlistBeforeElement(t *testing.T) {
+	d := MustParse(`
+<!ATTLIST a x CDATA #IMPLIED>
+<!ELEMENT b (#PCDATA)>
+`)
+	if d.Element("a") == nil || len(d.Element("a").Attrs) != 1 {
+		t.Error("placeholder element not created")
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	if MustParse(personDTD).IsRecursive() {
+		t.Error("person DTD is not recursive")
+	}
+	rec := MustParse(`
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+`)
+	if !rec.IsRecursive() {
+		t.Error("part DTD is recursive")
+	}
+	if got := rec.MaxDepth(8); got != 8 {
+		t.Errorf("recursive MaxDepth = %d", got)
+	}
+	if got := MustParse(personDTD).MaxDepth(50); got != 2 {
+		t.Errorf("person MaxDepth = %d", got)
+	}
+}
+
+func TestSiblingOrderSequence(t *testing.T) {
+	// The paper's order example: name, age, phone must appear in this
+	// order, so name ≺ age ≺ phone.
+	d := MustParse(`
+<!ELEMENT person (name, age, phone)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	for _, pair := range [][2]string{{"name", "age"}, {"age", "phone"}, {"name", "phone"}} {
+		if !o.Precedes(pair[0], pair[1]) {
+			t.Errorf("%s should precede %s", pair[0], pair[1])
+		}
+		if o.Precedes(pair[1], pair[0]) {
+			t.Errorf("%s should not precede %s", pair[1], pair[0])
+		}
+	}
+}
+
+func TestSiblingOrderRepetitionBreaks(t *testing.T) {
+	// (a, b)* interleaves across iterations: no order.
+	d := MustParse(`
+<!ELEMENT r (a, b)*>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	if o.Precedes("a", "b") || o.Precedes("b", "a") {
+		t.Error("repeated sequence must not be ordered")
+	}
+}
+
+func TestSiblingOrderOptionalKeeps(t *testing.T) {
+	// (a?, b*) still orders a before b: every a precedes every b.
+	d := MustParse(`
+<!ELEMENT r (a?, b*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	if !d.SiblingOrder().Precedes("a", "b") {
+		t.Error("a should precede b")
+	}
+}
+
+func TestSiblingOrderChoice(t *testing.T) {
+	// Alternatives never co-occur: no constraint, and no false order.
+	d := MustParse(`
+<!ELEMENT r (a | b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	if o.Precedes("a", "b") || o.Precedes("b", "a") {
+		t.Error("choice must not be ordered")
+	}
+}
+
+func TestSiblingOrderConflictAcrossParents(t *testing.T) {
+	// p1 orders (a, b); p2 orders (b, a): the global order drops both.
+	d := MustParse(`
+<!ELEMENT r (p1, p2)>
+<!ELEMENT p1 (a, b)>
+<!ELEMENT p2 (b, a)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	if o.Precedes("a", "b") || o.Precedes("b", "a") {
+		t.Error("conflicting parents must cancel the order")
+	}
+}
+
+func TestSiblingOrderNameSpanningSlots(t *testing.T) {
+	// a appears in two slots around b: (a, b, a?) — not orderable.
+	d := MustParse(`
+<!ELEMENT r (a, b, a?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	if o.Precedes("a", "b") || o.Precedes("b", "a") {
+		t.Error("slot-spanning name must not be ordered")
+	}
+}
+
+func TestAttributesPrecedeElements(t *testing.T) {
+	o := EmptyOrder()
+	if !o.Precedes("@id", "name") {
+		t.Error("attributes precede elements")
+	}
+	if o.Precedes("name", "@id") || o.Precedes("@a", "@b") {
+		t.Error("false attribute order")
+	}
+}
+
+func TestNestedGroupOrder(t *testing.T) {
+	// ((a, b), c): a ≺ b, a ≺ c, b ≺ c.
+	d := MustParse(`
+<!ELEMENT r ((a, b), c)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+`)
+	o := d.SiblingOrder()
+	for _, p := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}} {
+		if !o.Precedes(p[0], p[1]) {
+			t.Errorf("%s ≺ %s missing", p[0], p[1])
+		}
+	}
+	if o.ElementPairs() != 3 {
+		t.Errorf("ElementPairs = %d", o.ElementPairs())
+	}
+}
+
+func TestElementNamesOrder(t *testing.T) {
+	d := MustParse(`<!ELEMENT b (a)><!ELEMENT a (#PCDATA)>`)
+	got := d.ElementNames()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("ElementNames = %v", got)
+	}
+}

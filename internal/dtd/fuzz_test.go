@@ -1,0 +1,46 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks the DTD parser never panics and that accepted DTDs
+// survive a render/re-parse round trip with identical derived structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<!ELEMENT a (b, c?, d*)><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY><!ELEMENT d ANY>`,
+		`<!ELEMENT a (b | (c, d))+><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>`,
+		`<!ELEMENT a (#PCDATA | e)*><!ELEMENT e (#PCDATA)>`,
+		`<!ELEMENT p (q)><!ATTLIST p x CDATA #REQUIRED y (u|v) "u" z CDATA #FIXED "k">`,
+		`<!-- comment --><?pi?><!ENTITY x "y"><!ELEMENT a EMPTY>`,
+		`<!ELEMENT a (`,
+		`<!ATTLIST a x CDATA>`,
+		`<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered DTD failed: %v\n%s", err, rendered)
+		}
+		if len(again.Elements) != len(d.Elements) || again.Root != d.Root {
+			t.Fatalf("round trip changed structure: %d/%s vs %d/%s",
+				len(d.Elements), d.Root, len(again.Elements), again.Root)
+		}
+		for _, name := range d.ElementNames() {
+			a, b := d.Element(name), again.Element(name)
+			if b == nil || a.Kind != b.Kind || len(a.Attrs) != len(b.Attrs) {
+				t.Fatalf("element %s changed across round trip", name)
+			}
+		}
+		// Derived analyses must not panic.
+		_ = d.IsRecursive()
+		_ = d.MaxDepth(64)
+		_ = d.SiblingOrder()
+	})
+}

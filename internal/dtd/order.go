@@ -1,0 +1,155 @@
+package dtd
+
+// Sibling-order extraction for the order optimization of Sec. 5: the partial
+// order a ≺ b holds when a must precede b whenever a and b are siblings.
+// Per the paper, every attribute precedes every element; additional order
+// between elements is extracted from sequence content models.
+
+// Order is the derived sibling partial order over element and attribute
+// labels. Attribute labels carry the "@" prefix, matching the SAX event
+// naming convention.
+type Order struct {
+	prec map[[2]string]bool
+}
+
+// EmptyOrder returns the order containing only the universal
+// attributes-before-elements rule (used when no DTD is available).
+func EmptyOrder() *Order { return &Order{prec: map[[2]string]bool{}} }
+
+// Precedes reports whether label a must precede label b whenever they are
+// siblings.
+func (o *Order) Precedes(a, b string) bool {
+	aAttr := len(a) > 0 && a[0] == '@'
+	bAttr := len(b) > 0 && b[0] == '@'
+	switch {
+	case aAttr && !bAttr:
+		return true // attributes precede elements
+	case !aAttr && bAttr:
+		return false
+	case aAttr && bAttr:
+		return false // attribute order is not significant
+	default:
+		return o.prec[[2]string{a, b}]
+	}
+}
+
+// ElementPairs returns the number of ordered element pairs (for reporting).
+func (o *Order) ElementPairs() int { return len(o.prec) }
+
+// SiblingOrder derives the partial order from all content models. A pair
+// (a, b) enters the order iff some parent's content model forces every a
+// sibling before every b sibling, and no parent allows them to interleave or
+// to occur in the opposite order.
+func (d *DTD) SiblingOrder() *Order {
+	prec := map[[2]string]bool{}
+	conc := map[[2]string]bool{}
+	for _, name := range d.order {
+		el := d.Elements[name]
+		switch el.Kind {
+		case Children:
+			analyzeParticle(el.Content, el.Content.Rep == Star || el.Content.Rep == Plus, prec, conc)
+		case Mixed, Any:
+			// No order information: all child pairs may interleave.
+			children := d.Children(name)
+			for _, a := range children {
+				for _, b := range children {
+					if a != b {
+						conc[[2]string{a, b}] = true
+					}
+				}
+			}
+		}
+	}
+	out := map[[2]string]bool{}
+	for pair := range prec {
+		rev := [2]string{pair[1], pair[0]}
+		if !conc[pair] && !conc[rev] && !prec[rev] {
+			out[pair] = true
+		}
+	}
+	return &Order{prec: out}
+}
+
+// particleNames collects the distinct child names of a particle subtree.
+func particleNames(p *Particle, into map[string]bool) {
+	if p.Kind == NameParticle {
+		into[p.Name] = true
+		return
+	}
+	for _, c := range p.Children {
+		particleNames(c, into)
+	}
+}
+
+// analyzeParticle records must-precede pairs (prec) and possibly-interleaved
+// pairs (conc) for one content particle. repeated reports whether the whole
+// subtree can repeat (an ancestor, or the particle itself, has * or +), in
+// which case every internal pair may interleave across iterations.
+func analyzeParticle(p *Particle, repeated bool, prec, conc map[[2]string]bool) {
+	if p.Kind == NameParticle {
+		return
+	}
+	if repeated {
+		// All distinct pairs inside a repeated group can occur in
+		// either order across iterations.
+		names := map[string]bool{}
+		particleNames(p, names)
+		for a := range names {
+			for b := range names {
+				if a != b {
+					conc[[2]string{a, b}] = true
+				}
+			}
+		}
+		// Still recurse so nested repetitions are handled uniformly
+		// (redundant but harmless).
+		for _, c := range p.Children {
+			analyzeParticle(c, true, prec, conc)
+		}
+		return
+	}
+	switch p.Kind {
+	case ChoiceParticle:
+		// Alternatives never co-occur: no cross-branch constraints.
+		for _, c := range p.Children {
+			analyzeParticle(c, c.Rep == Star || c.Rep == Plus, prec, conc)
+		}
+	case SeqParticle:
+		// Names confined to earlier slots precede names confined to
+		// later slots. A name spanning several slots orders with
+		// nothing at this level.
+		minSlot := map[string]int{}
+		maxSlot := map[string]int{}
+		for i, c := range p.Children {
+			names := map[string]bool{}
+			particleNames(c, names)
+			for n := range names {
+				if _, ok := minSlot[n]; !ok {
+					minSlot[n] = i
+				}
+				maxSlot[n] = i
+			}
+		}
+		for a, amax := range maxSlot {
+			for b, bmin := range minSlot {
+				if a == b {
+					continue
+				}
+				if amax < bmin {
+					prec[[2]string{a, b}] = true
+				} else if minSlot[a] <= maxSlot[b] && bmin <= amax {
+					// Slot ranges overlap: the pair may
+					// interleave unless both are confined to
+					// the same single child (the recursion
+					// decides that case).
+					if !(minSlot[a] == amax && bmin == maxSlot[b] && amax == maxSlot[b]) {
+						conc[[2]string{a, b}] = true
+					}
+				}
+			}
+		}
+		for _, c := range p.Children {
+			analyzeParticle(c, c.Rep == Star || c.Rep == Plus, prec, conc)
+		}
+	}
+}

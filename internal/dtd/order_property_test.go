@@ -1,0 +1,85 @@
+package dtd
+
+import "testing"
+
+// Order-relation sanity on realistic DTDs: ≺ must be irreflexive and
+// antisymmetric over every label pair, and transitive where defined (a
+// partial order, as Sec. 5 requires — an unsound order would make the order
+// optimization drop true matches).
+func checkPartialOrder(t *testing.T, d *DTD) {
+	t.Helper()
+	o := d.SiblingOrder()
+	names := d.ElementNames()
+	// Attributes participate too.
+	var labels []string
+	labels = append(labels, names...)
+	for _, n := range names {
+		for _, a := range d.Element(n).Attrs {
+			labels = append(labels, "@"+a.Name)
+		}
+	}
+	for _, a := range labels {
+		if o.Precedes(a, a) {
+			t.Errorf("irreflexivity violated: %s ≺ %s", a, a)
+		}
+		for _, b := range labels {
+			if a != b && o.Precedes(a, b) && o.Precedes(b, a) {
+				t.Errorf("antisymmetry violated: %s and %s", a, b)
+			}
+			for _, c := range labels {
+				if o.Precedes(a, b) && o.Precedes(b, c) && !o.Precedes(a, c) {
+					// Transitivity can only fail between element
+					// labels (the attribute rule is built in).
+					if a[0] != '@' && b[0] != '@' && c[0] != '@' {
+						t.Errorf("transitivity violated: %s ≺ %s ≺ %s but not %s ≺ %s",
+							a, b, c, a, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSiblingOrderIsPartialOrderSequences(t *testing.T) {
+	checkPartialOrder(t, MustParse(`
+<!ELEMENT r (a, b, c, d)>
+<!ELEMENT a (x?, y?)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (y, x)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y (#PCDATA)>
+<!ATTLIST r id CDATA #REQUIRED>
+`))
+}
+
+func TestSiblingOrderIsPartialOrderMixedShapes(t *testing.T) {
+	checkPartialOrder(t, MustParse(`
+<!ELEMENT r ((a | b), (c, d)*, e?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (c)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (a, d)>
+`))
+}
+
+func TestConflictingParentsStayUnordered(t *testing.T) {
+	// x before y under p, y before x under q: neither direction global.
+	d := MustParse(`
+<!ELEMENT r (p, q)>
+<!ELEMENT p (x, y)>
+<!ELEMENT q (y, x)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y (#PCDATA)>
+`)
+	checkPartialOrder(t, d)
+	o := d.SiblingOrder()
+	if o.Precedes("x", "y") || o.Precedes("y", "x") {
+		t.Error("conflicting parents must cancel")
+	}
+	// But the r-level order survives.
+	if !o.Precedes("p", "q") {
+		t.Error("p ≺ q should hold")
+	}
+}

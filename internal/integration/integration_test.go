@@ -1,0 +1,202 @@
+// Package integration cross-checks every engine in the repository on
+// realistic generated workloads and data: the XPush machine under all
+// optimization stacks, the per-query baseline, the shared-navigation
+// baseline, and the DOM oracle must produce identical match sets, document
+// by document.
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/afa"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/naive"
+	"repro/internal/perquery"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// stacks returns the XPush configurations under test.
+func stacks(ds *datagen.Dataset) map[string]core.Options {
+	order := ds.DTD.SiblingOrder()
+	return map[string]core.Options{
+		"basic":          {},
+		"precomp":        {PrecomputeValues: true},
+		"td":             {TopDown: true},
+		"order":          {Order: order},
+		"td-order":       {TopDown: true, Order: order},
+		"td-order-early": {TopDown: true, Order: order, Early: true},
+	}
+}
+
+func crossCheck(t *testing.T, ds *datagen.Dataset, params workload.Params, docs int, dataSeed int64, train bool) {
+	t.Helper()
+	filters := workload.Generate(ds, params)
+	oracle := naive.NewEngine(filters)
+	yf := yfilter.NewEngine(filters)
+	pq, err := perquery.NewEngine(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := map[string]*core.Machine{}
+	for name, opts := range stacks(ds) {
+		a, err := afa.Compile(filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.New(a, opts)
+		if train {
+			if err := m.Train(workload.TrainingData(filters, ds.DTD)); err != nil {
+				t.Fatal(err)
+			}
+			name += "+train"
+		}
+		machines[name] = m
+	}
+	gen := datagen.NewGenerator(ds, dataSeed)
+	for di := 0; di < docs; di++ {
+		doc := gen.GenerateDocument()
+		want, err := oracle.FilterDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantS := fmt.Sprint(want)
+		if got, err := yf.FilterDocument(doc); err != nil || fmt.Sprint(got) != wantS {
+			t.Fatalf("doc %d: yfilter %v (err %v) vs oracle %s", di, got, err, wantS)
+		}
+		if got, err := pq.FilterDocument(doc); err != nil || fmt.Sprint(got) != wantS {
+			t.Fatalf("doc %d: perquery %v (err %v) vs oracle %s", di, got, err, wantS)
+		}
+		for name, m := range machines {
+			got, err := m.FilterDocument(doc)
+			if err != nil {
+				t.Fatalf("doc %d: xpush[%s]: %v", di, name, err)
+			}
+			if fmt.Sprint(got) != wantS {
+				t.Fatalf("doc %d: xpush[%s] %v vs oracle %s", di, name, got, wantS)
+			}
+		}
+	}
+}
+
+func TestProteinPlainWorkload(t *testing.T) {
+	crossCheck(t, datagen.ProteinLike(), workload.Params{
+		Seed: 1, NumQueries: 120, MeanPreds: 3, NestedPredProb: 0.3,
+	}, 8, 100, false)
+}
+
+func TestProteinRichWorkload(t *testing.T) {
+	crossCheck(t, datagen.ProteinLike(), workload.Params{
+		Seed: 2, NumQueries: 120, MeanPreds: 5, NestedPredProb: 0.3,
+		WildcardProb: 0.15, DescendantProb: 0.2, OrProb: 0.2, NotProb: 0.15,
+		StringFuncProb: 0.1,
+	}, 8, 200, false)
+}
+
+func TestProteinTrainedMachines(t *testing.T) {
+	crossCheck(t, datagen.ProteinLike(), workload.Params{
+		Seed: 3, NumQueries: 80, MeanPreds: 4, NestedPredProb: 0.2,
+		DescendantProb: 0.1,
+	}, 6, 300, true)
+}
+
+func TestNASARecursiveWorkload(t *testing.T) {
+	crossCheck(t, datagen.NASALike(), workload.Params{
+		Seed: 4, NumQueries: 120, MeanPreds: 3, NestedPredProb: 0.3,
+		DescendantProb: 0.25, WildcardProb: 0.1, NotProb: 0.1,
+	}, 8, 400, false)
+}
+
+// TestStreamContinuity runs one machine over a long multi-document stream
+// and verifies per-document results against the oracle, the rising hit
+// ratio, and state-count stability between identical streams.
+func TestStreamContinuity(t *testing.T) {
+	ds := datagen.ProteinLike()
+	filters := workload.Generate(ds, workload.Params{Seed: 5, NumQueries: 150, MeanPreds: 2})
+	a, err := afa.Compile(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(a, core.Options{TopDown: true, Order: ds.DTD.SiblingOrder()})
+	oracle := naive.NewEngine(filters)
+	data := datagen.NewGenerator(ds, 6).GenerateBytes(512 << 10)
+
+	docs, err := naive.Build(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []string
+	for _, d := range docs {
+		wants = append(wants, fmt.Sprint(oracle.FilterTree(d)))
+	}
+	i := 0
+	m.OnDocument = func(oids []int32) {
+		if fmt.Sprint(oids) != wants[i] {
+			t.Errorf("doc %d: machine %v vs oracle %s", i, oids, wants[i])
+		}
+		i++
+	}
+	if err := m.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(wants) {
+		t.Fatalf("documents processed %d, want %d", i, len(wants))
+	}
+	firstPassStates := m.Stats().BStates
+	// Second pass: zero new states, 100% hits on the delta.
+	l0, h0 := m.Stats().Lookups, m.Stats().Hits
+	m.OnDocument = nil
+	if err := m.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.BStates != firstPassStates {
+		t.Errorf("states grew on replay: %d -> %d", firstPassStates, st.BStates)
+	}
+	if st.Hits-h0 != st.Lookups-l0 {
+		t.Errorf("replay not fully cached: %d/%d", st.Hits-h0, st.Lookups-l0)
+	}
+}
+
+// TestEarlyDescendantIntersection targets the Sec. 5 correctness fix: early
+// notification with descendant axes intersects the bottom-up state with the
+// top-down state after pops.
+func TestEarlyDescendantIntersection(t *testing.T) {
+	queries := []string{
+		"//a[b=1 and c=2]",
+		"/r//a[b=1]",
+		"//x//y[z=3]",
+		"/r/a//c[.=2]",
+	}
+	filters := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		filters[i] = xpath.MustParse(q)
+	}
+	oracle := naive.NewEngine(filters)
+	docs := []string{
+		`<r><a><b>1</b><c>2</c></a></r>`,
+		`<r><q><a><b>1</b></a></q></r>`,
+		`<x><m><y><z>3</z></y></m></x>`,
+		`<r><a><q><c>2</c></q></a></r>`,
+		`<w><a><b>1</b><c>2</c></a></w>`, // matches 0 only (// at top)
+		`<r><c>2</c></r>`,                // no match
+	}
+	for _, doc := range docs {
+		want, _ := oracle.FilterDocument([]byte(doc))
+		a, err := afa.Compile(filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.New(a, core.Options{Early: true})
+		got, err := m.FilterDocument([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("doc %s: early %v vs oracle %v", doc, got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package naive
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+func mustBuild(t *testing.T, doc string) *Node {
+	t.Helper()
+	docs, err := Build([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	return docs[0]
+}
+
+func TestRunningExample(t *testing.T) {
+	// Both P1 and P2 match the Fig. 3 document.
+	doc := mustBuild(t, `<a> <b> 1 </b> <a c="3"> <b> 1 </b> </a> </a>`)
+	p1 := xpath.MustParse("//a[b/text()=1 and .//a[@c>2]]")
+	p2 := xpath.MustParse("//a[@c>2 and b/text()=1]")
+	if !Matches(p1, doc) {
+		t.Error("P1 should match")
+	}
+	if !Matches(p2, doc) {
+		t.Error("P2 should match")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	cases := []struct {
+		query string
+		doc   string
+		want  bool
+	}{
+		{"/a", "<a/>", true},
+		{"/a", "<b/>", false},
+		{"/a/b", "<a><b/></a>", true},
+		{"/a/b", "<a><c><b/></c></a>", false},
+		{"//b", "<a><c><b/></c></a>", true},
+		{"/a//b", "<a><b/></a>", true}, // children are descendants
+		{"/a//b", "<b><a/></b>", false},
+		{"/*", "<z/>", true},
+		{"/a/*", "<a><x/></a>", true},
+		{"/a/*", "<a>text</a>", false}, // * selects elements only
+		{"/a/@c", `<a c="1"/>`, true},
+		{"/a/@c", `<a d="1"/>`, false},
+		{"/a/@*", `<a d="1"/>`, true},
+		{"/a/@*", `<a/>`, false},
+		{"/a/text()", "<a>x</a>", true},
+		{"/a/text()", "<a><b/></a>", false},
+		{"/a[b]", "<a><b/></a>", true},
+		{"/a[b]", "<a><c/></a>", false},
+		{"/a[b=1]", "<a><b>1</b></a>", true},
+		{"/a[b=1]", "<a><b>2</b></a>", false},
+		{"/a[b=1]", "<a><b>2</b><b>1</b></a>", true}, // existential
+		{"/a[b/text()=1]", "<a><b>1</b></a>", true},
+		{"/a[b!=1]", "<a><b>2</b></a>", true},
+		{"/a[b!=1]", "<a><b>1</b></a>", false},
+		{"/a[b!=1]", "<a><b>x</b></a>", false}, // incomparable
+		{"/a[b<5 and b>2]", "<a><b>3</b></a>", true},
+		{"/a[b<5 and b>2]", "<a><b>7</b></a>", false},
+		// Two different b's can satisfy the two conjuncts (existential
+		// per-predicate, matching the machine).
+		{"/a[b<3 and b>4]", "<a><b>2</b><b>5</b></a>", true},
+		{"/a[b=1 or c=2]", "<a><c>2</c></a>", true},
+		{"/a[b=1 or c=2]", "<a><c>3</c></a>", false},
+		{"/a[not(b=1)]", "<a><b>2</b></a>", true},
+		{"/a[not(b=1)]", "<a><b>1</b></a>", false},
+		{"/a[not(b=1)]", "<a/>", true}, // universal: no b at all
+		{"/a[not(not(b=1))]", "<a><b>1</b></a>", true},
+		{"/a[not(not(b=1))]", "<a/>", false},
+		{"/a[.=5]", "<a>5</a>", true},
+		{"/a[.=5]", "<a>6</a>", false},
+		{"/a[text()=5]", "<a>5</a>", true},
+		{"/a[@c>2]", `<a c="3"/>`, true},
+		{"/a[@c>2]", `<a c="2"/>`, false},
+		{"/a[@c>2 and text()=1]", `<a c="3">1</a>`, true},
+		{"//a[b/text()=1 and .//a[@c>2]]", `<a><b>1</b><a c="3"><b>1</b></a></a>`, true},
+		{"//a[b/text()=1 and .//a[@c>2]]", `<a><b>1</b></a>`, false},
+		{"/a[b[c=1]]", "<a><b><c>1</c></b></a>", true},
+		{"/a[b[c=1]]", "<a><b><c>2</c></b></a>", false},
+		{"/a[.//x=9]", "<a><p><q><x>9</x></q></p></a>", true},
+		{"/a/b[c=1]/d", "<a><b><c>1</c><d/></b></a>", true},
+		{"/a/b[c=1]/d", "<a><b><c>2</c><d/></b></a>", false},
+		{"/a/b[c=1]/d", "<a><b><c>1</c></b><b><d/></b></a>", false},
+		{"/a[b='x y']", "<a><b>x y</b></a>", true},
+		{"/a[b>'m']", "<a><b>z</b></a>", true},
+		{"/a[b>'m']", "<a><b>a</b></a>", false},
+		{"/a[contains(b, 'ell')]", "<a><b>hello</b></a>", true},
+		{"/a[starts-with(b, 'he')]", "<a><b>hello</b></a>", true},
+		{"/a[starts-with(b, 'el')]", "<a><b>hello</b></a>", false},
+		{"/a[.//text()='x']", "<a><p><q>x</q></p></a>", true},
+		{"/a[b][c]", "<a><b/><c/></a>", true},
+		{"/a[b][c]", "<a><b/></a>", false},
+		// Attribute + text side by side (the Sec. 3.2 requirement).
+		{"/a[@c=2 and .=1]", `<a c="2">1</a>`, true},
+	}
+	for _, tc := range cases {
+		doc := mustBuild(t, tc.doc)
+		f := xpath.MustParse(tc.query)
+		if got := Matches(f, doc); got != tc.want {
+			t.Errorf("Matches(%s, %s) = %v, want %v", tc.query, tc.doc, got, tc.want)
+		}
+	}
+}
+
+func TestEngine(t *testing.T) {
+	e := NewEngine([]*xpath.Filter{
+		xpath.MustParse("/a[b=1]"),
+		xpath.MustParse("/a[b=2]"),
+		xpath.MustParse("//b"),
+	})
+	got, err := e.FilterDocument([]byte("<a><b>2</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestEngineMultiDoc(t *testing.T) {
+	e := NewEngine([]*xpath.Filter{xpath.MustParse("/a")})
+	got, err := e.FilterDocument([]byte("<b/><a/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	doc := mustBuild(t, `<a c="3"><b>4</b></a>`)
+	if doc.Kind != RootNode || len(doc.Children) != 1 {
+		t.Fatalf("root = %+v", doc)
+	}
+	a := doc.Children[0]
+	if a.Name != "a" || len(a.Children) != 2 {
+		t.Fatalf("a = %+v", a)
+	}
+	if a.Children[0].Kind != AttrNode || a.Children[0].Name != "@c" {
+		t.Errorf("attr = %+v", a.Children[0])
+	}
+	if a.Children[0].Children[0].Value != "3" {
+		t.Errorf("attr value = %+v", a.Children[0].Children[0])
+	}
+	b := a.Children[1]
+	if b.Name != "b" || b.Children[0].Kind != TextNode || b.Children[0].Value != "4" {
+		t.Errorf("b = %+v", b)
+	}
+}

@@ -1,0 +1,69 @@
+package perquery
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/naive"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+func TestBasic(t *testing.T) {
+	fs := []*xpath.Filter{
+		xpath.MustParse("/a[b=1]"),
+		xpath.MustParse("/a[b=2]"),
+		xpath.MustParse("//b"),
+	}
+	e, err := NewEngine(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumQueries() != 3 {
+		t.Errorf("queries = %d", e.NumQueries())
+	}
+	got, err := e.FilterDocument([]byte("<a><b>2</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestMultiDocument(t *testing.T) {
+	e, _ := NewEngine([]*xpath.Filter{xpath.MustParse("/a"), xpath.MustParse("/b")})
+	got, err := e.FilterDocument([]byte("<a/><b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestDifferentialAgainstNaive(t *testing.T) {
+	ds := datagen.NASALike()
+	fs := workload.Generate(ds, workload.Params{
+		Seed: 21, NumQueries: 60, MeanPreds: 2,
+		DescendantProb: 0.2, NestedPredProb: 0.2, NotProb: 0.1,
+	})
+	e, err := NewEngine(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := naive.NewEngine(fs)
+	gen := datagen.NewGenerator(ds, 22)
+	for i := 0; i < 10; i++ {
+		doc := gen.GenerateDocument()
+		got, err := e.FilterDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := oracle.FilterDocument(doc)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("doc %d: perquery %v vs oracle %v", i, got, want)
+		}
+	}
+}

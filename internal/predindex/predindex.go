@@ -1,0 +1,411 @@
+// Package predindex implements the atomic predicate index of Sec. 2 of the
+// paper: given a data value v ∈ V, find which predicates from a collection of
+// atomic predicates are true on v.
+//
+// Relational predicates (=, !=, <, <=, >, >=) over the ordered domains int
+// and string are answered with a sorted-boundary index: the distinct
+// constants partition V into alternating open intervals and points, and the
+// set of satisfied predicates is constant on each part (this is exactly the
+// interval decomposition visible in the Tvalue table of Fig. 3). Satisfied
+// sets are computed lazily per interval and cached.
+//
+// The contains / starts-with extension sketched in Sec. 2 is supported with
+// an Aho–Corasick dictionary automaton (contains) and a prefix trie
+// (starts-with), following the paper's pointer to Aho and Corasick [1].
+package predindex
+
+import (
+	"sort"
+
+	"repro/internal/xmlval"
+)
+
+// entry is one registered predicate.
+type entry struct {
+	id int32
+	op xmlval.Op
+	c  xmlval.Const
+}
+
+// Builder accumulates predicates before freezing them into an Index.
+type Builder struct {
+	entries []entry
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add registers a predicate under the caller's id (typically the terminal
+// AFA state id). IDs need not be distinct: registering the same id for two
+// predicates means the id fires when either holds.
+func (b *Builder) Add(id int32, op xmlval.Op, c xmlval.Const) {
+	b.entries = append(b.entries, entry{id: id, op: op, c: c})
+}
+
+// Len reports the number of registered predicates.
+func (b *Builder) Len() int { return len(b.entries) }
+
+// Build freezes the registered predicates into an Index.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		numCache: make(map[int][]int32),
+		strCache: make(map[int][]int32),
+	}
+	numBuckets := map[float64]*opBuckets{}
+	strBuckets := map[string]*opBuckets{}
+	for _, e := range b.entries {
+		switch e.op {
+		case xmlval.OpExists:
+			ix.always = append(ix.always, e.id)
+		case xmlval.OpContains:
+			ix.ac.add(e.c.Str, e.id)
+			ix.hasStringFuncs = true
+		case xmlval.OpStartsWith:
+			ix.prefix.add(e.c.Str, e.id)
+			ix.hasStringFuncs = true
+		default:
+			if e.c.Kind == xmlval.Number {
+				bk := numBuckets[e.c.Num]
+				if bk == nil {
+					bk = &opBuckets{}
+					numBuckets[e.c.Num] = bk
+				}
+				bk.add(e.op, e.id)
+				ix.numPreds++
+			} else {
+				bk := strBuckets[e.c.Str]
+				if bk == nil {
+					bk = &opBuckets{}
+					strBuckets[e.c.Str] = bk
+				}
+				bk.add(e.op, e.id)
+				ix.strPreds++
+			}
+		}
+	}
+	ix.numConsts = make([]float64, 0, len(numBuckets))
+	for c := range numBuckets {
+		ix.numConsts = append(ix.numConsts, c)
+	}
+	sort.Float64s(ix.numConsts)
+	ix.numOps = make([]*opBuckets, len(ix.numConsts))
+	for i, c := range ix.numConsts {
+		ix.numOps[i] = numBuckets[c]
+	}
+	ix.strConsts = make([]string, 0, len(strBuckets))
+	for c := range strBuckets {
+		ix.strConsts = append(ix.strConsts, c)
+	}
+	sort.Strings(ix.strConsts)
+	ix.strOps = make([]*opBuckets, len(ix.strConsts))
+	for i, c := range ix.strConsts {
+		ix.strOps[i] = strBuckets[c]
+	}
+	sortIDs(ix.always)
+	ix.ac.build()
+	return ix
+}
+
+// opBuckets groups predicate ids per relational operator for one constant.
+type opBuckets struct {
+	eq, ne, lt, le, gt, ge []int32
+}
+
+func (b *opBuckets) add(op xmlval.Op, id int32) {
+	switch op {
+	case xmlval.OpEq:
+		b.eq = append(b.eq, id)
+	case xmlval.OpNe:
+		b.ne = append(b.ne, id)
+	case xmlval.OpLt:
+		b.lt = append(b.lt, id)
+	case xmlval.OpLe:
+		b.le = append(b.le, id)
+	case xmlval.OpGt:
+		b.gt = append(b.gt, id)
+	case xmlval.OpGe:
+		b.ge = append(b.ge, id)
+	}
+}
+
+// Index answers "which predicates hold on v" queries. It is safe for
+// concurrent reads only after a warm-up that has touched the relevant
+// intervals; the lazy per-interval cache is not synchronised (the XPush
+// machine is single-threaded per stream, per the paper's execution model).
+type Index struct {
+	numConsts []float64
+	numOps    []*opBuckets
+	strConsts []string
+	strOps    []*opBuckets
+	numPreds  int
+	strPreds  int
+
+	always []int32 // OpExists predicates: true on every value
+
+	ac             acAutomaton
+	prefix         trieNode
+	hasStringFuncs bool
+
+	numCache map[int][]int32
+	strCache map[int][]int32
+}
+
+// HasStringFuncs reports whether any contains/starts-with predicates are
+// registered; their results are not interval-cacheable.
+func (ix *Index) HasStringFuncs() bool { return ix.hasStringFuncs }
+
+// NumIntervals reports the number of parts in the numeric interval
+// partition (2k+1 for k distinct constants).
+func (ix *Index) NumIntervals() int { return 2*len(ix.numConsts) + 1 }
+
+// IntervalKey returns a compact identity of the (numeric, string) interval
+// pair a value falls into. Values with equal keys satisfy exactly the same
+// relational predicates, so the key can memoize downstream state lookups
+// (it is how the paper precomputes "all the XPush states of the form
+// tvalue(qt0, v)", Sec. 4).
+func (ix *Index) IntervalKey(v xmlval.Value) int64 {
+	n := 0
+	if v.IsNum {
+		n = numIntervalID(ix.numConsts, v.Num)
+	} else {
+		n = -1 // non-numeric: no numeric predicate can hold
+	}
+	s := strIntervalID(ix.strConsts, v.Trimmed())
+	return (int64(n)+1)<<32 | int64(s)
+}
+
+// Match returns the sorted ids of all predicates true on v, including the
+// always-true (exists) predicates. The returned slice must not be modified.
+// When string-function predicates fire, a fresh slice is returned; otherwise
+// the result is a cached per-interval slice.
+func (ix *Index) Match(v xmlval.Value) []int32 {
+	rel := ix.matchRelational(v)
+	if !ix.hasStringFuncs {
+		return rel
+	}
+	text := v.Trimmed()
+	var dyn []int32
+	dyn = ix.ac.match(text, dyn)
+	dyn = ix.prefix.match(text, dyn)
+	if len(dyn) == 0 {
+		return rel
+	}
+	sortIDs(dyn)
+	return mergeSorted(rel, dedupSorted(dyn))
+}
+
+// matchRelational returns the cached sorted satisfied set of relational and
+// exists predicates for v.
+func (ix *Index) matchRelational(v xmlval.Value) []int32 {
+	var num []int32
+	if v.IsNum && ix.numPreds > 0 {
+		iid := numIntervalID(ix.numConsts, v.Num)
+		var ok bool
+		num, ok = ix.numCache[iid]
+		if !ok {
+			num = ix.computeNumInterval(iid)
+			ix.numCache[iid] = num
+		}
+	}
+	var str []int32
+	if ix.strPreds > 0 {
+		iid := strIntervalID(ix.strConsts, v.Trimmed())
+		var ok bool
+		str, ok = ix.strCache[iid]
+		if !ok {
+			str = ix.computeStrInterval(iid)
+			ix.strCache[iid] = str
+		}
+	}
+	// Merge the two cached slices plus the always-true set. The common
+	// case has at most one non-empty side.
+	switch {
+	case len(num) == 0 && len(str) == 0:
+		return ix.always
+	case len(str) == 0 && len(ix.always) == 0:
+		return num
+	case len(num) == 0 && len(ix.always) == 0:
+		return str
+	default:
+		return mergeSorted(mergeSorted(num, str), ix.always)
+	}
+}
+
+// Interval ids: 2*i   = open interval just below constant i (or above all
+//
+//	constants when i == len(consts)),
+//
+// 2*i+1 = the point at constant i.
+func numIntervalID(consts []float64, v float64) int {
+	i := sort.SearchFloat64s(consts, v)
+	if i < len(consts) && consts[i] == v {
+		return 2*i + 1
+	}
+	return 2 * i
+}
+
+func strIntervalID(consts []string, v string) int {
+	i := sort.SearchStrings(consts, v)
+	if i < len(consts) && consts[i] == v {
+		return 2*i + 1
+	}
+	return 2 * i
+}
+
+func (ix *Index) computeNumInterval(iid int) []int32 {
+	return computeInterval(iid, len(ix.numConsts), func(i int) *opBuckets { return ix.numOps[i] })
+}
+
+func (ix *Index) computeStrInterval(iid int) []int32 {
+	return computeInterval(iid, len(ix.strConsts), func(i int) *opBuckets { return ix.strOps[i] })
+}
+
+// computeInterval materialises the satisfied-predicate set for one interval
+// of the partition.
+func computeInterval(iid, k int, bucket func(int) *opBuckets) []int32 {
+	var out []int32
+	point := iid%2 == 1
+	pos := iid / 2 // for a point: the constant index; for a gap: the
+	// index of the first constant above the interval.
+	for j := 0; j < k; j++ {
+		b := bucket(j)
+		switch {
+		case point && j == pos:
+			out = append(out, b.eq...)
+			out = append(out, b.le...)
+			out = append(out, b.ge...)
+		case j >= pos && !point || point && j > pos:
+			// Constant j lies strictly above the value.
+			out = append(out, b.lt...)
+			out = append(out, b.le...)
+			out = append(out, b.ne...)
+		default:
+			// Constant j lies strictly below the value.
+			out = append(out, b.gt...)
+			out = append(out, b.ge...)
+			out = append(out, b.ne...)
+		}
+	}
+	sortIDs(out)
+	return dedupSorted(out)
+}
+
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func dedupSorted(ids []int32) []int32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// mergeSorted merges two sorted id slices into a fresh sorted deduplicated
+// slice.
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Representatives returns one value per interval of the partition: every
+// numeric and string constant (the point intervals) plus a witness inside
+// each gap between and beyond them. Touching all of them materialises every
+// satisfied-set the relational predicates can produce; the XPush machine's
+// state precomputation (Sec. 4) and eager construction iterate them.
+func (ix *Index) Representatives() []xmlval.Value {
+	out := make([]xmlval.Value, 0, 2*(len(ix.numConsts)+len(ix.strConsts))+2)
+	for i, c := range ix.numConsts {
+		if i == 0 {
+			out = append(out, xmlval.FromNumber(c-1))
+		} else {
+			prev := ix.numConsts[i-1]
+			out = append(out, xmlval.FromNumber((prev+c)/2))
+		}
+		out = append(out, xmlval.FromNumber(c))
+	}
+	if n := len(ix.numConsts); n > 0 {
+		out = append(out, xmlval.FromNumber(ix.numConsts[n-1]+1))
+	}
+	for i, c := range ix.strConsts {
+		if i == 0 && c != "" {
+			out = append(out, xmlval.New(""))
+		} else if i > 0 {
+			// The first string strictly above the previous constant.
+			out = append(out, xmlval.New(ix.strConsts[i-1]+"\x00"))
+		}
+		out = append(out, xmlval.New(c))
+	}
+	if n := len(ix.strConsts); n > 0 {
+		out = append(out, xmlval.New(ix.strConsts[n-1]+"\x7f"))
+	}
+	return out
+}
+
+// SatisfyingValue produces a value that satisfies the predicate, used by the
+// training-data generator of Sec. 5 ("atomic predicates are replaced with
+// values that satisfy them"). The second result is false when no value in
+// the domain satisfies the predicate (cannot happen for this fragment).
+func SatisfyingValue(op xmlval.Op, c xmlval.Const) (xmlval.Value, bool) {
+	if c.Kind == xmlval.Number {
+		switch op {
+		case xmlval.OpEq, xmlval.OpLe, xmlval.OpGe:
+			return xmlval.FromNumber(c.Num), true
+		case xmlval.OpNe:
+			return xmlval.FromNumber(c.Num + 1), true
+		case xmlval.OpLt:
+			return xmlval.FromNumber(c.Num - 1), true
+		case xmlval.OpGt:
+			return xmlval.FromNumber(c.Num + 1), true
+		case xmlval.OpExists:
+			return xmlval.New("x"), true
+		default:
+			return xmlval.Value{}, false
+		}
+	}
+	switch op {
+	case xmlval.OpEq, xmlval.OpLe, xmlval.OpGe, xmlval.OpContains, xmlval.OpStartsWith:
+		return xmlval.New(c.Str), true
+	case xmlval.OpNe, xmlval.OpGt:
+		return xmlval.New(c.Str + "z"), true
+	case xmlval.OpLt:
+		if c.Str == "" {
+			return xmlval.Value{}, false // nothing sorts below ""
+		}
+		return xmlval.New(""), true
+	case xmlval.OpExists:
+		return xmlval.New("x"), true
+	default:
+		return xmlval.Value{}, false
+	}
+}

@@ -1,0 +1,77 @@
+package sax
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScanner checks that the hand-written scanner never panics, and that
+// on accepted inputs the event stream is well-formed: documents and elements
+// balance, text only occurs inside elements, and attribute pseudo-elements
+// are properly nested.
+func FuzzScanner(f *testing.F) {
+	seeds := []string{
+		`<a c="3"> <b> 4 </b> </a>`,
+		`<a><b/><c x="1"/></a>`,
+		`<a>&lt;x&gt; &amp; &#65;</a>`,
+		`<a><![CDATA[1 < 2]]></a>`,
+		`<?xml version="1.0"?><!-- c --><a/>`,
+		`<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b>1</b></a>`,
+		`<a>1</a><b>2</b>`,
+		`<a`,
+		`</a>`,
+		`<a x='1&quot;'/>`,
+		`<a>&bogus;</a>`,
+		"<a>\n  <b> </b>\n</a>",
+		`<a x="1" y="2" z="3">mixed<b/>tail</a>`,
+		strings.Repeat("<a>", 40) + strings.Repeat("</a>", 40),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		var c Collector
+		if err := Parse([]byte(input), &c); err != nil {
+			return // rejected inputs need no further checks
+		}
+		depth := 0
+		inDoc := false
+		var stack []string
+		for i, e := range c.Events {
+			switch e.Kind {
+			case StartDocument:
+				if inDoc {
+					t.Fatalf("event %d: nested StartDocument", i)
+				}
+				inDoc = true
+			case EndDocument:
+				if !inDoc || depth != 0 {
+					t.Fatalf("event %d: bad EndDocument (inDoc=%v depth=%d)", i, inDoc, depth)
+				}
+				inDoc = false
+			case StartElement:
+				if !inDoc {
+					t.Fatalf("event %d: element outside document", i)
+				}
+				stack = append(stack, e.Name)
+				depth++
+			case EndElement:
+				if depth == 0 || stack[len(stack)-1] != e.Name {
+					t.Fatalf("event %d: unbalanced EndElement(%s)", i, e.Name)
+				}
+				stack = stack[:len(stack)-1]
+				depth--
+			case Text:
+				if depth == 0 {
+					t.Fatalf("event %d: text outside elements: %q", i, e.Data)
+				}
+				if strings.TrimSpace(e.Data) == "" && !IsAttr(stack[len(stack)-1]) {
+					t.Fatalf("event %d: whitespace-only text leaked: %q", i, e.Data)
+				}
+			}
+		}
+		if inDoc || depth != 0 {
+			t.Fatalf("stream ended inside a document (depth=%d)", depth)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package sax
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func splitAll(t *testing.T, input string) []string {
+	t.Helper()
+	var out []string
+	err := StreamDocuments(strings.NewReader(input), func(doc []byte) error {
+		out = append(out, string(doc))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamDocuments(%q): %v", input, err)
+	}
+	return out
+}
+
+func TestSplitterBasic(t *testing.T) {
+	docs := splitAll(t, `<a>1</a><b><c/></b> <d x="1"/>`)
+	if len(docs) != 3 {
+		t.Fatalf("docs = %v", docs)
+	}
+	if docs[0] != "<a>1</a>" || docs[2] != `<d x="1"/>` {
+		t.Errorf("docs = %q", docs)
+	}
+}
+
+func TestSplitterTrickyContent(t *testing.T) {
+	input := `<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a ANY> ]>
+<a attr="quoted > bracket" other='/>'>
+  <!-- a comment with </a> inside -->
+  <![CDATA[ raw </a> text ]]>
+  <b>text</b>
+</a><second/>`
+	docs := splitAll(t, input)
+	if len(docs) != 2 {
+		t.Fatalf("docs = %d: %q", len(docs), docs)
+	}
+	if !strings.Contains(docs[0], "CDATA") || !strings.HasSuffix(docs[0], "</a>") {
+		t.Errorf("doc 0 = %q", docs[0])
+	}
+	if strings.TrimSpace(docs[1]) != "<second/>" {
+		t.Errorf("doc 1 = %q", docs[1])
+	}
+	// The split documents must themselves parse.
+	for _, d := range docs {
+		var c Collector
+		if err := Parse([]byte(d), &c); err != nil {
+			t.Errorf("split doc unparsable: %v\n%s", err, d)
+		}
+	}
+}
+
+func TestSplitterSelfClosingRoot(t *testing.T) {
+	docs := splitAll(t, `<a/><b/>`)
+	if len(docs) != 2 || docs[0] != "<a/>" || docs[1] != "<b/>" {
+		t.Errorf("docs = %q", docs)
+	}
+}
+
+func TestSplitterNestedSameName(t *testing.T) {
+	docs := splitAll(t, `<a><a><a/></a></a><a/>`)
+	if len(docs) != 2 {
+		t.Fatalf("docs = %q", docs)
+	}
+}
+
+func TestSplitterEmpty(t *testing.T) {
+	if docs := splitAll(t, "   \n  "); len(docs) != 0 {
+		t.Errorf("docs = %q", docs)
+	}
+	if docs := splitAll(t, ""); len(docs) != 0 {
+		t.Errorf("docs = %q", docs)
+	}
+}
+
+func TestSplitterErrors(t *testing.T) {
+	bad := []string{
+		`<a><b></b>`,      // unclosed root
+		`<a`,              // truncated tag
+		`</a>`,            // end tag first
+		`<a><!-- nope`,    // unterminated comment
+		`<a attr="open`,   // unterminated attribute
+		`<a><![CDATA[ x`,  // unterminated CDATA
+		`<?pi never ends`, // unterminated PI
+	}
+	for _, in := range bad {
+		err := StreamDocuments(strings.NewReader(in), func([]byte) error { return nil })
+		if err == nil {
+			t.Errorf("StreamDocuments(%q) succeeded", in)
+		}
+	}
+}
+
+func TestSplitterSizeBound(t *testing.T) {
+	sp := NewSplitter(strings.NewReader("<a>" + strings.Repeat("x", 1000) + "</a>"))
+	sp.MaxDocBytes = 100
+	if _, err := sp.Next(); err == nil {
+		t.Error("size bound not enforced")
+	}
+}
+
+func TestSplitterHandlerError(t *testing.T) {
+	wantErr := io.ErrClosedPipe
+	err := StreamDocuments(strings.NewReader("<a/><b/>"), func(doc []byte) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestSplitterAgainstScanner: splitting then parsing per document must give
+// the same events as parsing the concatenated stream at once.
+func TestSplitterAgainstScanner(t *testing.T) {
+	input := `<a c="1"><b>t</b></a><x><!-- c --><y p='2'>v</y></x><z/>`
+	var whole Collector
+	if err := Parse([]byte(input), &whole); err != nil {
+		t.Fatal(err)
+	}
+	var split Collector
+	err := StreamDocuments(strings.NewReader(input), func(doc []byte) error {
+		return Parse(doc, &split)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eventString(whole.Events) != eventString(split.Events) {
+		t.Errorf("events differ:\n whole %s\n split %s",
+			eventString(whole.Events), eventString(split.Events))
+	}
+}
+
+func TestSplitterLargeStream(t *testing.T) {
+	// Many small documents through a small bufio buffer.
+	var sb strings.Builder
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<doc id="`)
+		sb.WriteString(strings.Repeat("x", i%17))
+		sb.WriteString(`"><v>1</v></doc>`)
+	}
+	count := 0
+	err := StreamDocuments(strings.NewReader(sb.String()), func(doc []byte) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+}

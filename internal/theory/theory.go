@@ -1,0 +1,112 @@
+// Package theory implements the analytical model of Sec. 6 of the paper:
+// the clique bound of Theorem 6.1 and the expected-state-count formulas of
+// Theorem 6.2 for flat workloads, together with a flat-workload constructor
+// so the formulas can be validated against the real lazy XPush machine.
+//
+// A flat workload is n queries of the form
+//
+//	/a[b1/text() = v1 and ... and bk/text() = vk]
+//
+// with all atomic predicates of the same selectivity σ.
+package theory
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// ExpectedStatesNoOrder is Theorem 6.2(1): without the order optimization,
+// the expected number of lazily created states over N documents is at most
+// 1 + N·m·σ, where m is the total number of distinct atomic predicates.
+func ExpectedStatesNoOrder(nDocs, m int, sigma float64) float64 {
+	return 1 + float64(nDocs)*float64(m)*sigma
+}
+
+// ExpectedStatesOrder is Theorem 6.2(2): with the order optimization, the
+// expected number of states is at most N·((1-σ^(k+1))/(1-σ))^n for n
+// queries of exactly k predicates each.
+func ExpectedStatesOrder(nDocs, nQueries, k int, sigma float64) float64 {
+	if sigma <= 0 {
+		return float64(nDocs)
+	}
+	if sigma >= 1 {
+		sigma = 1 - 1e-9
+	}
+	base := (1 - powf(sigma, k+1)) / (1 - sigma)
+	return float64(nDocs) * powf(base, nQueries)
+}
+
+func powf(x float64, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= x
+	}
+	return r
+}
+
+// FlatWorkload builds n flat queries of k predicates each. Query i uses
+// constants chosen so that a document generator with the matching
+// selectivity can satisfy each predicate independently: predicate j of query
+// i compares b<j> with constant i (all queries share the element names
+// b1..bk, so predicates with equal j and different i share the atomic
+// predicate index but not the truth value).
+func FlatWorkload(n, k int) []*xpath.Filter {
+	out := make([]*xpath.Filter, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		sb.WriteString("/a[")
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				sb.WriteString(" and ")
+			}
+			fmt.Fprintf(&sb, "b%d/text()=%d", j, i)
+		}
+		sb.WriteString("]")
+		out[i] = xpath.MustParse(sb.String())
+	}
+	return out
+}
+
+// FlatDTD returns the DTD ordering b0 ≺ b1 ≺ ... ≺ b<k-1> under /a, which
+// the order optimization consumes.
+func FlatDTD(k int) *dtd.DTD {
+	var sb strings.Builder
+	sb.WriteString("<!ELEMENT a (")
+	for j := 0; j < k; j++ {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "b%d", j)
+	}
+	sb.WriteString(")>\n")
+	for j := 0; j < k; j++ {
+		fmt.Fprintf(&sb, "<!ELEMENT b%d (#PCDATA)>\n", j)
+	}
+	return dtd.MustParse(sb.String())
+}
+
+// FlatDocuments generates nDocs flat documents for a FlatWorkload(n, k):
+// element b<j>'s text equals constant i (for a random query i) with
+// probability n·σ, so each individual predicate holds with probability ≈ σ,
+// matching the theorem's setup. Values outside [0, n) satisfy nothing.
+func FlatDocuments(r *rand.Rand, nDocs, n, k int, sigma float64) []byte {
+	var sb strings.Builder
+	for d := 0; d < nDocs; d++ {
+		sb.WriteString("<a>")
+		for j := 0; j < k; j++ {
+			var v int
+			if r.Float64() < sigma*float64(n) {
+				v = r.Intn(n) // satisfies query v's predicate j
+			} else {
+				v = n + r.Intn(1000) // satisfies nothing
+			}
+			fmt.Fprintf(&sb, "<b%d>%d</b%d>", j, v, j)
+		}
+		sb.WriteString("</a>\n")
+	}
+	return []byte(sb.String())
+}

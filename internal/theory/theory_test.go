@@ -1,0 +1,115 @@
+package theory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/afa"
+	"repro/internal/core"
+)
+
+func machineStates(t *testing.T, n, k int, sigma float64, nDocs int, order bool) int {
+	t.Helper()
+	fs := FlatWorkload(n, k)
+	a, err := afa.Compile(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{}
+	if order {
+		opts.Order = FlatDTD(k).SiblingOrder()
+	}
+	m := core.New(a, opts)
+	docs := FlatDocuments(rand.New(rand.NewSource(77)), nDocs, n, k, sigma)
+	if err := m.Run(docs); err != nil {
+		t.Fatal(err)
+	}
+	return m.Stats().BStates
+}
+
+func TestFormulasBehave(t *testing.T) {
+	// Monotone in σ and N.
+	if ExpectedStatesNoOrder(100, 50, 0.01) >= ExpectedStatesNoOrder(100, 50, 0.1) {
+		t.Error("no-order bound must grow with σ")
+	}
+	if ExpectedStatesOrder(100, 10, 3, 0.01) >= ExpectedStatesOrder(100, 10, 3, 0.1) {
+		t.Error("order bound must grow with σ")
+	}
+	// Theorem 6.2's third consequence: with kn (total branches) constant,
+	// increasing k decreases the expected number of states.
+	kn := 24
+	prev := ExpectedStatesOrder(100, kn/1, 1, 0.05)
+	for _, k := range []int{2, 3, 4, 6} {
+		cur := ExpectedStatesOrder(100, kn/k, k, 0.05)
+		if cur >= prev {
+			t.Errorf("k=%d: expected states %.1f not below k-smaller %.1f", k, cur, prev)
+		}
+		prev = cur
+	}
+	if ExpectedStatesOrder(100, 5, 3, 0) != 100 {
+		t.Error("σ=0: one state per doc bound")
+	}
+}
+
+func TestTheorem62NoOrderBoundHolds(t *testing.T) {
+	// σ small (σ << 1/N regime): measured lazily created states should be
+	// the right order of magnitude versus the 1+Nmσ bound. The bound is
+	// an expectation; allow slack for Monte Carlo noise and for the
+	// intermediate accumulation states the machine also interns.
+	n, k := 40, 3
+	sigma := 0.002
+	nDocs := 200
+	m := n * k // distinct atomic predicates
+	states := machineStates(t, n, k, sigma, nDocs, false)
+	bound := ExpectedStatesNoOrder(nDocs, m, sigma)
+	// The machine also interns a handful of workload-independent states
+	// (value intervals, per-document skeleton states).
+	if float64(states) > 8*bound+40 {
+		t.Errorf("states %d far above bound %.1f", states, bound)
+	}
+}
+
+func TestOrderReducesStatesOnFlatWorkload(t *testing.T) {
+	n, k := 12, 4
+	sigma := 0.02
+	nDocs := 300
+	plain := machineStates(t, n, k, sigma, nDocs, false)
+	ordered := machineStates(t, n, k, sigma, nDocs, true)
+	if ordered > plain {
+		t.Errorf("order opt increased states: %d > %d", ordered, plain)
+	}
+}
+
+func TestMoreBranchesPerQueryFewerStates(t *testing.T) {
+	// The empirical counterpart of the theorem's consequence (Fig. 10a):
+	// keep total branches kn fixed, increase k, expect fewer states with
+	// order optimization.
+	sigma := 0.01
+	nDocs := 300
+	kn := 24
+	s1 := machineStates(t, kn/2, 2, sigma, nDocs, true)
+	s2 := machineStates(t, kn/6, 6, sigma, nDocs, true)
+	if s2 > s1 {
+		t.Errorf("k=6 states %d should not exceed k=2 states %d", s2, s1)
+	}
+}
+
+func TestFlatWorkloadShape(t *testing.T) {
+	fs := FlatWorkload(3, 2)
+	if len(fs) != 3 {
+		t.Fatalf("n = %d", len(fs))
+	}
+	if fs[1].String() != "/a[b0/text()=1 and b1/text()=1]" {
+		t.Errorf("query = %s", fs[1])
+	}
+	if fs[0].CountAtomicPredicates() != 2 {
+		t.Errorf("preds = %d", fs[0].CountAtomicPredicates())
+	}
+}
+
+func TestFlatDTDOrder(t *testing.T) {
+	o := FlatDTD(3).SiblingOrder()
+	if !o.Precedes("b0", "b2") || o.Precedes("b2", "b0") {
+		t.Error("flat DTD order wrong")
+	}
+}

@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/predindex"
+	"repro/internal/sax"
+	"repro/internal/xpath"
+)
+
+// TrainingData implements the training-data generator of Sec. 5: one XML
+// document per XPath query, where atomic predicates are replaced with values
+// that satisfy them, label constants become elements or attributes,
+// wildcards and descendant axes are expanded using the DTD, boolean
+// connectors are simply ignored, and the DTD's sibling order decides element
+// order. All documents are concatenated; running the lazy XPush machine on
+// the result warms its state tables.
+func TrainingData(filters []*xpath.Filter, d *dtd.DTD) []byte {
+	t := &trainer{
+		d:     d,
+		order: d.SiblingOrder(),
+	}
+	var sb strings.Builder
+	for _, f := range filters {
+		doc := t.document(f)
+		if doc != nil {
+			doc.write(&sb)
+			sb.WriteByte('\n')
+		}
+	}
+	return []byte(sb.String())
+}
+
+type trainer struct {
+	d     *dtd.DTD
+	order *dtd.Order
+}
+
+// tnode is a document-tree node under construction. Attributes are children
+// with "@"-prefixed names.
+type tnode struct {
+	name     string
+	text     string
+	children []*tnode
+}
+
+func (n *tnode) write(sb *strings.Builder) {
+	sb.WriteByte('<')
+	sb.WriteString(n.name)
+	var elems []*tnode
+	for _, c := range n.children {
+		if strings.HasPrefix(c.name, "@") {
+			fmt.Fprintf(sb, ` %s="%s"`, c.name[1:], sax.EscapeAttr(c.text))
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) == 0 && n.text == "" {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	if n.text != "" {
+		sb.WriteString(sax.EscapeText(n.text))
+	}
+	for _, c := range elems {
+		c.write(sb)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.name)
+	sb.WriteByte('>')
+}
+
+// document builds the training document for one filter, or nil when the
+// filter's labels cannot be resolved against the DTD.
+func (t *trainer) document(f *xpath.Filter) *tnode {
+	root := &tnode{name: "\x00virtual"}
+	if !t.materialize(root, "", f.Path) {
+		return nil
+	}
+	t.sortChildren(root)
+	if len(root.children) != 1 {
+		return nil
+	}
+	return root.children[0]
+}
+
+// materialize grows the tree under parent so that the path's navigation and
+// predicates are exercised. ctx is the DTD element name of parent ("" for
+// the virtual root). Reports false when a label cannot be reached.
+func (t *trainer) materialize(parent *tnode, ctx string, p *xpath.Path) bool {
+	cur := parent
+	curCtx := ctx
+	for i := range p.Steps {
+		step := &p.Steps[i]
+		if step.Test.Kind == xpath.Self {
+			continue
+		}
+		if step.Test.Kind == xpath.Text {
+			// Bare text() existence: give the element some text.
+			if cur.text == "" {
+				cur.text = "1"
+			}
+			break
+		}
+		label, chain, ok := t.resolveStep(curCtx, step)
+		if !ok {
+			return false
+		}
+		// Materialise intermediate elements for // expansions.
+		for _, mid := range chain {
+			mid := &tnode{name: mid}
+			cur.children = append(cur.children, mid)
+			cur = mid
+		}
+		node := &tnode{name: label}
+		cur.children = append(cur.children, node)
+		cur = node
+		if !strings.HasPrefix(label, "@") {
+			curCtx = label
+		}
+		for _, q := range step.Preds {
+			if !t.materializeExpr(cur, curCtx, q) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resolveStep picks a concrete label for a step and, for descendant axes,
+// the chain of intermediate elements from the context to it (expanded via
+// the DTD, as the paper prescribes for * and //).
+func (t *trainer) resolveStep(ctx string, step *xpath.Step) (label string, chain []string, ok bool) {
+	switch step.Test.Kind {
+	case xpath.Element:
+		label = step.Test.Name
+	case xpath.Attribute:
+		label = "@" + step.Test.Name
+	case xpath.AnyElement:
+		// Expand * to the first child element of the context.
+		cands := t.childElements(ctx)
+		if len(cands) == 0 {
+			return "", nil, false
+		}
+		label = cands[0]
+	case xpath.AnyAttribute:
+		cands := t.attrs(ctx)
+		if len(cands) == 0 {
+			return "", nil, false
+		}
+		label = cands[0]
+	default:
+		return "", nil, false
+	}
+	if ctx == "" {
+		// Top of the document: the chain must start at the DTD root.
+		if strings.HasPrefix(label, "@") {
+			return "", nil, false
+		}
+		if step.Axis == xpath.Child || label == t.d.Root {
+			if label != t.d.Root && t.d.Element(label) == nil {
+				// Unknown root element: accept verbatim (the
+				// workload may be DTD-free).
+				return label, nil, true
+			}
+			if label != t.d.Root {
+				return "", nil, false
+			}
+			return label, nil, true
+		}
+		// //label from the top: path root ... label.
+		path := t.pathTo(t.d.Root, label)
+		if path == nil {
+			return "", nil, false
+		}
+		return label, append([]string{t.d.Root}, path[:len(path)-1]...), true
+	}
+	if step.Axis == xpath.Child {
+		if t.directChild(ctx, label) {
+			return label, nil, true
+		}
+		if t.d.Element(ctx) == nil {
+			// Context unknown to the DTD: accept verbatim.
+			return label, nil, true
+		}
+		return "", nil, false
+	}
+	// Descendant: find an intermediate chain.
+	path := t.pathTo(ctx, label)
+	if path == nil {
+		return "", nil, false
+	}
+	return label, path[:len(path)-1], true
+}
+
+func (t *trainer) childElements(ctx string) []string {
+	if ctx == "" {
+		return []string{t.d.Root}
+	}
+	var out []string
+	for _, c := range t.d.Children(ctx) {
+		if t.d.Element(c) != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (t *trainer) attrs(ctx string) []string {
+	el := t.d.Element(ctx)
+	if el == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range el.Attrs {
+		out = append(out, "@"+a.Name)
+	}
+	return out
+}
+
+func (t *trainer) directChild(ctx, label string) bool {
+	if strings.HasPrefix(label, "@") {
+		for _, a := range t.attrs(ctx) {
+			if a == label {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range t.d.Children(ctx) {
+		if c == label {
+			return true
+		}
+	}
+	return false
+}
+
+// pathTo returns the element chain from ctx (exclusive) to target
+// (inclusive) via BFS over the DTD graph, attributes allowed as final step.
+func (t *trainer) pathTo(ctx, target string) []string {
+	if t.d.Element(ctx) == nil {
+		return nil
+	}
+	type qe struct {
+		name string
+		path []string
+	}
+	seen := map[string]bool{ctx: true}
+	queue := []qe{{name: ctx}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if t.directChild(e.name, target) {
+			return append(e.path, target)
+		}
+		for _, c := range t.d.Children(e.name) {
+			if !seen[c] && t.d.Element(c) != nil {
+				seen[c] = true
+				cp := make([]string, len(e.path), len(e.path)+1)
+				copy(cp, e.path)
+				queue = append(queue, qe{name: c, path: append(cp, c)})
+			}
+		}
+	}
+	return nil
+}
+
+// materializeExpr grows the tree to exercise a predicate expression.
+// Boolean connectors are "simply ignored" (Sec. 5): all operands of and/or
+// and the bodies of not(...) are materialised.
+func (t *trainer) materializeExpr(node *tnode, ctx string, e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.And:
+		return t.materializeExpr(node, ctx, x.L) && t.materializeExpr(node, ctx, x.R)
+	case *xpath.Or:
+		return t.materializeExpr(node, ctx, x.L) && t.materializeExpr(node, ctx, x.R)
+	case *xpath.Not:
+		return t.materializeExpr(node, ctx, x.X)
+	case *xpath.Exists:
+		return t.materialize(node, ctx, x.Path)
+	case *xpath.Cmp:
+		v, ok := predindex.SatisfyingValue(x.Op, x.Const)
+		if !ok {
+			return false
+		}
+		return t.materializeCmp(node, ctx, x.Path, v.Text)
+	default:
+		return false
+	}
+}
+
+// materializeCmp materialises a comparison's path and plants the satisfying
+// value at its end.
+func (t *trainer) materializeCmp(node *tnode, ctx string, p *xpath.Path, value string) bool {
+	// Build the path, then set the text of the deepest created node.
+	probe := &tnode{name: node.name}
+	if !t.materialize(probe, ctx, p) {
+		return false
+	}
+	deepest := probe
+	for len(deepest.children) > 0 {
+		deepest = deepest.children[len(deepest.children)-1]
+	}
+	if deepest == probe {
+		// Self/text() path: the value lands on the node itself.
+		if node.text == "" {
+			node.text = value
+		}
+		return true
+	}
+	deepest.text = value
+	node.children = append(node.children, probe.children...)
+	return true
+}
+
+// sortChildren orders every element's children by the DTD sibling order
+// (attributes first, then a topological order of the ≺ relation), as the
+// paper requires for training data.
+func (t *trainer) sortChildren(n *tnode) {
+	for _, c := range n.children {
+		t.sortChildren(c)
+	}
+	if len(n.children) < 2 {
+		return
+	}
+	// Stable topological-ish sort: selection by "no remaining
+	// predecessor". The relation is a partial order on small sets.
+	sort.SliceStable(n.children, func(i, j int) bool {
+		return t.order.Precedes(n.children[i].name, n.children[j].name)
+	})
+}

@@ -1,0 +1,245 @@
+// Package workload generates synthetic XPath filter workloads against a
+// dataset's DTD, modeled on the (modified) YFilter query generator the paper
+// uses in Sec. 7: bushy query trees rather than left-linear ones, and atomic
+// predicates drawn from data values that actually occur in the generated
+// data instance, "ensuring that each predicate is true on at least some XML
+// document". Knobs cover the paper's experimental axes: query count,
+// predicates per query (1.15 and 10.45 in the paper's two workload
+// families), and wildcard / descendant-axis probabilities (set to zero for
+// the reported runs).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// Params control workload generation.
+type Params struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumQueries is the workload size.
+	NumQueries int
+	// MeanPreds is the mean number of atomic predicates per query
+	// (>= 1); per-query counts are 1 + Poisson(MeanPreds-1).
+	MeanPreds float64
+	// WildcardProb replaces a navigation label with * .
+	WildcardProb float64
+	// DescendantProb turns a navigation step into a descendant step.
+	DescendantProb float64
+	// NestedPredProb makes a predicate a two-level nested path
+	// (bushy query trees).
+	NestedPredProb float64
+	// OrProb joins a predicate pair with or instead of and.
+	OrProb float64
+	// NotProb wraps a predicate in not(...).
+	NotProb float64
+	// StringFuncProb emits contains(...) predicates (extension).
+	StringFuncProb float64
+}
+
+// Generate produces a deterministic workload for a dataset.
+func Generate(ds *datagen.Dataset, p Params) []*xpath.Filter {
+	g := &qgen{ds: ds, r: rand.New(rand.NewSource(p.Seed)), p: p}
+	out := make([]*xpath.Filter, 0, p.NumQueries)
+	for len(out) < p.NumQueries {
+		q := g.query()
+		f, err := xpath.Parse(q)
+		if err != nil {
+			// Generator invariant: queries always parse.
+			panic(fmt.Sprintf("workload: generated unparsable query %q: %v", q, err))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TotalAtomicPredicates sums the workload-size measure used on the paper's
+// x-axes ("total number of atomic predicates").
+func TotalAtomicPredicates(filters []*xpath.Filter) int {
+	n := 0
+	for _, f := range filters {
+		n += f.CountAtomicPredicates()
+	}
+	return n
+}
+
+type qgen struct {
+	ds *datagen.Dataset
+	r  *rand.Rand
+	p  Params
+}
+
+// query renders one random filter.
+func (g *qgen) query() string {
+	d := g.ds.DTD
+	// Random navigation walk from the root.
+	chain := []string{d.Root}
+	for {
+		children := elementChildren(d, chain[len(chain)-1])
+		if len(children) == 0 {
+			break
+		}
+		chain = append(chain, children[g.r.Intn(len(children))])
+		// Bias toward mid-depth targets.
+		if len(chain) >= 2 && g.r.Intn(3) == 0 {
+			break
+		}
+	}
+	// Prefer targets with leaf children to attach predicates to.
+	for len(chain) > 1 && len(predTargets(d, chain[len(chain)-1])) == 0 && !d.HasText(chain[len(chain)-1]) {
+		chain = chain[:len(chain)-1]
+	}
+	var sb strings.Builder
+	for i, label := range chain {
+		axis := "/"
+		if g.r.Float64() < g.p.DescendantProb {
+			axis = "//"
+		}
+		sb.WriteString(axis)
+		if i > 0 && g.r.Float64() < g.p.WildcardProb {
+			sb.WriteString("*")
+		} else {
+			sb.WriteString(label)
+		}
+	}
+	target := chain[len(chain)-1]
+	n := g.predCount()
+	if n > 0 {
+		sb.WriteString("[")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				if g.r.Float64() < g.p.OrProb {
+					sb.WriteString(" or ")
+				} else {
+					sb.WriteString(" and ")
+				}
+			}
+			g.writePredicate(&sb, target)
+		}
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// predCount draws 1 + Poisson(MeanPreds-1) (Knuth's method).
+func (g *qgen) predCount() int {
+	lambda := g.p.MeanPreds - 1
+	if lambda <= 0 {
+		return 1
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	prod := 1.0
+	for {
+		prod *= g.r.Float64()
+		if prod <= l {
+			break
+		}
+		k++
+		if k > 200 {
+			break
+		}
+	}
+	return 1 + k
+}
+
+// predTargets lists the leaf predicate anchors of an element: PCDATA
+// children and attributes.
+func predTargets(d *dtd.DTD, name string) []string {
+	el := d.Element(name)
+	if el == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range el.Attrs {
+		out = append(out, "@"+a.Name)
+	}
+	for _, c := range d.Children(name) {
+		if d.HasText(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// elementChildren lists non-PCDATA children (navigation continues there).
+func elementChildren(d *dtd.DTD, name string) []string {
+	var out []string
+	for _, c := range d.Children(name) {
+		if el := d.Element(c); el != nil && el.Kind == dtd.Children {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// writePredicate emits one atomic (or nested/negated) predicate anchored at
+// the target element.
+func (g *qgen) writePredicate(sb *strings.Builder, target string) {
+	if g.r.Float64() < g.p.NotProb {
+		sb.WriteString("not(")
+		defer sb.WriteString(")")
+	}
+	d := g.ds.DTD
+	if g.r.Float64() < g.p.NestedPredProb {
+		// Bushy: descend one element level, predicate inside.
+		inner := elementChildren(d, target)
+		if len(inner) > 0 {
+			child := inner[g.r.Intn(len(inner))]
+			if ts := predTargets(d, child); len(ts) > 0 {
+				sb.WriteString(child)
+				sb.WriteString("[")
+				g.writeAtom(sb, ts[g.r.Intn(len(ts))])
+				sb.WriteString("]")
+				return
+			}
+		}
+	}
+	ts := predTargets(d, target)
+	if len(ts) == 0 {
+		// Text-only element: compare its own text.
+		g.writeAtom(sb, ".")
+		return
+	}
+	g.writeAtom(sb, ts[g.r.Intn(len(ts))])
+}
+
+// writeAtom emits anchor OP const, drawing the constant from the anchor's
+// value pool so the predicate is satisfiable on the data.
+func (g *qgen) writeAtom(sb *strings.Builder, anchor string) {
+	poolLabel := anchor
+	if anchor == "." {
+		poolLabel = "" // generic
+	}
+	pool := g.ds.Pool(poolLabel)
+	val := pool.Sample(g.r)
+	numeric := pool.Kind == datagen.IntPool
+	if g.p.StringFuncProb > 0 && !numeric && g.r.Float64() < g.p.StringFuncProb {
+		fmt.Fprintf(sb, "contains(%s, %q)", anchor, prefixOf(val))
+		return
+	}
+	op := "="
+	if numeric && g.r.Float64() < 0.3 {
+		ops := []string{"<", "<=", ">", ">=", "!="}
+		op = ops[g.r.Intn(len(ops))]
+	}
+	if numeric {
+		fmt.Fprintf(sb, "%s%s%s", anchor, op, val)
+	} else {
+		fmt.Fprintf(sb, "%s%s%q", anchor, op, val)
+	}
+}
+
+func prefixOf(s string) string {
+	if len(s) > 3 {
+		return s[:3]
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package xmlval
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNumeric(t *testing.T) {
+	cases := []struct {
+		in    string
+		isNum bool
+		num   float64
+	}{
+		{"1", true, 1},
+		{" 42 ", true, 42},
+		{"-3.5", true, -3.5},
+		{"+7", true, 7},
+		{".5", true, 0.5},
+		{"1e3", true, 1000},
+		{"", false, 0},
+		{"abc", false, 0},
+		{"12abc", false, 0},
+		{"- 1", false, 0},
+		{"0x10", false, 0}, // hex not in the paper's domain
+	}
+	for _, c := range cases {
+		v := New(c.in)
+		if v.IsNum != c.isNum {
+			t.Errorf("New(%q).IsNum = %v, want %v", c.in, v.IsNum, c.isNum)
+			continue
+		}
+		if c.isNum && v.Num != c.num {
+			t.Errorf("New(%q).Num = %v, want %v", c.in, v.Num, c.num)
+		}
+	}
+}
+
+func TestTrimmed(t *testing.T) {
+	v := New("  hello  ")
+	if v.Trimmed() != "hello" {
+		t.Errorf("Trimmed = %q", v.Trimmed())
+	}
+	if v.Text != "  hello  " {
+		t.Errorf("Text mangled: %q", v.Text)
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	c := NumberConst(2)
+	for _, tc := range []struct {
+		text string
+		cmp  int
+		ok   bool
+	}{
+		{"1", -1, true},
+		{"2", 0, true},
+		{"3", 1, true},
+		{"2.0", 0, true},
+		{"x", 0, false},
+	} {
+		cmp, ok := Compare(New(tc.text), c)
+		if cmp != tc.cmp || ok != tc.ok {
+			t.Errorf("Compare(%q, 2) = (%d,%v), want (%d,%v)", tc.text, cmp, ok, tc.cmp, tc.ok)
+		}
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	c := StringConst("m")
+	if cmp, ok := Compare(New("a"), c); !ok || cmp >= 0 {
+		t.Errorf("a vs m: %d %v", cmp, ok)
+	}
+	if cmp, ok := Compare(New("m"), c); !ok || cmp != 0 {
+		t.Errorf("m vs m: %d %v", cmp, ok)
+	}
+	if cmp, ok := Compare(New("z"), c); !ok || cmp <= 0 {
+		t.Errorf("z vs m: %d %v", cmp, ok)
+	}
+}
+
+func TestEvalOps(t *testing.T) {
+	two := NumberConst(2)
+	cases := []struct {
+		op   Op
+		text string
+		want bool
+	}{
+		{OpEq, "2", true},
+		{OpEq, "3", false},
+		{OpNe, "3", true},
+		{OpNe, "2", false},
+		{OpLt, "1", true},
+		{OpLt, "2", false},
+		{OpLe, "2", true},
+		{OpGt, "3", true},
+		{OpGt, "2", false},
+		{OpGe, "2", true},
+		{OpExists, "anything", true},
+		// Non-numeric text against numeric constant: nothing holds,
+		// != included (see Eval's incomparability rule).
+		{OpEq, "abc", false},
+		{OpNe, "abc", false},
+		{OpLt, "abc", false},
+		{OpGt, "abc", false},
+	}
+	for _, tc := range cases {
+		if got := Eval(tc.op, New(tc.text), two); got != tc.want {
+			t.Errorf("Eval(%v, %q, 2) = %v, want %v", tc.op, tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestEvalStringOps(t *testing.T) {
+	if !Eval(OpContains, New("hello world"), StringConst("lo wo")) {
+		t.Error("contains failed")
+	}
+	if Eval(OpContains, New("hello"), StringConst("xyz")) {
+		t.Error("contains false positive")
+	}
+	if !Eval(OpStartsWith, New("  hello"), StringConst("he")) {
+		t.Error("starts-with should apply to trimmed text")
+	}
+	if Eval(OpStartsWith, New("hello"), StringConst("el")) {
+		t.Error("starts-with false positive")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	pairs := [][2]Op{{OpEq, OpNe}, {OpLt, OpGe}, {OpGt, OpLe}}
+	for _, p := range pairs {
+		if n, ok := p[0].Negate(); !ok || n != p[1] {
+			t.Errorf("Negate(%v) = %v,%v", p[0], n, ok)
+		}
+		if n, ok := p[1].Negate(); !ok || n != p[0] {
+			t.Errorf("Negate(%v) = %v,%v", p[1], n, ok)
+		}
+	}
+	if _, ok := OpExists.Negate(); ok {
+		t.Error("OpExists should not negate")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+// Property: for numeric values, Eval(OpLt) ∨ Eval(OpEq) ∨ Eval(OpGt) is a
+// partition — exactly one holds.
+func TestTrichotomyProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		v := New(strconv.Itoa(int(a)))
+		c := NumberConst(float64(b))
+		lt := Eval(OpLt, v, c)
+		eq := Eval(OpEq, v, c)
+		gt := Eval(OpGt, v, c)
+		n := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				n++
+			}
+		}
+		return n == 1 &&
+			Eval(OpLe, v, c) == (lt || eq) &&
+			Eval(OpGe, v, c) == (gt || eq) &&
+			Eval(OpNe, v, c) == !eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Op.Negate is an involution on the six relational operators, and
+// Eval of the negated op is the logical complement for comparable values.
+func TestNegateComplementProperty(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		op := ops[r.Intn(len(ops))]
+		v := New(strconv.Itoa(r.Intn(20) - 10))
+		c := NumberConst(float64(r.Intn(20) - 10))
+		neg, ok := op.Negate()
+		if !ok {
+			t.Fatalf("negate %v", op)
+		}
+		if back, _ := neg.Negate(); back != op {
+			t.Fatalf("negate not involutive for %v", op)
+		}
+		if Eval(op, v, c) == Eval(neg, v, c) {
+			t.Fatalf("Eval(%v) and Eval(%v) agree on %q", op, neg, v.Text)
+		}
+	}
+}
+
+func TestFromNumber(t *testing.T) {
+	v := FromNumber(3.5)
+	if !v.IsNum || v.Num != 3.5 || v.Text != "3.5" {
+		t.Errorf("FromNumber(3.5) = %+v", v)
+	}
+}
+
+func TestConstString(t *testing.T) {
+	if s := NumberConst(2).String(); s != "2" {
+		t.Errorf("NumberConst(2).String() = %q", s)
+	}
+	if s := StringConst("ab").String(); s != `"ab"` {
+		t.Errorf("StringConst.String() = %q", s)
+	}
+}

@@ -1,0 +1,385 @@
+// Package xpath implements the XPath fragment of the paper (Fig. 1):
+//
+//	P ::= /E | //E
+//	E ::= label | text() | * | @* | . | E/E | E//E | E[Q]
+//	Q ::= E | E Oprel Const | Q and Q | Q or Q | not(Q)
+//	Oprel ::= < | <= | > | >= | = | !=
+//
+// Attribute tests @label are supported in addition to @* (the paper's running
+// example uses @c), and parenthesised predicates are accepted. As an
+// extension, the string predicates contains(E, "s") and starts-with(E, "s")
+// sketched in Sec. 2 are supported.
+//
+// An expression is a boolean filter: it matches a document iff it selects at
+// least one node from the root.
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/xmlval"
+)
+
+// Axis is the navigation axis of a step.
+type Axis uint8
+
+const (
+	// Child is the / axis.
+	Child Axis = iota
+	// Descendant is the // axis (descendant-or-self abbreviation).
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// TestKind classifies a step's node test.
+type TestKind uint8
+
+const (
+	// Element matches an element with a specific label.
+	Element TestKind = iota
+	// Attribute matches an attribute with a specific name (@name).
+	Attribute
+	// AnyElement is the * wildcard.
+	AnyElement
+	// AnyAttribute is the @* wildcard.
+	AnyAttribute
+	// Text is the text() node test.
+	Text
+	// Self is the . abbreviation (self node).
+	Self
+)
+
+// NodeTest is the node test of a step.
+type NodeTest struct {
+	Kind TestKind
+	Name string // set for Element and Attribute
+}
+
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case Element:
+		return t.Name
+	case Attribute:
+		return "@" + t.Name
+	case AnyElement:
+		return "*"
+	case AnyAttribute:
+		return "@*"
+	case Text:
+		return "text()"
+	case Self:
+		return "."
+	default:
+		return "?"
+	}
+}
+
+// IsAttribute reports whether the test selects attribute nodes.
+func (t NodeTest) IsAttribute() bool {
+	return t.Kind == Attribute || t.Kind == AnyAttribute
+}
+
+// Step is one navigation step with optional predicates, the E[Q] form.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+// Path is a sequence of steps. Filters are absolute paths (the leading / or
+// // of P ::= /E | //E is the Axis of the first step); paths inside
+// predicates are relative to the step they qualify.
+type Path struct {
+	Steps []Step
+}
+
+// Filter is a parsed top-level XPath boolean filter.
+type Filter struct {
+	Path *Path
+	// Source is the original text the filter was parsed from, when known.
+	Source string
+}
+
+// Expr is a predicate expression (the Q production).
+type Expr interface {
+	exprNode()
+	writeTo(sb *strings.Builder)
+}
+
+// And is the conjunction Q and Q.
+type And struct{ L, R Expr }
+
+// Or is the disjunction Q or Q.
+type Or struct{ L, R Expr }
+
+// Not is the negation not(Q). Note not introduces universal quantification:
+// /a[not(b/text()=1)] matches iff all b children have text != 1.
+type Not struct{ X Expr }
+
+// Exists is the Q ::= E form: the relative path selects at least one node.
+type Exists struct{ Path *Path }
+
+// Cmp is the atomic comparison Q ::= E Oprel Const (plus the contains /
+// starts-with extension ops).
+type Cmp struct {
+	Path  *Path
+	Op    xmlval.Op
+	Const xmlval.Const
+}
+
+func (*And) exprNode()    {}
+func (*Or) exprNode()     {}
+func (*Not) exprNode()    {}
+func (*Exists) exprNode() {}
+func (*Cmp) exprNode()    {}
+
+// String renders the filter in canonical form; the result re-parses to an
+// equivalent AST.
+func (f *Filter) String() string {
+	var sb strings.Builder
+	writePath(&sb, f.Path, true)
+	return sb.String()
+}
+
+func (p *Path) String() string {
+	var sb strings.Builder
+	writePath(&sb, p, false)
+	return sb.String()
+}
+
+func writePath(sb *strings.Builder, p *Path, absolute bool) {
+	for i, s := range p.Steps {
+		if i == 0 && !absolute {
+			// Relative path: render leading descendant axis as .//,
+			// leading child axis bare.
+			if s.Axis == Descendant {
+				sb.WriteString(".//")
+			}
+		} else {
+			sb.WriteString(s.Axis.String())
+		}
+		sb.WriteString(s.Test.String())
+		for _, q := range s.Preds {
+			sb.WriteByte('[')
+			q.writeTo(sb)
+			sb.WriteByte(']')
+		}
+	}
+}
+
+func (e *And) writeTo(sb *strings.Builder) {
+	writeOperand(sb, e.L, true)
+	sb.WriteString(" and ")
+	writeOperand(sb, e.R, true)
+}
+
+func (e *Or) writeTo(sb *strings.Builder) {
+	writeOperand(sb, e.L, false)
+	sb.WriteString(" or ")
+	writeOperand(sb, e.R, false)
+}
+
+// writeOperand parenthesises a child expression when needed to preserve
+// precedence (or < and < not).
+func writeOperand(sb *strings.Builder, e Expr, inAnd bool) {
+	if _, isOr := e.(*Or); isOr && inAnd {
+		sb.WriteByte('(')
+		e.writeTo(sb)
+		sb.WriteByte(')')
+		return
+	}
+	e.writeTo(sb)
+}
+
+func (e *Not) writeTo(sb *strings.Builder) {
+	sb.WriteString("not(")
+	e.X.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (e *Exists) writeTo(sb *strings.Builder) {
+	writePath(sb, e.Path, false)
+}
+
+func (e *Cmp) writeTo(sb *strings.Builder) {
+	switch e.Op {
+	case xmlval.OpContains:
+		sb.WriteString("contains(")
+		writePath(sb, e.Path, false)
+		sb.WriteString(", ")
+		sb.WriteString(e.Const.String())
+		sb.WriteByte(')')
+	case xmlval.OpStartsWith:
+		sb.WriteString("starts-with(")
+		writePath(sb, e.Path, false)
+		sb.WriteString(", ")
+		sb.WriteString(e.Const.String())
+		sb.WriteByte(')')
+	default:
+		writePath(sb, e.Path, false)
+		sb.WriteString(e.Op.String())
+		sb.WriteString(e.Const.String())
+	}
+}
+
+// Equal reports structural equality of two filters.
+func (f *Filter) Equal(g *Filter) bool { return pathEqual(f.Path, g.Path) }
+
+func pathEqual(a, b *Path) bool {
+	if len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for i := range a.Steps {
+		sa, sb := &a.Steps[i], &b.Steps[i]
+		if sa.Axis != sb.Axis || sa.Test != sb.Test || len(sa.Preds) != len(sb.Preds) {
+			return false
+		}
+		for j := range sa.Preds {
+			if !exprEqual(sa.Preds[j], sb.Preds[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *And:
+		y, ok := b.(*And)
+		return ok && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && exprEqual(x.X, y.X)
+	case *Exists:
+		y, ok := b.(*Exists)
+		return ok && pathEqual(x.Path, y.Path)
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		return ok && x.Op == y.Op && x.Const == y.Const && pathEqual(x.Path, y.Path)
+	default:
+		return false
+	}
+}
+
+// CountAtomicPredicates returns the number of atomic predicates in the
+// filter — the workload-size measure used throughout the paper's evaluation
+// ("total number of atomic predicates"). A comparison is one atomic
+// predicate; a bare existence test counts only when it contains no nested
+// comparison (it then carries the implicit true predicate of Sec. 3.2).
+func (f *Filter) CountAtomicPredicates() int {
+	n := 0
+	var walkExpr func(Expr)
+	var walkPath func(*Path)
+	hasCmp := func(e Expr) bool {
+		var rec func(Expr) bool
+		var recPath func(*Path) bool
+		rec = func(e Expr) bool {
+			switch x := e.(type) {
+			case *And:
+				return rec(x.L) || rec(x.R)
+			case *Or:
+				return rec(x.L) || rec(x.R)
+			case *Not:
+				return rec(x.X)
+			case *Exists:
+				return recPath(x.Path)
+			case *Cmp:
+				return true
+			}
+			return false
+		}
+		recPath = func(p *Path) bool {
+			for i := range p.Steps {
+				for _, q := range p.Steps[i].Preds {
+					if rec(q) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return rec(e)
+	}
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *And:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Or:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Not:
+			walkExpr(x.X)
+		case *Exists:
+			if !hasCmp(x) {
+				n++
+			}
+			walkPath(x.Path)
+		case *Cmp:
+			n++
+			walkPath(x.Path)
+		}
+	}
+	walkPath = func(p *Path) {
+		for i := range p.Steps {
+			for _, q := range p.Steps[i].Preds {
+				walkExpr(q)
+			}
+		}
+	}
+	walkPath(f.Path)
+	if n == 0 {
+		// A purely structural filter counts as one implicit true
+		// predicate, per Sec. 3.2.
+		return 1
+	}
+	return n
+}
+
+// HasDescendant reports whether the filter uses the // axis anywhere. The
+// early-notification optimization needs this to decide whether the
+// bottom-up/top-down intersection fix is required (Sec. 5).
+func (f *Filter) HasDescendant() bool {
+	found := false
+	var walkExpr func(Expr)
+	var walkPath func(*Path, bool)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *And:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Or:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Not:
+			walkExpr(x.X)
+		case *Exists:
+			walkPath(x.Path, false)
+		case *Cmp:
+			walkPath(x.Path, false)
+		}
+	}
+	walkPath = func(p *Path, absolute bool) {
+		for i := range p.Steps {
+			s := &p.Steps[i]
+			if s.Axis == Descendant {
+				found = true
+			}
+			for _, q := range s.Preds {
+				walkExpr(q)
+			}
+		}
+	}
+	walkPath(f.Path, true)
+	return found
+}

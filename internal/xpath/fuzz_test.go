@@ -1,0 +1,44 @@
+package xpath
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that accepted filters
+// survive a print/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"//a[b/text()=1 and .//a[@c>2]]",
+		"/a[not(b=1 or c='x') and d]",
+		"/a[contains(b, 'x') or starts-with(@c, 'y')]",
+		"/*[@*=1]/text()",
+		"/a[b[c[d=1]]]",
+		"/a[.=5][text()=6]",
+		"//",
+		"/a[",
+		"/a[b!<1]",
+		"/a[b=1e309]",
+		"/and/or[not=1]",
+		"/a[b = -3.5 and c >= 'm']",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		filter, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := filter.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, input, err)
+		}
+		if !filter.Equal(again) {
+			t.Fatalf("round trip changed AST: %q -> %q -> %q", input, printed, again.String())
+		}
+		// Derived measures must not panic and must be consistent.
+		if n := filter.CountAtomicPredicates(); n < 1 {
+			t.Fatalf("CountAtomicPredicates(%q) = %d", input, n)
+		}
+		_ = filter.HasDescendant()
+	})
+}

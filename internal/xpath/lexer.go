@@ -1,0 +1,237 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokSlash
+	tokDblSlash
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokAt
+	tokDot
+	tokName   // identifier: label, and, or, not, text, contains, ...
+	tokNumber // numeric literal
+	tokString // quoted string literal
+	tokOp     // relational operator
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokSlash:
+		return "/"
+	case tokDblSlash:
+		return "//"
+	case tokLBracket:
+		return "["
+	case tokRBracket:
+		return "]"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokStar:
+		return "*"
+	case tokAt:
+		return "@"
+	case tokDot:
+		return "."
+	case tokName:
+		return "name"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokOp:
+		return "operator"
+	default:
+		return "token(?)"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string  // for tokName, tokOp, tokString (unquoted)
+	num  float64 // for tokNumber
+	pos  int
+}
+
+// SyntaxError reports a parse failure with a byte offset into the input.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) {
+		switch l.input[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.input[l.pos]
+	switch c {
+	case '/':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '/' {
+			l.pos++
+			return token{kind: tokDblSlash, pos: start}, nil
+		}
+		return token{kind: tokSlash, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case '!':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case '<', '>':
+		l.pos++
+		op := string(c)
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			op += "="
+		}
+		return token{kind: tokOp, text: op, pos: start}, nil
+	case '"', '\'':
+		// String literal. A doubled quote character inside the literal
+		// denotes one literal quote (XPath 2.0-style escaping).
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for {
+			i := strings.IndexByte(l.input[l.pos:], quote)
+			if i < 0 {
+				return token{}, l.errf(start, "unterminated string literal")
+			}
+			sb.WriteString(l.input[l.pos : l.pos+i])
+			l.pos += i + 1
+			if l.pos < len(l.input) && l.input[l.pos] == quote {
+				sb.WriteByte(quote)
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case '.':
+		// Either the self step '.' or a number like .5 — disambiguate
+		// on the following character.
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9' {
+			return l.lexNumber(start)
+		}
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	}
+	if c == '-' || c >= '0' && c <= '9' {
+		return l.lexNumber(start)
+	}
+	if isNameStart(c) {
+		l.pos++
+		for l.pos < len(l.input) && isNameChar(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokName, text: l.input[start:l.pos], pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	i := l.pos
+	if i < len(l.input) && l.input[i] == '-' {
+		i++
+	}
+	for i < len(l.input) && (l.input[i] >= '0' && l.input[i] <= '9' || l.input[i] == '.') {
+		i++
+	}
+	// Optional exponent.
+	if i < len(l.input) && (l.input[i] == 'e' || l.input[i] == 'E') {
+		j := i + 1
+		if j < len(l.input) && (l.input[j] == '+' || l.input[j] == '-') {
+			j++
+		}
+		if j < len(l.input) && l.input[j] >= '0' && l.input[j] <= '9' {
+			for j < len(l.input) && l.input[j] >= '0' && l.input[j] <= '9' {
+				j++
+			}
+			i = j
+		}
+	}
+	text := l.input[l.pos:i]
+	n, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "bad number %q", text)
+	}
+	l.pos = i
+	return token{kind: tokNumber, num: n, pos: start}, nil
+}

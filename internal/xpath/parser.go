@@ -1,0 +1,363 @@
+package xpath
+
+import (
+	"repro/internal/xmlval"
+)
+
+// Parse parses a top-level XPath filter (the P production: /E or //E).
+func Parse(input string) (*Filter, error) {
+	p := &parser{lex: lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var first Axis
+	switch p.tok.kind {
+	case tokSlash:
+		first = Child
+	case tokDblSlash:
+		first = Descendant
+	default:
+		return nil, p.lex.errf(p.tok.pos, "filter must start with / or //, got %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	path, err := p.parseSteps(first)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errf(p.tok.pos, "unexpected %s after filter", p.tok.kind)
+	}
+	return &Filter{Path: path, Source: input}, nil
+}
+
+// MustParse is Parse for statically known inputs; it panics on error.
+func MustParse(input string) *Filter {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// parseSteps parses a step sequence whose first step uses the given axis.
+// The current token must be the first step's node test.
+func (p *parser) parseSteps(first Axis) (*Path, error) {
+	path := &Path{}
+	axis := first
+	for {
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		switch p.tok.kind {
+		case tokSlash:
+			axis = Child
+		case tokDblSlash:
+			axis = Descendant
+		default:
+			if err := validatePath(p, path); err != nil {
+				return nil, err
+			}
+			return path, nil
+		}
+		prev := path.Steps[len(path.Steps)-1]
+		if prev.Test.Kind == Text || prev.Test.IsAttribute() {
+			return nil, p.lex.errf(p.tok.pos, "no step may follow %s", prev.Test)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func validatePath(p *parser, path *Path) error {
+	for i := range path.Steps {
+		s := &path.Steps[i]
+		if (s.Test.Kind == Text || s.Test.Kind == Self) && len(s.Preds) > 0 {
+			return p.lex.errf(p.tok.pos, "predicates not allowed on %s", s.Test)
+		}
+	}
+	return nil
+}
+
+// parseStep parses one node test plus trailing [Q] predicates.
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	step := Step{Axis: axis}
+	switch p.tok.kind {
+	case tokStar:
+		step.Test = NodeTest{Kind: AnyElement}
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokDot:
+		step.Test = NodeTest{Kind: Self}
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokAt:
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		switch p.tok.kind {
+		case tokStar:
+			step.Test = NodeTest{Kind: AnyAttribute}
+		case tokName:
+			step.Test = NodeTest{Kind: Attribute, Name: p.tok.text}
+		default:
+			return step, p.lex.errf(p.tok.pos, "expected attribute name or * after @, got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokName:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		if name == "text" && p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return step, err
+			}
+			if p.tok.kind != tokRParen {
+				return step, p.lex.errf(p.tok.pos, "expected ) after text(")
+			}
+			if err := p.advance(); err != nil {
+				return step, err
+			}
+			step.Test = NodeTest{Kind: Text}
+		} else {
+			step.Test = NodeTest{Kind: Element, Name: name}
+		}
+	default:
+		return step, p.lex.errf(p.tok.pos, "expected node test, got %s", p.tok.kind)
+	}
+	for p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		q, err := p.parseOr()
+		if err != nil {
+			return step, err
+		}
+		if p.tok.kind != tokRBracket {
+			return step, p.lex.errf(p.tok.pos, "expected ], got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		step.Preds = append(step.Preds, q)
+	}
+	return step, nil
+}
+
+// parseOr parses Q ::= Q or Q at the lowest precedence.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		q, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.lex.errf(p.tok.pos, "expected ), got %s", p.tok.kind)
+		}
+		return q, p.advance()
+	case tokName:
+		// not/contains/starts-with are functions only when followed by
+		// an opening paren; otherwise they are ordinary labels.
+		if p.followedByParen() {
+			switch p.tok.text {
+			case "not":
+				return p.parseNot()
+			case "contains":
+				return p.parseStringFunc(xmlval.OpContains)
+			case "starts-with":
+				return p.parseStringFunc(xmlval.OpStartsWith)
+			}
+		}
+	}
+	return p.parseComparison()
+}
+
+// followedByParen peeks past the current token for a '(' without consuming.
+func (p *parser) followedByParen() bool {
+	save := p.lex.pos
+	t, err := p.lex.next()
+	p.lex.pos = save
+	return err == nil && t.kind == tokLParen
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if err := p.advance(); err != nil { // consume 'not'
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.lex.errf(p.tok.pos, "expected ( after not")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.lex.errf(p.tok.pos, "expected ) closing not(...)")
+	}
+	return &Not{X: q}, p.advance()
+}
+
+func (p *parser) parseStringFunc(op xmlval.Op) (Expr, error) {
+	if err := p.advance(); err != nil { // consume function name
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.lex.errf(p.tok.pos, "expected ( after %s", op)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	path, err := p.parseRelativePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokComma {
+		return nil, p.lex.errf(p.tok.pos, "expected , in %s(...)", op)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokString {
+		return nil, p.lex.errf(p.tok.pos, "%s requires a string literal", op)
+	}
+	c := xmlval.StringConst(p.tok.text)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.lex.errf(p.tok.pos, "expected ) closing %s(...)", op)
+	}
+	return &Cmp{Path: path, Op: op, Const: c}, p.advance()
+}
+
+// parseComparison parses E or E Oprel Const.
+func (p *parser) parseComparison() (Expr, error) {
+	path, err := p.parseRelativePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokOp {
+		return &Exists{Path: path}, nil
+	}
+	var op xmlval.Op
+	switch p.tok.text {
+	case "=":
+		op = xmlval.OpEq
+	case "!=":
+		op = xmlval.OpNe
+	case "<":
+		op = xmlval.OpLt
+	case "<=":
+		op = xmlval.OpLe
+	case ">":
+		op = xmlval.OpGt
+	case ">=":
+		op = xmlval.OpGe
+	default:
+		return nil, p.lex.errf(p.tok.pos, "unknown operator %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var c xmlval.Const
+	switch p.tok.kind {
+	case tokNumber:
+		c = xmlval.NumberConst(p.tok.num)
+	case tokString:
+		c = xmlval.StringConst(p.tok.text)
+	default:
+		return nil, p.lex.errf(p.tok.pos, "expected constant after %s, got %s", op, p.tok.kind)
+	}
+	return &Cmp{Path: path, Op: op, Const: c}, p.advance()
+}
+
+// parseRelativePath parses a relative path inside a predicate: E forms such
+// as b/text(), .//a[@c>2], @c, ., * . A leading self step that is followed
+// by further steps is normalised away (./x ≡ x, .//x ≡ descendant x).
+func (p *parser) parseRelativePath() (*Path, error) {
+	axis := Child
+	if p.tok.kind == tokDot {
+		// Could be a bare self path or a ./ or .// prefix.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tokSlash:
+			axis = Child
+		case tokDblSlash:
+			axis = Descendant
+		default:
+			return &Path{Steps: []Step{{Axis: Child, Test: NodeTest{Kind: Self}}}}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return p.parseSteps(axis)
+}

@@ -1,0 +1,353 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlval"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	// P1 and P2 from Example 1.1.
+	p1, err := Parse("//a[b/text()=1 and .//a[@c>2]]")
+	if err != nil {
+		t.Fatalf("P1: %v", err)
+	}
+	if len(p1.Path.Steps) != 1 {
+		t.Fatalf("P1 steps = %d", len(p1.Path.Steps))
+	}
+	s := p1.Path.Steps[0]
+	if s.Axis != Descendant || s.Test != (NodeTest{Kind: Element, Name: "a"}) {
+		t.Fatalf("P1 step = %+v", s)
+	}
+	if len(s.Preds) != 1 {
+		t.Fatalf("P1 preds = %d", len(s.Preds))
+	}
+	and, ok := s.Preds[0].(*And)
+	if !ok {
+		t.Fatalf("P1 pred not And: %T", s.Preds[0])
+	}
+	cmp, ok := and.L.(*Cmp)
+	if !ok {
+		t.Fatalf("P1 left not Cmp: %T", and.L)
+	}
+	if cmp.Op != xmlval.OpEq || cmp.Const != xmlval.NumberConst(1) {
+		t.Errorf("P1 left cmp = %v %v", cmp.Op, cmp.Const)
+	}
+	if len(cmp.Path.Steps) != 2 || cmp.Path.Steps[0].Test.Name != "b" ||
+		cmp.Path.Steps[1].Test.Kind != Text {
+		t.Errorf("P1 left path = %v", cmp.Path)
+	}
+	ex, ok := and.R.(*Exists)
+	if !ok {
+		t.Fatalf("P1 right not Exists: %T", and.R)
+	}
+	if len(ex.Path.Steps) != 1 || ex.Path.Steps[0].Axis != Descendant {
+		t.Errorf("P1 right path = %v", ex.Path)
+	}
+	inner := ex.Path.Steps[0]
+	if len(inner.Preds) != 1 {
+		t.Fatalf("inner preds = %d", len(inner.Preds))
+	}
+	icmp, ok := inner.Preds[0].(*Cmp)
+	if !ok || icmp.Op != xmlval.OpGt || icmp.Const != xmlval.NumberConst(2) {
+		t.Errorf("inner pred = %#v", inner.Preds[0])
+	}
+	if icmp.Path.Steps[0].Test != (NodeTest{Kind: Attribute, Name: "c"}) {
+		t.Errorf("inner pred path = %v", icmp.Path)
+	}
+
+	p2, err := Parse("//a[@c>2 and b/text()=1]")
+	if err != nil {
+		t.Fatalf("P2: %v", err)
+	}
+	if p2.String() != "//a[@c>2 and b/text()=1]" {
+		t.Errorf("P2 round trip: %q", p2.String())
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	inputs := []string{
+		"/a",
+		"//a",
+		"/a/b/c",
+		"/a//b",
+		"/*",
+		"//*",
+		"/a/*/b",
+		"/a/@b",
+		"/a/@*",
+		"/a/text()",
+		"/a[b]",
+		"/a[@b]",
+		"/a[.=1]",
+		"/a[. = 'x']",
+		"/a[text()=1]",
+		"/a[b/text()=1]",
+		"/a[b = 1]",
+		"/a[b != 1]",
+		"/a[b < 1 and c > 2]",
+		"/a[b <= 1 or c >= 2]",
+		"/a[not(b)]",
+		"/a[not(not(b=1))]",
+		"/a[(b or c) and d]",
+		"/a[b and c and d]",
+		"/a[b or c or d]",
+		"/a[.//b/text()='x']",
+		"/a[./b=1]",
+		"/a[b][c]",
+		"/a[b[c[d=1]]]",
+		"//a[b/text()=1 and .//a[@c>2]]",
+		"/a[b=-5]",
+		"/a[b=3.25]",
+		"/a[b=1e3]",
+		`/a[b="quoted string"]`,
+		"/a[b='single']",
+		"/a[contains(b, 'x')]",
+		"/a[starts-with(@c, 'pre')]",
+		"/a[contains(b/text(), 'x') and not(starts-with(c, 'y'))]",
+		"/text()",
+		"//text()",
+		"/a[*=1]",
+		"/a[@*=1]",
+		"/a[b/c/d/e=1]",
+		"/and/or[not=1]", // keywords usable as labels in path position
+	}
+	for _, in := range inputs {
+		if _, err := Parse(in); err != nil {
+			t.Errorf("Parse(%q) failed: %v", in, err)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	inputs := []string{
+		"",
+		"a",           // must start with / or //
+		"/",           // missing node test
+		"/a[",         // unterminated predicate
+		"/a[]",        // empty predicate
+		"/a[b=]",      // missing constant
+		"/a[b=)",      // bad constant
+		"/a[=1]",      // missing path
+		"/a[b!1]",     // bad operator
+		"/a[b='x]",    // unterminated string
+		"/a/text()/b", // nothing may follow text()
+		"/a/@b/c",     // nothing may follow an attribute
+		"/a[not b]",   // not requires parens
+		"/a[not(b]",   // unbalanced
+		"/a[(b]",      // unbalanced paren
+		"/a]",         // trailing junk
+		"/a[b=1] extra",
+		"/a[text()[b]]", // predicates on text()
+		"/a[contains(b)]",
+		"/a[contains(b, 1)]", // needs string literal
+		"/a[b==1]",
+		"/@",
+		"/a[b=1]]",
+	}
+	for _, in := range inputs {
+		if f, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", in, f)
+		}
+	}
+}
+
+func TestStringLiteralQuoteEscaping(t *testing.T) {
+	// XPath 2.0-style doubled quotes.
+	f := MustParse(`/a[b="say ""hi"""]`)
+	cmp := f.Path.Steps[0].Preds[0].(*Cmp)
+	if cmp.Const.Str != `say "hi"` {
+		t.Errorf("unescaped = %q", cmp.Const.Str)
+	}
+	if got := f.String(); got != `/a[b="say ""hi"""]` {
+		t.Errorf("printed = %q", got)
+	}
+	// Single-quoted literal containing double quotes.
+	g := MustParse(`/a[b='"x"']`)
+	if g.Path.Steps[0].Preds[0].(*Cmp).Const.Str != `"x"` {
+		t.Error("single-quoted literal mangled")
+	}
+	h, err := Parse(g.String())
+	if err != nil || !g.Equal(h) {
+		t.Errorf("round trip failed: %q -> %v", g.String(), err)
+	}
+	// Literal with both quote kinds.
+	both := MustParse(`/a[b='mix "d" q']`)
+	again, err := Parse(both.String())
+	if err != nil || !both.Equal(again) {
+		t.Errorf("mixed quotes round trip: %q -> %v", both.String(), err)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("/a[b=]")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos == 0 || !strings.Contains(se.Error(), "offset") {
+		t.Errorf("unhelpful error: %v", se)
+	}
+}
+
+func TestPrinterCanonical(t *testing.T) {
+	cases := map[string]string{
+		"/a":                         "/a",
+		"//a [ b ]":                  "//a[b]",
+		"/a[b/text() = 1]":           "/a[b/text()=1]",
+		"/a[b and (c or d)]":         "/a[b and (c or d)]",
+		"/a[(b and c) or d]":         "/a[b and c or d]",
+		"/a[not(b = 'x')]":           `/a[not(b="x")]`,
+		"/a[./b=1]":                  "/a[b=1]",
+		"/a[.//b=1]":                 "/a[.//b=1]",
+		"/a[.=1]":                    "/a[.=1]",
+		"/a[contains(b, 'x')]":       `/a[contains(b, "x")]`,
+		"/a[starts-with(b, 'x')]":    `/a[starts-with(b, "x")]`,
+		"/a/@c":                      "/a/@c",
+		"/a/@*":                      "/a/@*",
+		"//*[. = 2]":                 "//*[.=2]",
+		"/a[b[c=1]/d[e=2]/text()=3]": "/a[b[c=1]/d[e=2]/text()=3]",
+	}
+	for in, want := range cases {
+		f, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got := f.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("//a[b/text()=1 and .//a[@c>2]]")
+	b := MustParse("//a[ b/text() = 1 and .//a[@c > 2] ]")
+	c := MustParse("//a[.//a[@c>2] and b/text()=1]")
+	if !a.Equal(b) {
+		t.Error("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Error("a should differ from c (operand order)")
+	}
+}
+
+func TestCountAtomicPredicates(t *testing.T) {
+	cases := map[string]int{
+		"/a":                             1, // implicit true predicate
+		"/a[b=1]":                        1,
+		"/a[b=1 and c=2]":                2,
+		"/a[b=1 or not(c=2)]":            2,
+		"/a[b[c=1 and d=2]]":             2, // exists(b) subsumed by nested comparisons
+		"//a[b/text()=1 and .//a[@c>2]]": 2,
+		"/a[b=1]/c[d=2]":                 2,
+	}
+	for in, want := range cases {
+		f := MustParse(in)
+		if got := f.CountAtomicPredicates(); got != want {
+			t.Errorf("CountAtomicPredicates(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestHasDescendant(t *testing.T) {
+	if MustParse("/a/b[c=1]").HasDescendant() {
+		t.Error("no // expected")
+	}
+	for _, q := range []string{"//a", "/a//b", "/a[.//b=1]", "/a[b[c//d]]"} {
+		if !MustParse(q).HasDescendant() {
+			t.Errorf("%s should report //", q)
+		}
+	}
+}
+
+// TestRoundTripProperty: printing a random filter and re-parsing yields a
+// structurally equal filter.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		f := randomFilter(r)
+		s := f.String()
+		g, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", s, err)
+		}
+		if !f.Equal(g) {
+			t.Fatalf("round trip mismatch:\n  printed  %q\n  reparsed %q", s, g.String())
+		}
+	}
+}
+
+// randomFilter builds a random AST within the fragment.
+func randomFilter(r *rand.Rand) *Filter {
+	return &Filter{Path: randomPath(r, 2, true)}
+}
+
+var names = []string{"a", "b", "c", "d", "item", "price"}
+
+func randomPath(r *rand.Rand, depth int, top bool) *Path {
+	n := 1 + r.Intn(3)
+	p := &Path{}
+	for i := 0; i < n; i++ {
+		st := Step{Axis: Child}
+		if r.Intn(3) == 0 {
+			st.Axis = Descendant
+		}
+		last := i == n-1
+		switch k := r.Intn(10); {
+		case k < 6:
+			st.Test = NodeTest{Kind: Element, Name: names[r.Intn(len(names))]}
+		case k < 7:
+			st.Test = NodeTest{Kind: AnyElement}
+		case k < 8 && last:
+			st.Test = NodeTest{Kind: Attribute, Name: names[r.Intn(len(names))]}
+		case k < 9 && last && !top:
+			st.Test = NodeTest{Kind: Text}
+		default:
+			st.Test = NodeTest{Kind: Element, Name: names[r.Intn(len(names))]}
+		}
+		if depth > 0 && st.Test.Kind == Element && r.Intn(2) == 0 {
+			np := 1
+			if r.Intn(4) == 0 {
+				np = 2
+			}
+			for j := 0; j < np; j++ {
+				st.Preds = append(st.Preds, randomExpr(r, depth-1))
+			}
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	// A relative path inside a predicate may be a bare self step.
+	if !top && r.Intn(12) == 0 {
+		return &Path{Steps: []Step{{Axis: Child, Test: NodeTest{Kind: Self}}}}
+	}
+	return p
+}
+
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) > 0 {
+		// Atomic.
+		path := randomPath(r, depth, false)
+		if r.Intn(2) == 0 {
+			return &Exists{Path: path}
+		}
+		ops := []xmlval.Op{xmlval.OpEq, xmlval.OpNe, xmlval.OpLt, xmlval.OpLe, xmlval.OpGt, xmlval.OpGe}
+		var c xmlval.Const
+		if r.Intn(2) == 0 {
+			c = xmlval.NumberConst(float64(r.Intn(100)))
+		} else {
+			c = xmlval.StringConst(names[r.Intn(len(names))])
+		}
+		return &Cmp{Path: path, Op: ops[r.Intn(len(ops))], Const: c}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &And{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		return &Or{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	default:
+		return &Not{X: randomExpr(r, depth-1)}
+	}
+}

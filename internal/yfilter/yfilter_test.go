@@ -1,0 +1,114 @@
+package yfilter
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/naive"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+func filters(qs ...string) []*xpath.Filter {
+	out := make([]*xpath.Filter, len(qs))
+	for i, q := range qs {
+		out[i] = xpath.MustParse(q)
+	}
+	return out
+}
+
+func TestBasicMatching(t *testing.T) {
+	e := NewEngine(filters(
+		"/a/b",
+		"/a/c",
+		"//c",
+		"/a/*",
+		"/a/@x",
+		"/a/text()",
+		"/a[b=1]",
+		"/a[b=2]",
+	))
+	got, err := e.FilterDocument([]byte(`<a x="7">hello<b>1</b><c/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3 4 5 6]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestPrefixSharing(t *testing.T) {
+	// 50 queries sharing the prefix /a/b must share trie nodes.
+	var qs []string
+	for i := 0; i < 50; i++ {
+		qs = append(qs, fmt.Sprintf("/a/b/c%d", i))
+	}
+	e := NewEngine(filters(qs...))
+	// root + a + b + 50 leaves = 53.
+	if e.NumNodes() != 53 {
+		t.Errorf("nodes = %d, want 53", e.NumNodes())
+	}
+}
+
+func TestDescendantAndWildcard(t *testing.T) {
+	e := NewEngine(filters("//b", "/a//c", "/*/b", "//*"))
+	got, err := e.FilterDocument([]byte(`<a><b><c/></b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3]" {
+		t.Errorf("matches = %v", got)
+	}
+	got, _ = e.FilterDocument([]byte(`<x><y/></x>`))
+	if fmt.Sprint(got) != "[3]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestDescendantText(t *testing.T) {
+	e := NewEngine(filters("/a//text()", "/a/text()"))
+	got, _ := e.FilterDocument([]byte(`<a><b>deep</b></a>`))
+	if fmt.Sprint(got) != "[0]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+// TestDifferentialAgainstNaive compares the engine with the oracle on a
+// generated workload over generated data.
+func TestDifferentialAgainstNaive(t *testing.T) {
+	ds := datagen.ProteinLike()
+	fs := workload.Generate(ds, workload.Params{
+		Seed: 11, NumQueries: 150, MeanPreds: 2,
+		DescendantProb: 0.2, WildcardProb: 0.1, NestedPredProb: 0.2,
+		OrProb: 0.2, NotProb: 0.1,
+	})
+	e := NewEngine(fs)
+	oracle := naive.NewEngine(fs)
+	gen := datagen.NewGenerator(ds, 12)
+	for i := 0; i < 15; i++ {
+		doc := gen.GenerateDocument()
+		got, err := e.FilterDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.FilterDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("doc %d mismatch: yfilter %v vs oracle %v", i, got, want)
+		}
+	}
+}
+
+func TestMultiDocument(t *testing.T) {
+	e := NewEngine(filters("/a", "/b"))
+	got, err := e.FilterDocument([]byte(`<a/><b/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1]" {
+		t.Errorf("matches = %v", got)
+	}
+}

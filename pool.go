@@ -1,0 +1,105 @@
+package xpushstream
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/sax"
+)
+
+// Pool parallelises filtering over documents: n cloned engines consume a
+// shared document queue, giving near-linear throughput scaling for streams
+// of independent documents. This is the recommended multicore deployment —
+// the warm machine's O(1)-per-event cost makes workload sharding
+// (ShardedEngine) pointless, but documents are embarrassingly parallel.
+//
+// Clones do not share lazily built state: each worker warms up
+// independently (or restore a shared snapshot into each clone before
+// starting).
+type Pool struct {
+	engines []*Engine
+}
+
+// NewPool builds a pool of n clones of the engine (n <= 0 selects
+// GOMAXPROCS). The source engine itself is not used by the pool.
+func NewPool(e *Engine, n int) (*Pool, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		c, err := e.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("clone %d: %w", i, err)
+		}
+		p.engines = append(p.engines, c)
+	}
+	return p, nil
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.engines) }
+
+// Result is one document's filtering outcome. Seq is the document's
+// position in the stream (0-based); results are delivered in arbitrary
+// order.
+type Result struct {
+	Seq     int
+	Matches []int
+	Err     error
+}
+
+// FilterStream splits the reader into documents and filters them on all
+// workers concurrently, invoking onResult (from multiple goroutines is
+// avoided: results are delivered from a single collector goroutine) for
+// each document. The first document-level error stops the stream.
+func (p *Pool) FilterStream(r io.Reader, onResult func(Result)) error {
+	type job struct {
+		seq int
+		doc []byte
+	}
+	jobs := make(chan job, 2*len(p.engines))
+	results := make(chan Result, 2*len(p.engines))
+
+	var wg sync.WaitGroup
+	for _, e := range p.engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for j := range jobs {
+				m, err := e.FilterDocument(j.doc)
+				results <- Result{Seq: j.seq, Matches: m, Err: err}
+			}
+		}(e)
+	}
+	collectorDone := make(chan struct{})
+	var firstErr error
+	go func() {
+		defer close(collectorDone)
+		for res := range results {
+			if res.Err != nil && firstErr == nil {
+				firstErr = res.Err
+			}
+			onResult(res)
+		}
+	}()
+
+	seq := 0
+	splitErr := sax.StreamDocuments(r, func(doc []byte) error {
+		cp := make([]byte, len(doc))
+		copy(cp, doc)
+		jobs <- job{seq: seq, doc: cp}
+		seq++
+		return nil
+	})
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-collectorDone
+	if splitErr != nil {
+		return splitErr
+	}
+	return firstErr
+}

@@ -1,0 +1,145 @@
+package xpushstream
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+func TestPoolMatchesSequential(t *testing.T) {
+	base, err := Compile([]string{"/m[v=1]", "/m[v=2]", "//m[w>3]"}, Config{TopDownPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream strings.Builder
+	var want []string
+	for i := 0; i < 200; i++ {
+		doc := fmt.Sprintf("<m><v>%d</v><w>%d</w></m>", i%4, i%6)
+		stream.WriteString(doc)
+		m, err := base.FilterDocument([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprint(m))
+	}
+	pool, err := NewPool(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 4 {
+		t.Fatalf("size = %d", pool.Size())
+	}
+	got := make([]string, len(want))
+	var mu sync.Mutex
+	err = pool.FilterStream(strings.NewReader(stream.String()), func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.Err != nil {
+			t.Errorf("doc %d: %v", r.Seq, r.Err)
+			return
+		}
+		got[r.Seq] = fmt.Sprint(r.Matches)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("doc %d: pool %s vs sequential %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolErrorPropagates(t *testing.T) {
+	base, err := Compile([]string{"/a"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malformed stream: splitter error.
+	err = pool.FilterStream(strings.NewReader("<a/><broken"), func(Result) {})
+	if err == nil {
+		t.Error("truncated stream should error")
+	}
+}
+
+func TestPoolAllDocumentsSeen(t *testing.T) {
+	base, err := Compile([]string{"//x"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream strings.Builder
+	const n = 1000
+	for i := 0; i < n; i++ {
+		stream.WriteString("<d><x/></d>")
+	}
+	var mu sync.Mutex
+	var seqs []int
+	err = pool.FilterStream(strings.NewReader(stream.String()), func(r Result) {
+		mu.Lock()
+		seqs = append(seqs, r.Seq)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != n {
+		t.Fatalf("results = %d", len(seqs))
+	}
+	sort.Ints(seqs)
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("missing/duplicate sequence at %d: %d", i, s)
+		}
+	}
+}
+
+func BenchmarkPoolThroughput(b *testing.B) {
+	ds := datagen.ProteinLike()
+	filters := workload.Generate(ds, bench.WorkloadParams(59, 2000, 5))
+	queries := make([]string, len(filters))
+	for i, f := range filters {
+		queries[i] = f.Source
+	}
+	base, err := Compile(queries, Config{TopDownPruning: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := datagen.NewGenerator(ds, 60).GenerateBytes(1 << 20)
+	// Scaling needs cores: on GOMAXPROCS=1 the extra workers are pure
+	// scheduling overhead.
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			pool, err := NewPool(base, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every worker.
+			if err := pool.FilterStream(strings.NewReader(string(data)), func(Result) {}); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pool.FilterStream(strings.NewReader(string(data)), func(Result) {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

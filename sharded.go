@@ -1,0 +1,153 @@
+package xpushstream
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sax"
+)
+
+// ShardedEngine partitions one workload across several engines that filter
+// each document in parallel. Queries are distributed round-robin.
+//
+// Use it deliberately: because the warm XPush machine processes each event
+// in O(1) time regardless of workload size (the paper's central property),
+// workload sharding does NOT speed up a warm machine — every shard still
+// consumes every event, so total work grows with the shard count
+// (BenchmarkSharded demonstrates this, a nice empirical confirmation of the
+// O(1) claim). Sharding pays off in the phases whose cost grows with
+// workload size: cold-start lazy construction, very large machine states,
+// and per-document match-set assembly on unselective workloads. For raw
+// throughput on a warm machine, parallelise over documents with Pool
+// instead.
+type ShardedEngine struct {
+	shards  []*Engine
+	mapping [][]int // per shard: local index -> global index
+	n       int
+}
+
+// CompileSharded compiles a workload split across the given number of
+// shards (<= 0 selects GOMAXPROCS).
+func CompileSharded(queries []string, cfg Config, shards int) (*ShardedEngine, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(queries) && len(queries) > 0 {
+		shards = len(queries)
+	}
+	if shards == 0 {
+		shards = 1
+	}
+	s := &ShardedEngine{n: len(queries)}
+	parts := make([][]string, shards)
+	s.mapping = make([][]int, shards)
+	for i, q := range queries {
+		sh := i % shards
+		parts[sh] = append(parts[sh], q)
+		s.mapping[sh] = append(s.mapping[sh], i)
+	}
+	for sh := 0; sh < shards; sh++ {
+		e, err := Compile(parts[sh], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, err)
+		}
+		s.shards = append(s.shards, e)
+	}
+	return s, nil
+}
+
+// NumQueries returns the workload size.
+func (s *ShardedEngine) NumQueries() int { return s.n }
+
+// NumShards returns the shard count.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// FilterDocument filters one document on all shards concurrently and
+// returns the sorted global indexes of matching filters. The document is
+// parsed once; shards consume the shared event sequence.
+func (s *ShardedEngine) FilterDocument(doc []byte) ([]int, error) {
+	var c sax.Collector
+	if err := sax.Parse(doc, &c); err != nil {
+		return nil, err
+	}
+	results := make([][]int, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for sh := range s.shards {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			local, err := s.shards[sh].filterParsedDocument(c.Events)
+			if err != nil {
+				errs[sh] = err
+				return
+			}
+			global := make([]int, len(local))
+			for i, l := range local {
+				global[i] = s.mapping[sh][l]
+			}
+			results[sh] = global
+		}(sh)
+	}
+	wg.Wait()
+	var out []int
+	for sh := range s.shards {
+		if errs[sh] != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, errs[sh])
+		}
+		out = append(out, results[sh]...)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Train warms every shard with the same data.
+func (s *ShardedEngine) Train(data []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for sh := range s.shards {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			errs[sh] = s.shards[sh].Train(data)
+		}(sh)
+	}
+	wg.Wait()
+	for sh, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", sh, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates shard counters (documents/events are per-stream and
+// taken from shard 0).
+func (s *ShardedEngine) Stats() Stats {
+	var out Stats
+	var sizeSum float64
+	for i, e := range s.shards {
+		st := e.Stats()
+		out.States += st.States
+		out.TopDownStates += st.TopDownStates
+		sizeSum += st.AvgStateSize * float64(st.States)
+		out.Lookups += st.Lookups
+		out.Hits += st.Hits
+		out.Matches += st.Matches
+		out.MixedContentEvents += st.MixedContentEvents
+		out.Flushes += st.Flushes
+		if i == 0 {
+			out.Documents = st.Documents
+			out.Events = st.Events
+		}
+	}
+	if out.States > 0 {
+		out.AvgStateSize = sizeSum / float64(out.States)
+	}
+	if out.Lookups > 0 {
+		out.HitRatio = float64(out.Hits) / float64(out.Lookups)
+	}
+	return out
+}

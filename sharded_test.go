@@ -1,0 +1,122 @@
+package xpushstream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+func TestShardedMatchesPlain(t *testing.T) {
+	ds := datagen.ProteinLike()
+	filters := workload.Generate(ds, bench.WorkloadParams(55, 120, 3))
+	queries := make([]string, len(filters))
+	for i, f := range filters {
+		queries[i] = f.Source
+	}
+	plain, err := Compile(queries, Config{TopDownPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 7, 120} {
+		sh, err := CompileSharded(queries, Config{TopDownPruning: true}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.NumQueries() != len(queries) {
+			t.Fatalf("NumQueries = %d", sh.NumQueries())
+		}
+		gen := datagen.NewGenerator(ds, 56)
+		for d := 0; d < 5; d++ {
+			doc := gen.GenerateDocument()
+			want, err := plain.FilterDocument(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.FilterDocument(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("shards=%d doc %d: %v vs %v", shards, d, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedDefaults(t *testing.T) {
+	sh, err := CompileSharded([]string{"/a", "/b", "/c"}, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumShards() < 1 || sh.NumShards() > 3 {
+		t.Errorf("shards = %d", sh.NumShards())
+	}
+	got, err := sh.FilterDocument([]byte("<b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1]" {
+		t.Errorf("matches = %v", got)
+	}
+	if sh.Stats().Documents != 1 {
+		t.Errorf("stats = %+v", sh.Stats())
+	}
+}
+
+func TestShardedCompileError(t *testing.T) {
+	if _, err := CompileSharded([]string{"/a", "bad["}, Config{}, 2); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestShardedTrain(t *testing.T) {
+	d, err := ParseDTD("<!ELEMENT m (v)><!ELEMENT v (#PCDATA)>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := CompileSharded([]string{"/m[v=1]", "/m[v=2]"}, Config{TopDownPruning: true, DTD: d}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Train([]byte("<m><v>1</v></m><m><v>2</v></m>")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.FilterDocument([]byte("<m><v>2</v></m>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func BenchmarkSharded(b *testing.B) {
+	ds := datagen.ProteinLike()
+	filters := workload.Generate(ds, bench.WorkloadParams(57, 4000, 5))
+	queries := make([]string, len(filters))
+	for i, f := range filters {
+		queries[i] = f.Source
+	}
+	doc := datagen.NewGenerator(ds, 58).GenerateDocument()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sh, err := CompileSharded(queries, Config{TopDownPruning: true}, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sh.FilterDocument(doc); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(doc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.FilterDocument(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

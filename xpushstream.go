@@ -1,0 +1,575 @@
+// Package xpushstream is the public API of this repository: a streaming
+// XPath filtering engine for XML message brokers, implementing the XPush
+// Machine of
+//
+//	A. K. Gupta and D. Suciu. Stream Processing of XPath Queries with
+//	Predicates. SIGMOD 2003.
+//
+// An Engine compiles a workload of boolean XPath filters — typically tens or
+// hundreds of thousands, each with value predicates — into a single lazily
+// constructed deterministic pushdown automaton that processes every SAX
+// event of an XML stream in O(1) time, independent of the workload size.
+// Common subexpressions are eliminated in both the structure-navigation part
+// and the predicate-evaluation part of the filters.
+//
+// Quickstart:
+//
+//	engine, err := xpushstream.Compile([]string{
+//	        `//order[total > 1000]`,
+//	        `//order[customer/country = "US" and total > 100]`,
+//	}, xpushstream.Config{})
+//	...
+//	matches, err := engine.FilterDocument(xmlBytes) // -> filter indexes
+//
+// The supported XPath fragment (Fig. 1 of the paper) is
+//
+//	P      ::= /E | //E
+//	E      ::= label | text() | * | @label | @* | . | E/E | E//E | E[Q]
+//	Q      ::= E | E op Const | Q and Q | Q or Q | not(Q)
+//	op     ::= = | != | < | <= | > | >=
+//
+// plus the contains(E, "s") and starts-with(E, "s") string predicates.
+package xpushstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/afa"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/sax"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// Config selects the engine's optimizations (Sec. 5 of the paper). The zero
+// value is the basic bottom-up machine with eager value-state
+// precomputation, a good default for workloads without a DTD.
+type Config struct {
+	// TopDownPruning starts bottom-up computations only at branches
+	// enabled by downward navigation, avoiding states for predicates
+	// that match under the wrong element context.
+	TopDownPruning bool
+	// OrderOptimization exploits sibling order from the DTD (requires
+	// DTD): out-of-order partial matches are discarded, shrinking the
+	// state space from subsets to prefixes (Theorem 6.2).
+	OrderOptimization bool
+	// EarlyNotification reports a filter as soon as its first branching
+	// state matches and drops its states from further processing. It
+	// implies TopDownPruning. Most effective for filters with a single
+	// predicate.
+	EarlyNotification bool
+	// Training warms the machine before the first document: a synthetic
+	// training document is generated per filter (requires DTD) and run
+	// through the machine, precomputing the states real data will reuse.
+	Training bool
+	// DisablePrecompute turns off eager computation of the atomic
+	// predicate index's value states (precomputation is on by default
+	// for the non-top-down machine, per Sec. 4).
+	DisablePrecompute bool
+	// DTD provides content-model information for OrderOptimization and
+	// Training.
+	DTD *DTD
+	// StrictMixedContent reports mixed element/text content as an error
+	// instead of processing it with union semantics.
+	StrictMixedContent bool
+	// MaxStates caps the lazily built state tables; past the cap the
+	// tables are flushed at the next document boundary (bounded-memory
+	// operation on infinite streams). Zero means unlimited.
+	MaxStates int
+}
+
+// Stats is a snapshot of engine runtime counters. They correspond directly
+// to the measurements in the paper's evaluation: States and AvgStateSize
+// (Figs. 6, 7, 10, 11), HitRatio (Fig. 8).
+type Stats struct {
+	// States is the number of lazily materialised machine states.
+	States int
+	// TopDownStates counts top-down (navigation) states.
+	TopDownStates int
+	// AvgStateSize is the mean number of AFA states per machine state.
+	AvgStateSize float64
+	// Lookups and Hits count transition-table lookups; HitRatio is
+	// Hits/Lookups.
+	Lookups, Hits int64
+	HitRatio      float64
+	// Documents and Events count the processed stream.
+	Documents, Events int64
+	// Matches counts reported (document, filter) pairs.
+	Matches int64
+	// MixedContentEvents counts violations of the no-mixed-content data
+	// model.
+	MixedContentEvents int64
+	// Flushes counts MaxStates cache flushes.
+	Flushes int64
+}
+
+// DTD is a parsed document type definition (the <!ELEMENT>/<!ATTLIST>
+// subset), used for the order optimization and training-data generation.
+type DTD struct {
+	d *dtd.DTD
+}
+
+// ParseDTD parses DTD text.
+func ParseDTD(text string) (*DTD, error) {
+	d, err := dtd.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// IsRecursive reports whether some element can transitively contain itself.
+func (d *DTD) IsRecursive() bool { return d.d.IsRecursive() }
+
+// MaxDepth estimates the maximum document depth (capped for recursive
+// DTDs).
+func (d *DTD) MaxDepth(cap int) int { return d.d.MaxDepth(cap) }
+
+// Engine is a compiled filter workload. An Engine processes one stream at a
+// time (it is not safe for concurrent use); use Clone for parallel streams.
+//
+// Filters can be added after compilation with AddQueries: following the
+// layering approach sketched in the paper's conclusion, new filters form a
+// small additional machine run in lockstep with the base machine, so the
+// warmed-up base is not discarded. Consolidate merges all layers back into
+// one machine.
+type Engine struct {
+	queries []string
+	filters []*xpath.Filter
+	cfg     Config
+	// layers[i] filters report oids offset by layerOff[i]. Layer 0 is
+	// the base machine.
+	layers   []*core.Machine
+	layerOff []int
+	removed  []bool
+}
+
+// Compile parses and compiles a workload of XPath filters. The returned
+// engine reports matches as indexes into the queries slice.
+func Compile(queries []string, cfg Config) (*Engine, error) {
+	filters, err := parseQueries(queries, 0)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{queries: append([]string(nil), queries...), filters: filters, cfg: cfg}
+	m, err := e.buildMachine(filters)
+	if err != nil {
+		return nil, err
+	}
+	e.layers = []*core.Machine{m}
+	e.layerOff = []int{0}
+	e.removed = make([]bool, len(filters))
+	return e, nil
+}
+
+func parseQueries(queries []string, base int) ([]*xpath.Filter, error) {
+	filters := make([]*xpath.Filter, len(queries))
+	for i, q := range queries {
+		f, err := xpath.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", base+i, err)
+		}
+		filters[i] = f
+	}
+	return filters, nil
+}
+
+// buildMachine compiles a filter slice into one machine under the engine's
+// configuration.
+func (e *Engine) buildMachine(filters []*xpath.Filter) (*core.Machine, error) {
+	a, err := afa.Compile(filters)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		TopDown:            e.cfg.TopDownPruning,
+		Early:              e.cfg.EarlyNotification,
+		PrecomputeValues:   !e.cfg.DisablePrecompute,
+		StrictMixedContent: e.cfg.StrictMixedContent,
+		MaxStates:          e.cfg.MaxStates,
+	}
+	if e.cfg.OrderOptimization {
+		if e.cfg.DTD == nil {
+			return nil, fmt.Errorf("xpushstream: OrderOptimization requires a DTD")
+		}
+		opts.Order = e.cfg.DTD.d.SiblingOrder()
+	}
+	m := core.New(a, opts)
+	if e.cfg.Training {
+		if e.cfg.DTD == nil {
+			return nil, fmt.Errorf("xpushstream: Training requires a DTD")
+		}
+		data := workload.TrainingData(filters, e.cfg.DTD.d)
+		if err := m.Train(data); err != nil {
+			return nil, fmt.Errorf("xpushstream: training failed: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// AddQueries inserts filters into a live engine without discarding the
+// lazily built state of the existing machine (the insertion path of the
+// paper's Sec. 8): the new filters compile into an additional small machine
+// that runs in lockstep with the previous layers. The new filters' indexes
+// start at the previous NumQueries. Engines with many accumulated layers
+// slow down linearly in the layer count; call Consolidate to merge them.
+func (e *Engine) AddQueries(queries []string) error {
+	if len(queries) == 0 {
+		return nil
+	}
+	filters, err := parseQueries(queries, len(e.queries))
+	if err != nil {
+		return err
+	}
+	m, err := e.buildMachine(filters)
+	if err != nil {
+		return err
+	}
+	e.layerOff = append(e.layerOff, len(e.queries))
+	e.layers = append(e.layers, m)
+	e.queries = append(e.queries, queries...)
+	e.filters = append(e.filters, filters...)
+	e.removed = append(e.removed, make([]bool, len(queries))...)
+	return nil
+}
+
+// RemoveQuery stops reporting a filter. Indexes of other filters are
+// unchanged; the filter's states are physically removed at the next
+// Consolidate.
+func (e *Engine) RemoveQuery(i int) error {
+	if i < 0 || i >= len(e.removed) {
+		return fmt.Errorf("xpushstream: no query %d", i)
+	}
+	e.removed[i] = true
+	return nil
+}
+
+// NumLayers reports how many machines the engine currently runs per event.
+func (e *Engine) NumLayers() int { return len(e.layers) }
+
+// Consolidate recompiles all layers (minus removed filters) into a single
+// fresh machine — the paper's "brute force" update path, applied on the
+// operator's schedule rather than per insertion. Filter indexes are
+// compacted; the mapping from old to new indexes is returned (-1 for
+// removed filters).
+func (e *Engine) Consolidate() ([]int, error) {
+	mapping := make([]int, len(e.filters))
+	var queries []string
+	var filters []*xpath.Filter
+	for i := range e.filters {
+		if e.removed[i] {
+			mapping[i] = -1
+			continue
+		}
+		mapping[i] = len(filters)
+		queries = append(queries, e.queries[i])
+		filters = append(filters, e.filters[i])
+	}
+	m, err := e.buildMachine(filters)
+	if err != nil {
+		return nil, err
+	}
+	e.queries = queries
+	e.filters = filters
+	e.layers = []*core.Machine{m}
+	e.layerOff = []int{0}
+	e.removed = make([]bool, len(filters))
+	return mapping, nil
+}
+
+// Clone returns an independent engine over the same workload and
+// configuration, for filtering a second stream in parallel.
+func (e *Engine) Clone() (*Engine, error) {
+	queries := append([]string(nil), e.queries...)
+	c, err := Compile(queries, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(c.removed, e.removed)
+	return c, nil
+}
+
+// NumQueries returns the workload size.
+func (e *Engine) NumQueries() int { return len(e.filters) }
+
+// Query returns the i-th filter's source text.
+func (e *Engine) Query(i int) string { return e.queries[i] }
+
+// FilterDocument processes one XML document and returns the sorted indexes
+// of the filters that match it.
+func (e *Engine) FilterDocument(doc []byte) ([]int, error) {
+	var out []int
+	var n int
+	err := e.FilterBytes(doc, func(matches []int) {
+		n++
+		out = append(out[:0], matches...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("xpushstream: FilterDocument expects exactly one document, got %d", n)
+	}
+	return out, nil
+}
+
+// FilterStream processes a stream of concatenated XML documents, invoking
+// onDocument with the matching filter indexes after each document. The
+// matches slice is reused between calls; copy it to retain it.
+func (e *Engine) FilterStream(r io.Reader, onDocument func(matches []int)) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return e.FilterBytes(data, onDocument)
+}
+
+// FilterStreaming processes a possibly unbounded stream of concatenated XML
+// documents with memory bounded by the largest single document (plus the
+// machine's state tables, which MaxStates can cap): documents are split off
+// the reader incrementally instead of buffering the whole stream. This is
+// the deployment mode for long-running brokers.
+func (e *Engine) FilterStreaming(r io.Reader, onDocument func(matches []int)) error {
+	return sax.StreamDocuments(r, func(doc []byte) error {
+		return e.FilterBytes(doc, onDocument)
+	})
+}
+
+// FilterBytes is FilterStream over a byte slice. All layers run in lockstep
+// off a single parse of the stream.
+func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error {
+	var scratch []int
+	emit := func() {
+		scratch = scratch[:0]
+		for li, m := range e.layers {
+			off := e.layerOff[li]
+			for _, o := range m.Results() {
+				idx := off + int(o)
+				if !e.removed[idx] {
+					scratch = append(scratch, idx)
+				}
+			}
+		}
+		sort.Ints(scratch)
+		onDocument(scratch)
+	}
+	s := sax.NewScanner(data)
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, m := range e.layers {
+			switch ev.Kind {
+			case sax.StartDocument:
+				m.StartDocument()
+			case sax.StartElement:
+				m.StartElement(ev.Name)
+			case sax.Text:
+				m.Text(ev.Data)
+			case sax.EndElement:
+				m.EndElement(ev.Name)
+			case sax.EndDocument:
+				m.EndDocument()
+			}
+		}
+		if ev.Kind == sax.EndDocument {
+			emit()
+		}
+	}
+	for _, m := range e.layers {
+		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filterParsedDocument drives the pre-parsed events of exactly one document
+// through all layers and returns the global match indexes. It lets the
+// sharded engine parse each document once instead of once per shard.
+func (e *Engine) filterParsedDocument(events []sax.Event) ([]int, error) {
+	for _, m := range e.layers {
+		sax.Drive(events, m)
+	}
+	var out []int
+	for li, m := range e.layers {
+		if err := m.Err(); err != nil {
+			return nil, err
+		}
+		off := e.layerOff[li]
+		for _, o := range m.Results() {
+			idx := off + int(o)
+			if !e.removed[idx] {
+				out = append(out, idx)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// PrecomputeEager materialises every accessible machine state ahead of any
+// input (the eager construction of Sec. 3.2 of the paper). Afterwards,
+// streams over the workload's alphabet run entirely on cache hits. The
+// worst case is exponential in the workload's predicate count — the reason
+// the machine is lazy by default — so maxStates bounds the exploration
+// (<= 0 selects a ~1M-state default); exceeding it returns an error and
+// leaves the engine valid, partially warmed. Requires the basic machine
+// (no TopDownPruning/EarlyNotification).
+func (e *Engine) PrecomputeEager(maxStates int) (states int, err error) {
+	total := 0
+	for _, m := range e.layers {
+		n, err := m.PrecomputeEager(maxStates)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Train runs all layers over warm-up data: states created are kept, and
+// runtime counters are reset afterwards (Sec. 5, "Training the XPush
+// Machine"). Use it with recorded traffic, or rely on Config.Training for
+// synthetic training data.
+func (e *Engine) Train(data []byte) error {
+	for _, m := range e.layers {
+		if err := m.Train(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrainingData generates the synthetic training documents for this
+// workload (requires a DTD in the configuration).
+func (e *Engine) TrainingData() ([]byte, error) {
+	if e.cfg.DTD == nil {
+		return nil, fmt.Errorf("xpushstream: TrainingData requires a DTD")
+	}
+	return workload.TrainingData(e.filters, e.cfg.DTD.d), nil
+}
+
+// WriteSnapshot persists the engine's lazily built (or trained) machine
+// state, so a restarted broker can resume warm instead of re-learning its
+// states from traffic. The snapshot is bound to the exact workload and
+// configuration; load it with ReadSnapshot on an engine compiled from the
+// same queries and Config.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(e.layers)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, m := range e.layers {
+		if err := m.WriteSnapshot(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot restores machine state persisted by WriteSnapshot into an
+// engine with the same queries, layer structure, and configuration.
+func (e *Engine) ReadSnapshot(r io.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	if n := binary.LittleEndian.Uint64(hdr[:]); n != uint64(len(e.layers)) {
+		return fmt.Errorf("xpushstream: snapshot has %d layers, engine has %d (Consolidate before snapshotting, or rebuild the same layer structure)", n, len(e.layers))
+	}
+	for _, m := range e.layers {
+		if err := m.ReadSnapshot(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of runtime counters, aggregated over layers
+// (documents and events count the stream once; state and lookup counters
+// sum across layers).
+func (e *Engine) Stats() Stats {
+	var out Stats
+	var sizeSum float64
+	for li, m := range e.layers {
+		s := m.Stats()
+		out.States += s.BStates
+		out.TopDownStates += s.TStates
+		sizeSum += s.AvgStateSize() * float64(s.BStates)
+		out.Lookups += s.Lookups
+		out.Hits += s.Hits
+		out.Matches += s.Matches
+		out.MixedContentEvents += s.MixedContentEvents
+		out.Flushes += s.Flushes
+		if li == 0 {
+			out.Documents = s.Docs
+			out.Events = s.Events
+		}
+	}
+	if out.States > 0 {
+		out.AvgStateSize = sizeSum / float64(out.States)
+	}
+	if out.Lookups > 0 {
+		out.HitRatio = float64(out.Hits) / float64(out.Lookups)
+	}
+	return out
+}
+
+// WorkloadReport summarises the pairwise state relationships of Theorem 6.1
+// (Sec. 6): subsumptions and inconsistencies between the workload's
+// automaton states bound the machine's accessible state count; large
+// independent degrees signal workloads that may create many states.
+type WorkloadReport struct {
+	States               int
+	SubsumptionPairs     int
+	EquivalentPairs      int
+	InconsistentPairs    int
+	IndependentPairs     int
+	MaxIndependentDegree int
+	TotalAtomicPreds     int
+}
+
+// AnalyzeWorkload runs the Theorem 6.1 pairwise analysis. It is quadratic
+// in the number of automaton states — a diagnostics tool for workload
+// authoring, not a hot path.
+func (e *Engine) AnalyzeWorkload() (WorkloadReport, error) {
+	a, err := afa.Compile(e.filters)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	r := a.Analyze()
+	total := 0
+	for _, f := range e.filters {
+		total += f.CountAtomicPredicates()
+	}
+	return WorkloadReport{
+		States:               r.States,
+		SubsumptionPairs:     r.SubsumptionPairs,
+		EquivalentPairs:      r.EquivalentPairs,
+		InconsistentPairs:    r.InconsistentPairs,
+		IndependentPairs:     r.IndependentPairs,
+		MaxIndependentDegree: r.MaxIndependentDegree,
+		TotalAtomicPreds:     total,
+	}, nil
+}
+
+// ValidateQuery parses a single filter, returning a descriptive error when
+// it lies outside the supported fragment.
+func ValidateQuery(query string) error {
+	f, err := xpath.Parse(query)
+	if err != nil {
+		return err
+	}
+	_, err = afa.Compile([]*xpath.Filter{f})
+	return err
+}
