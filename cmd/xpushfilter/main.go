@@ -5,22 +5,28 @@
 // Usage:
 //
 //	xpushfilter -queries filters.txt [-xml stream.xml] [-dtd schema.dtd]
-//	            [-topdown] [-order] [-early] [-train] [-stats]
+//	            [-topdown] [-order] [-early] [-train]
+//	            [-stats] [-stats-format text|json|prom]
 //
 // The queries file holds one XPath filter per line; blank lines and lines
 // starting with '#' are ignored. XML is read from -xml or stdin and may
-// contain any number of concatenated documents.
+// contain any number of concatenated documents. -stats appends a runtime
+// report after the stream: human-readable text (including per-document
+// filter-latency quantiles), a JSON document, or Prometheus text format.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	xpushstream "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
 	showQueries := fs.Bool("show-queries", false, "print matching filter text instead of indexes")
 	stats := fs.Bool("stats", false, "print machine statistics after the stream")
+	statsFormat := fs.String("stats-format", "text", "stats report format: text, json, or prom (Prometheus text)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,12 +118,46 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if *stats {
-		s := engine.Stats()
-		fmt.Fprintf(w, "---\ndocuments=%d events=%d matches=%d\n", s.Documents, s.Events, s.Matches)
-		fmt.Fprintf(w, "states=%d topdown-states=%d avg-state-size=%.2f\n", s.States, s.TopDownStates, s.AvgStateSize)
-		fmt.Fprintf(w, "table lookups=%d hits=%d hit-ratio=%.4f flushes=%d\n", s.Lookups, s.Hits, s.HitRatio, s.Flushes)
+		if err := writeStats(w, engine, *statsFormat); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeStats renders the post-stream runtime report in one of the three
+// formats.
+func writeStats(w io.Writer, engine *xpushstream.Engine, format string) error {
+	s := engine.Stats()
+	switch format {
+	case "text":
+		lat := s.LatencySummary()
+		fmt.Fprintf(w, "---\ndocuments=%d events=%d bytes=%d matches=%d\n", s.Documents, s.Events, s.Bytes, s.Matches)
+		fmt.Fprintf(w, "states=%d topdown-states=%d avg-state-size=%.2f\n", s.States, s.TopDownStates, s.AvgStateSize)
+		fmt.Fprintf(w, "table lookups=%d hits=%d hit-ratio=%.4f window-hit-ratio=%.4f flushes=%d\n",
+			s.Lookups, s.Hits, s.HitRatio, s.WindowHitRatio, s.Flushes)
+		fmt.Fprintf(w, "doc latency p50=%v p90=%v p99=%v max=%v\n",
+			latDur(lat.P50), latDur(lat.P90), latDur(lat.P99), latDur(lat.Max))
+		return nil
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			xpushstream.Stats
+			LatencySummary obs.Summary
+		}{s, s.LatencySummary()})
+	case "prom":
+		reg := xpushstream.NewRegistry()
+		xpushstream.RegisterMetrics(reg, "xpush", engine)
+		return reg.WritePrometheus(w)
+	default:
+		return fmt.Errorf("unknown -stats-format %q (text, json, prom)", format)
+	}
+}
+
+// latDur renders a latency in seconds as a rounded duration.
+func latDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond)
 }
 
 func readQueries(path string) ([]string, error) {

@@ -44,6 +44,43 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunStatsFormats(t *testing.T) {
+	queries := writeFile(t, "q.txt", "//order[total>100]\n")
+	xml := writeFile(t, "s.xml", `<order><total>250</total></order><order><total>5</total></order>`)
+
+	var text strings.Builder
+	if err := run([]string{"-queries", queries, "-xml", xml, "-stats"}, nil, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "doc latency p50=") {
+		t.Errorf("text stats missing latency line:\n%s", text.String())
+	}
+
+	var jsonOut strings.Builder
+	if err := run([]string{"-queries", queries, "-xml", xml, "-stats", "-stats-format", "json"}, nil, &jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Documents": 2`, `"LatencySummary"`, `"P99"`, `"Bytes"`} {
+		if !strings.Contains(jsonOut.String(), want) {
+			t.Errorf("json stats missing %q:\n%s", want, jsonOut.String())
+		}
+	}
+
+	var prom strings.Builder
+	if err := run([]string{"-queries", queries, "-xml", xml, "-stats", "-stats-format", "prom"}, nil, &prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"xpush_documents_total 2", `xpush_filter_latency_seconds{quantile="0.99"}`} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom stats missing %q:\n%s", want, prom.String())
+		}
+	}
+
+	if err := run([]string{"-queries", queries, "-xml", xml, "-stats", "-stats-format", "bogus"}, nil, &strings.Builder{}); err == nil {
+		t.Error("bogus -stats-format must fail")
+	}
+}
+
 func TestRunShowQueries(t *testing.T) {
 	queries := writeFile(t, "q.txt", "/a[b=1]\n")
 	var out strings.Builder

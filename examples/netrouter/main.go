@@ -8,7 +8,11 @@
 // machine state.
 //
 // The demo runs a broker, three subscribers, and a producer in one process
-// over real loopback TCP connections.
+// over real loopback TCP connections. The broker is observable: it serves
+// GET /metrics (Prometheus text format — per-document filter-latency
+// quantiles, cumulative documents/events/bytes, warm-machine hit ratio) and
+// GET /healthz on a second loopback port, and the demo scrapes it at the
+// end to show the machine warming up.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -32,9 +37,18 @@ type Broker struct {
 	writers []chan []byte // per filter index
 	ln      net.Listener
 	wg      sync.WaitGroup
+
+	// Observability: engine metrics plus broker-level counters, served
+	// at /metrics on a dedicated loopback listener.
+	reg        *xpushstream.Registry
+	metricsLn  net.Listener
+	httpSrv    *http.Server
+	packets    *xpushstream.Counter
+	deliveries *xpushstream.Counter
 }
 
-// NewBroker starts a broker on a loopback port.
+// NewBroker starts a broker on a loopback port and its metrics endpoint on
+// a second one.
 func NewBroker() (*Broker, error) {
 	engine, err := xpushstream.Compile(nil, xpushstream.Config{TopDownPruning: true})
 	if err != nil {
@@ -44,7 +58,29 @@ func NewBroker() (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Broker{engine: engine, ln: ln}
+	b := &Broker{engine: engine, ln: ln, reg: xpushstream.NewRegistry()}
+	// Engine stats are read under the broker lock: AddQueries mutates the
+	// engine's layer list while traffic flows.
+	xpushstream.RegisterMetrics(b.reg, "xpush", xpushstream.StatsFunc(func() xpushstream.Stats {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.engine.Stats()
+	}))
+	b.packets = b.reg.Counter("netrouter_packets_total", "XML packets published to the broker")
+	b.deliveries = b.reg.Counter("netrouter_deliveries_total", "packet deliveries to subscribers")
+	b.reg.GaugeFunc("netrouter_subscriptions", "registered filters", func() float64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return float64(b.engine.NumQueries())
+	})
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	b.metricsLn = mln
+	b.httpSrv = &http.Server{Handler: b.reg.NewMux()}
+	go b.httpSrv.Serve(mln)
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -53,9 +89,13 @@ func NewBroker() (*Broker, error) {
 // Addr returns the broker's listen address.
 func (b *Broker) Addr() string { return b.ln.Addr().String() }
 
+// MetricsAddr returns the /metrics + /healthz listen address.
+func (b *Broker) MetricsAddr() string { return b.metricsLn.Addr().String() }
+
 // Close stops the broker.
 func (b *Broker) Close() {
 	b.ln.Close()
+	b.httpSrv.Close()
 	b.wg.Wait()
 }
 
@@ -151,6 +191,7 @@ func (b *Broker) subscribe(query string, ch chan []byte) (chan []byte, error) {
 func (b *Broker) route(doc []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.packets.Inc()
 	matches, err := b.engine.FilterDocument(doc)
 	if err != nil {
 		return 0, err
@@ -162,6 +203,7 @@ func (b *Broker) route(doc []byte) (int, error) {
 			delivered[ch] = true
 			select {
 			case ch <- doc:
+				b.deliveries.Inc()
 			default: // slow subscriber: drop
 			}
 		}
@@ -249,7 +291,10 @@ func main() {
 		time.Sleep(time.Millisecond)
 	}
 
-	// Producer: publish packets over its own TCP connection.
+	// Producer: publish packets over its own TCP connection. The first
+	// round is shown packet by packet; then the same traffic repeats so
+	// the lazy machine warms up and the scraped window hit ratio climbs
+	// (the live view of the paper's Fig. 8).
 	conn, err := net.Dial("tcp", broker.Addr())
 	if err != nil {
 		log.Fatal(err)
@@ -261,13 +306,27 @@ func main() {
 		`<order id="3" priority="low"><customer><country>US</country></customer><total>10</total></order>`,
 		`<note>not an order</note>`,
 	}
-	for _, p := range packets {
-		fmt.Fprintf(conn, "PUBLISH %d\n%s", len(p), p)
-		resp, _ := pr.ReadString('\n')
-		fmt.Printf("published order -> broker says: %s", resp)
+	const rounds = 25
+	published := 0
+	for round := 0; round < rounds; round++ {
+		for _, p := range packets {
+			fmt.Fprintf(conn, "PUBLISH %d\n%s", len(p), p)
+			resp, _ := pr.ReadString('\n')
+			published++
+			if round == 0 {
+				fmt.Printf("published order -> broker says: %s", resp)
+			}
+		}
 	}
+	fmt.Printf("... and %d more packets to warm the machine\n", published-len(packets))
 	fmt.Fprintf(conn, "QUIT\n")
 	conn.Close()
+
+	// Scrape the broker's Prometheus endpoint while it is still serving.
+	fmt.Printf("\nscraping http://%s/metrics:\n", broker.MetricsAddr())
+	for _, line := range scrapeMetrics(broker.MetricsAddr()) {
+		fmt.Println(" ", line)
+	}
 
 	broker.CloseSubscribers()
 	subs.Wait()
@@ -278,4 +337,31 @@ func main() {
 		n, _ := got.Load(name)
 		fmt.Printf("  %-8s %v\n", name, n)
 	}
+}
+
+// scrapeMetrics fetches /metrics and returns the headline series: latency
+// quantiles, stream totals, hit ratios, and broker counters.
+func scrapeMetrics(addr string) []string {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "xpush_filter_latency_seconds{"),
+			strings.HasPrefix(line, "xpush_filter_latency_seconds_max"),
+			strings.HasPrefix(line, "xpush_documents_total"),
+			strings.HasPrefix(line, "xpush_events_total"),
+			strings.HasPrefix(line, "xpush_bytes_total"),
+			strings.HasPrefix(line, "xpush_hit_ratio"),
+			strings.HasPrefix(line, "xpush_window_hit_ratio"),
+			strings.HasPrefix(line, "netrouter_"):
+			lines = append(lines, line)
+		}
+	}
+	return lines
 }

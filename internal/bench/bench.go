@@ -17,6 +17,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/afa"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/sax"
 	"repro/internal/workload"
 	"repro/internal/xpath"
@@ -269,6 +271,10 @@ type AbstractResult struct {
 	WarmMBPerSec      float64
 	ScannerMBPerSec   float64
 	StdParserMBPerSec float64
+	// WarmLatency is the warm machine's per-document filter-latency
+	// histogram summary (seconds) — the operational view behind the MB/s
+	// numbers: a broker sizing its queues cares about p99, not the mean.
+	WarmLatency obs.Summary
 }
 
 // Abstract runs the abstract-claim measurement.
@@ -295,6 +301,20 @@ func Abstract(ds *datagen.Dataset, numQueries int, meanPreds float64, dataBytes 
 		return res, err
 	}
 	res.WarmMBPerSec = mbPerSec(len(data), time.Since(start))
+	// Third pass, timed per document, for the warm latency distribution.
+	var lat obs.Histogram
+	err = sax.StreamDocuments(bytes.NewReader(data), func(doc []byte) error {
+		t0 := time.Now()
+		if err := m.Run(doc); err != nil {
+			return err
+		}
+		lat.Observe(time.Since(t0).Seconds())
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.WarmLatency = lat.Snapshot().Summary()
 	start = time.Now()
 	if err := sax.Parse(data, nullHandler{}); err != nil {
 		return res, err

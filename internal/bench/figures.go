@@ -5,8 +5,10 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 )
 
 // Scale selects experiment sizes. The paper's hardware (700 MHz Pentium
@@ -204,7 +206,24 @@ func (r *Runner) abstract() error {
 		"10.45 predicates/filter", heavy.ColdMBPerSec, heavy.WarmMBPerSec, heavy.TotalPreds)
 	fmt.Fprintf(r.Out, "  %-34s %12.2f\n", "hand-written parser alone", one.ScannerMBPerSec)
 	fmt.Fprintf(r.Out, "  %-34s %12.2f\n", "encoding/xml parser alone", one.StdParserMBPerSec)
+	fmt.Fprintf(r.Out, "\n  warm per-document filter latency (n=%d docs per workload):\n", one.WarmLatency.Count)
+	fmt.Fprintf(r.Out, "  %-34s %10s %10s %10s %10s\n", "workload", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		lat  obs.Summary
+	}{
+		{"1 predicate/filter", one.WarmLatency},
+		{"10.45 predicates/filter", heavy.WarmLatency},
+	} {
+		fmt.Fprintf(r.Out, "  %-34s %10s %10s %10s %10s\n", row.name,
+			fmtLatency(row.lat.P50), fmtLatency(row.lat.P90), fmtLatency(row.lat.P99), fmtLatency(row.lat.Max))
+	}
 	return nil
+}
+
+// fmtLatency renders a latency in seconds as a rounded duration.
+func fmtLatency(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 // WriteCSV dumps every cached sweep's raw rows as CSV (one line per

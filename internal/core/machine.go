@@ -29,6 +29,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/afa"
 	"repro/internal/predindex"
@@ -101,6 +103,52 @@ type Stats struct {
 	MixedContentEvents int64
 	// Flushes counts MaxStates cache flushes.
 	Flushes int64
+
+	// Windowed series over the most recent WindowDocs documents (at most
+	// StatsWindow). They expose the machine's warm-up trajectory — the
+	// time-local view of Fig. 8's hit-ratio curve — where the cumulative
+	// counters above average over the whole stream: a long-running broker
+	// watches WindowHitRatio approach 1 as the lazy machine completes.
+	WindowDocs int
+	// WindowLookups and WindowHits are table lookups within the window.
+	WindowLookups, WindowHits int64
+	// WindowStatesAdded counts bottom-up states interned within the
+	// window (clamped at 0 across a cache flush).
+	WindowStatesAdded int64
+	// WindowFlushes counts MaxStates flushes within the window.
+	WindowFlushes int64
+}
+
+// WindowHitRatio returns the hit ratio over the window (0 if no lookups).
+func (s Stats) WindowHitRatio() float64 {
+	if s.WindowLookups == 0 {
+		return 0
+	}
+	return float64(s.WindowHits) / float64(s.WindowLookups)
+}
+
+// StatsWindow is the number of most recent documents covered by the
+// windowed Stats series.
+const StatsWindow = 64
+
+// counters holds the machine's runtime counters. Increments happen only on
+// the machine's single filtering goroutine, but they are atomic so that
+// Stats can be read concurrently (e.g. a /metrics scrape of a live broker,
+// or Pool/ShardedEngine aggregation) without a data race.
+type counters struct {
+	bstates, tstates atomic.Int64
+	bstateAFASum     atomic.Int64
+	lookups, hits    atomic.Int64
+	docs, events     atomic.Int64
+	matches          atomic.Int64
+	mixed            atomic.Int64
+	flushes          atomic.Int64
+}
+
+// winSample is a snapshot of the cumulative counters taken at a document
+// boundary; the window series are differences against the oldest sample.
+type winSample struct {
+	lookups, hits, bstates, flushes int64
 }
 
 // AvgStateSize returns the mean number of AFA states per XPush state.
@@ -190,8 +238,15 @@ type Machine struct {
 	inDoc   bool
 	err     error
 
-	stats    Stats
+	ctr      counters
 	training bool
+
+	// Document-boundary samples for the windowed Stats series, guarded by
+	// winMu (written once per document, read by Stats).
+	winMu   sync.Mutex
+	win     [StatsWindow]winSample
+	winLen  int
+	winHead int // next write position
 
 	// OnDocument, when set, receives the sorted oids of matching filters
 	// at every endDocument.
@@ -254,9 +309,9 @@ func (m *Machine) reset() {
 	m.addTab = make(map[addKey]int32)
 	m.valueTab = make(map[valueKey]entry)
 	m.sectTab = make(map[addKey]int32)
-	m.stats.BStates = 1
-	m.stats.TStates = 1
-	m.stats.BStateAFASum = 0
+	m.ctr.bstates.Store(1)
+	m.ctr.tstates.Store(1)
+	m.ctr.bstateAFASum.Store(0)
 	if m.opts.PrecomputeValues && !m.opts.TopDown {
 		for _, v := range m.index.Representatives() {
 			m.valueState(0, v)
@@ -264,8 +319,53 @@ func (m *Machine) reset() {
 	}
 }
 
-// Stats returns a snapshot of the runtime counters.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the runtime counters. It is safe to call
+// concurrently with filtering (the snapshot is per-counter consistent, not
+// globally consistent — fine for monitoring).
+func (m *Machine) Stats() Stats {
+	s := Stats{
+		BStates:            int(m.ctr.bstates.Load()),
+		TStates:            int(m.ctr.tstates.Load()),
+		BStateAFASum:       m.ctr.bstateAFASum.Load(),
+		Lookups:            m.ctr.lookups.Load(),
+		Hits:               m.ctr.hits.Load(),
+		Docs:               m.ctr.docs.Load(),
+		Events:             m.ctr.events.Load(),
+		Matches:            m.ctr.matches.Load(),
+		MixedContentEvents: m.ctr.mixed.Load(),
+		Flushes:            m.ctr.flushes.Load(),
+	}
+	m.winMu.Lock()
+	if m.winLen > 0 {
+		oldest := m.win[(m.winHead-m.winLen+StatsWindow)%StatsWindow]
+		s.WindowDocs = m.winLen
+		s.WindowLookups = s.Lookups - oldest.lookups
+		s.WindowHits = s.Hits - oldest.hits
+		s.WindowStatesAdded = int64(s.BStates) - oldest.bstates
+		if s.WindowStatesAdded < 0 { // cache flush inside the window
+			s.WindowStatesAdded = 0
+		}
+		s.WindowFlushes = s.Flushes - oldest.flushes
+	}
+	m.winMu.Unlock()
+	return s
+}
+
+// sampleWindow records the cumulative counters at a document boundary.
+func (m *Machine) sampleWindow() {
+	m.winMu.Lock()
+	m.win[m.winHead] = winSample{
+		lookups: m.ctr.lookups.Load(),
+		hits:    m.ctr.hits.Load(),
+		bstates: m.ctr.bstates.Load(),
+		flushes: m.ctr.flushes.Load(),
+	}
+	m.winHead = (m.winHead + 1) % StatsWindow
+	if m.winLen < StatsWindow {
+		m.winLen++
+	}
+	m.winMu.Unlock()
+}
 
 // Err reports the first strict-mode violation encountered, if any.
 func (m *Machine) Err() error { return m.err }
@@ -293,8 +393,8 @@ func (m *Machine) internB(set []int32) int32 {
 	m.bsets = append(m.bsets, cp)
 	m.baccept = append(m.baccept, nil)
 	m.bintern[h] = append(m.bintern[h], id)
-	m.stats.BStates++
-	m.stats.BStateAFASum += int64(len(set))
+	m.ctr.bstates.Add(1)
+	m.ctr.bstateAFASum.Add(int64(len(set)))
 	return id
 }
 
@@ -318,7 +418,7 @@ func (m *Machine) internT(set []int32) int32 {
 	m.tsets = append(m.tsets, cp)
 	m.ttOf = append(m.ttOf, intersectSorted(m.trueTermAll, cp, nil))
 	m.tintern[h] = append(m.tintern[h], id)
-	m.stats.TStates++
+	m.ctr.tstates.Add(1)
 	return id
 }
 
@@ -326,7 +426,10 @@ func (m *Machine) internT(set []int32) int32 {
 func (m *Machine) StartDocument() {
 	if m.opts.MaxStates > 0 && len(m.bsets) > m.opts.MaxStates {
 		m.reset()
-		m.stats.Flushes++
+		m.ctr.flushes.Add(1)
+	}
+	if !m.training {
+		m.sampleWindow()
 	}
 	m.qt, m.qb = 0, 0
 	m.stack = m.stack[:0]
@@ -336,13 +439,13 @@ func (m *Machine) StartDocument() {
 	}
 	m.results = m.results[:0]
 	m.inDoc = true
-	m.stats.Events++
-	m.stats.Docs++
+	m.ctr.events.Add(1)
+	m.ctr.docs.Add(1)
 }
 
 // StartElement implements sax.Handler (the tpush transition).
 func (m *Machine) StartElement(name string) {
-	m.stats.Events++
+	m.ctr.events.Add(1)
 	sym := m.afa.Syms.InputSym(name)
 	isAttr := m.afa.Syms.IsAttr(sym)
 	if !isAttr {
@@ -362,9 +465,9 @@ func (m *Machine) StartElement(name string) {
 // pushState computes tpush(qt, sym) = close({δ(s, sym) | s ∈ qt}) lazily.
 func (m *Machine) pushState(qt, sym int32) int32 {
 	key := pushKey{qt: qt, sym: sym}
-	m.stats.Lookups++
+	m.ctr.lookups.Add(1)
 	if id, ok := m.pushTab[key]; ok {
-		m.stats.Hits++
+		m.ctr.hits.Add(1)
 		return id
 	}
 	m.scratch = m.scratch[:0]
@@ -380,7 +483,7 @@ func (m *Machine) pushState(qt, sym int32) int32 {
 
 // Text implements sax.Handler (the tvalue transition, merged into q^b).
 func (m *Machine) Text(data string) {
-	m.stats.Events++
+	m.ctr.events.Add(1)
 	if m.cur.sawElemChild {
 		m.mixedContent()
 	}
@@ -399,9 +502,9 @@ func (m *Machine) valueState(qt int32, v xmlval.Value) int32 {
 	var key valueKey
 	if cacheable {
 		key = valueKey{qt: qt, interval: m.index.IntervalKey(v)}
-		m.stats.Lookups++
+		m.ctr.lookups.Add(1)
 		if e, ok := m.valueTab[key]; ok {
-			m.stats.Hits++
+			m.ctr.hits.Add(1)
 			m.recordEarly(e.early)
 			return e.state
 		}
@@ -470,7 +573,7 @@ func (m *Machine) recordEarly(oids []int32) {
 
 // EndElement implements sax.Handler (tpop followed by tbadd/ttadd).
 func (m *Machine) EndElement(name string) {
-	m.stats.Events++
+	m.ctr.events.Add(1)
 	if len(m.stack) == 0 {
 		// Malformed event sequence (only possible via Drive on
 		// hand-built events; the scanners guarantee balance).
@@ -493,9 +596,9 @@ func (m *Machine) EndElement(name string) {
 // injection depends on it.
 func (m *Machine) popState(qb, qt, sym int32) int32 {
 	key := popKey{qb: qb, qt: qt, sym: sym}
-	m.stats.Lookups++
+	m.ctr.lookups.Add(1)
 	if e, ok := m.popTab[key]; ok {
-		m.stats.Hits++
+		m.ctr.hits.Add(1)
 		m.recordEarly(e.early)
 		return e.state
 	}
@@ -536,9 +639,9 @@ func (m *Machine) popState(qb, qt, sym int32) int32 {
 // the bottom-up states enabled in the parent's top-down state.
 func (m *Machine) intersectState(qaux, qt int32) int32 {
 	key := addKey{qbs: qaux, qaux: qt}
-	m.stats.Lookups++
+	m.ctr.lookups.Add(1)
 	if id, ok := m.sectTab[key]; ok {
-		m.stats.Hits++
+		m.ctr.hits.Add(1)
 		return id
 	}
 	out := intersectSorted(m.bsets[qaux], m.tsets[qt], m.scratch[:0])
@@ -558,9 +661,9 @@ func (m *Machine) addStates(qbs, qaux int32) int32 {
 		return qaux
 	}
 	key := addKey{qbs: qbs, qaux: qaux}
-	m.stats.Lookups++
+	m.ctr.lookups.Add(1)
 	if id, ok := m.addTab[key]; ok {
-		m.stats.Hits++
+		m.ctr.hits.Add(1)
 		return id
 	}
 	b := m.bsets[qbs]
@@ -583,7 +686,7 @@ func (m *Machine) addStates(qbs, qaux int32) int32 {
 
 // EndDocument implements sax.Handler (taccept plus early matches).
 func (m *Machine) EndDocument() {
-	m.stats.Events++
+	m.ctr.events.Add(1)
 	m.inDoc = false
 	for _, q := range m.acceptOf(m.qb) {
 		if !m.matched[q] {
@@ -592,7 +695,7 @@ func (m *Machine) EndDocument() {
 		}
 	}
 	sort.Slice(m.results, func(i, j int) bool { return m.results[i] < m.results[j] })
-	m.stats.Matches += int64(len(m.results))
+	m.ctr.matches.Add(int64(len(m.results)))
 	if m.OnDocument != nil && !m.training {
 		m.OnDocument(m.results)
 	}
@@ -623,9 +726,9 @@ func (m *Machine) acceptOf(qb int32) []int32 {
 var emptyAccept = make([]int32, 0)
 
 func (m *Machine) mixedContent() {
-	m.stats.MixedContentEvents++
+	m.ctr.mixed.Add(1)
 	if m.opts.StrictMixedContent && m.err == nil {
-		m.err = fmt.Errorf("xpush: mixed element/text content encountered (document %d)", m.stats.Docs)
+		m.err = fmt.Errorf("xpush: mixed element/text content encountered (document %d)", m.ctr.docs.Load())
 	}
 }
 
@@ -660,11 +763,14 @@ func (m *Machine) Train(data []byte) error {
 	m.training = true
 	err := sax.Parse(data, m)
 	m.training = false
-	m.stats.Lookups = 0
-	m.stats.Hits = 0
-	m.stats.Docs = 0
-	m.stats.Events = 0
-	m.stats.Matches = 0
+	m.ctr.lookups.Store(0)
+	m.ctr.hits.Store(0)
+	m.ctr.docs.Store(0)
+	m.ctr.events.Store(0)
+	m.ctr.matches.Store(0)
+	m.winMu.Lock()
+	m.winLen, m.winHead = 0, 0
+	m.winMu.Unlock()
 	return err
 }
 
@@ -689,7 +795,7 @@ func dedupSorted(ids []int32) []int32 {
 // (Figs. 6 + 7 combined).
 func (m *Machine) ApproxMemoryBytes() int64 {
 	var b int64
-	b += 4 * m.stats.BStateAFASum // bottom-up state arrays
+	b += 4 * m.ctr.bstateAFASum.Load() // bottom-up state arrays
 	for _, t := range m.tsets {
 		b += 4 * int64(len(t))
 	}

@@ -299,17 +299,17 @@ func (m *Machine) ReadSnapshot(r io.Reader) error {
 	m.bsets = bsets
 	m.bintern = make(map[uint64][]int32, len(bsets))
 	m.baccept = make([][]int32, len(bsets))
-	m.stats.BStates = len(bsets)
-	m.stats.BStateAFASum = 0
+	m.ctr.bstates.Store(int64(len(bsets)))
+	m.ctr.bstateAFASum.Store(0)
 	for i, s := range bsets {
 		h := hashIDs(s)
 		m.bintern[h] = append(m.bintern[h], int32(i))
-		m.stats.BStateAFASum += int64(len(s))
+		m.ctr.bstateAFASum.Add(int64(len(s)))
 	}
 	m.tsets = tsets
 	m.tintern = make(map[uint64][]int32, len(tsets))
 	m.ttOf = make([][]int32, len(tsets))
-	m.stats.TStates = len(tsets)
+	m.ctr.tstates.Store(int64(len(tsets)))
 	for i, s := range tsets {
 		if i > 0 {
 			h := hashIDs(s)

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// MetricsHandler returns an http.Handler that serves the registry in
+// Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// NewMux returns a ServeMux with the conventional observability endpoints:
+// GET /metrics (Prometheus text) and GET /healthz (always "ok" — the
+// process is healthy if it can answer).
+func (r *Registry) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

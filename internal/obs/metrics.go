@@ -1,0 +1,210 @@
+// Package obs is a dependency-free runtime-observability toolkit for the
+// filtering engine: atomic counters and gauges, log-bucketed latency
+// histograms with quantile summaries, a registry that encodes everything in
+// the Prometheus text exposition format, and an optional net/http handler
+// serving /metrics and /healthz.
+//
+// All primitives are safe for concurrent use; observation is lock-free
+// (atomic adds), so they can sit on the engine's per-document hot path and
+// still be read by a scraper while a stream is being filtered.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram bucket layout: numBuckets exponential buckets doubling from
+// bucketBase, plus an implicit overflow bucket. With bucketBase = 1µs
+// (observations are in seconds) the highest finite bound is ~33.5s — wide
+// enough for per-document filter latencies from nanoseconds on a warm
+// machine to multi-second cold-start documents.
+const (
+	numBuckets = 26
+	bucketBase = 1e-6
+)
+
+// BucketBounds returns the histogram's finite upper bounds, in observation
+// units (seconds for latency histograms). Bound i is bucketBase * 2^i.
+func BucketBounds() []float64 {
+	b := make([]float64, numBuckets)
+	for i := range b {
+		b[i] = bucketBase * float64(uint64(1)<<i)
+	}
+	return b
+}
+
+// Histogram is a log-bucketed histogram with lock-free observation. The
+// zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Uint64 // last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	maxBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation (e.g. a latency in seconds).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// v <= bucketBase*2^i, or the overflow bucket.
+func bucketIndex(v float64) int {
+	for i := 0; i < numBuckets; i++ {
+		if v <= bucketBase*float64(uint64(1)<<i) {
+			return i
+		}
+	}
+	return numBuckets
+}
+
+// Snapshot returns a consistent-enough copy of the histogram for encoding
+// or quantile estimation. (Counts are read bucket-by-bucket without a
+// global lock; concurrent observations may skew a snapshot by a few
+// observations, which is irrelevant for monitoring.)
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Buckets = make([]uint64, numBuckets+1)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram.
+type Snapshot struct {
+	// Buckets holds per-bucket (not cumulative) counts; the last entry is
+	// the overflow (+Inf) bucket. Bounds are BucketBounds().
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+	Max     float64
+}
+
+// Merge adds another snapshot's observations into s (for aggregating
+// per-worker histograms).
+func (s *Snapshot) Merge(o Snapshot) {
+	if len(s.Buckets) == 0 {
+		s.Buckets = make([]uint64, numBuckets+1)
+	}
+	for i := range o.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly within the containing bucket. It returns 0 for an
+// empty snapshot.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBase * float64(uint64(1)<<(i-1))
+		}
+		hi := s.Max
+		if i < numBuckets {
+			hi = bucketBase * float64(uint64(1)<<i)
+		}
+		if hi > s.Max && s.Max > 0 {
+			hi = s.Max
+		}
+		cum += float64(n)
+		if cum >= rank {
+			// Interpolate within [lo, hi].
+			frac := 1 - (cum-rank)/float64(n)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Summary condenses a snapshot into the quantile set the engine reports.
+type Summary struct {
+	Count              uint64
+	Sum                float64
+	Mean               float64
+	P50, P90, P99, Max float64
+}
+
+// Summary computes the standard p50/p90/p99/max summary.
+func (s Snapshot) Summary() Summary {
+	return Summary{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max,
+	}
+}

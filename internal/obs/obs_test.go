@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)         // bucket 0
+	h.Observe(1e-6)      // bucket 0 (v <= base)
+	h.Observe(3e-6)      // bucket 2 (<= 4µs)
+	h.Observe(1)         // <= 2^20µs ≈ 1.05s
+	h.Observe(1e9)       // overflow
+	h.Observe(-1)        // clamped to 0
+	h.Observe(math.NaN()) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 4 {
+		t.Errorf("bucket 0 = %d", s.Buckets[0])
+	}
+	if s.Buckets[2] != 1 {
+		t.Errorf("bucket 2 = %d", s.Buckets[2])
+	}
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Errorf("overflow = %d", s.Buckets[len(s.Buckets)-1])
+	}
+	if s.Max != 1e9 {
+		t.Errorf("max = %v", s.Max)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Errorf("bucket sum %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations spread evenly over [1ms, 100ms].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	s := h.Snapshot()
+	sum := s.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("count = %d", sum.Count)
+	}
+	// Log buckets are coarse; accept a factor-of-2 window around truth.
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", sum.P50, 0.050},
+		{"p90", sum.P90, 0.090},
+		{"p99", sum.P99, 0.099},
+	}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("%s = %v, want within 2x of %v", c.name, c.got, c.want)
+		}
+	}
+	if sum.Max != 0.1 {
+		t.Errorf("max = %v", sum.Max)
+	}
+	if math.Abs(sum.Mean-0.0505) > 1e-9 {
+		t.Errorf("mean = %v", sum.Mean)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1e-3)
+	b.Observe(2e-3)
+	b.Observe(5)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 5 {
+		t.Errorf("max = %v", s.Max)
+	}
+	if math.Abs(s.Sum-5.003) > 1e-9 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	// Merge into an empty snapshot works too.
+	var empty Snapshot
+	empty.Merge(s)
+	if empty.Count != 3 {
+		t.Errorf("merged-into-empty count = %d", empty.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%17) * 1e-4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshot reads must be race-free
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot().Summary()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("docs_total", "documents processed")
+	c.Add(7)
+	g := r.Gauge("hit_ratio", "table hit ratio")
+	g.Set(0.9375)
+	r.GaugeFunc("states", "machine states", func() float64 { return 42 })
+	r.CounterFunc("bytes_total", "bytes in", func() int64 { return 1 << 20 })
+	var h Histogram
+	h.Observe(0.002)
+	h.Observe(0.004)
+	r.Histogram("latency_seconds", "per-document latency", &h)
+	r.SummaryFunc("latency_quantiles_seconds", "latency quantiles", nil, h.Snapshot)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE docs_total counter",
+		"docs_total 7",
+		"# TYPE hit_ratio gauge",
+		"hit_ratio 0.9375",
+		"states 42",
+		"bytes_total 1048576",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="+Inf"} 2`,
+		"latency_seconds_count 2",
+		"# TYPE latency_quantiles_seconds summary",
+		`latency_quantiles_seconds{quantile="0.5"}`,
+		`latency_quantiles_seconds{quantile="0.99"}`,
+		"latency_quantiles_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and end at count.
+	if !strings.Contains(out, "latency_seconds_sum 0.006") {
+		t.Errorf("bad sum:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name must panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_docs", "").Add(3)
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "up_docs 3") {
+		t.Errorf("metrics body: %s", buf[:n])
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type: %s", ct)
+	}
+
+	hresp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	n, _ = hresp.Body.Read(buf)
+	if strings.TrimSpace(string(buf[:n])) != "ok" {
+		t.Errorf("healthz body: %q", buf[:n])
+	}
+}

@@ -137,11 +137,16 @@ func Drive(events []Event, h Handler) {
 	}
 }
 
-// Collector is a Handler that records the events it receives. It is mainly
-// useful in tests and for differential comparison of parsers.
+// Collector is a Handler that records the events it receives: used by the
+// sharded engine to parse each document once, and in tests for differential
+// comparison of parsers.
 type Collector struct {
 	Events []Event
 }
+
+// Reset drops recorded events, retaining capacity for reuse across
+// documents.
+func (c *Collector) Reset() { c.Events = c.Events[:0] }
 
 // StartDocument implements Handler.
 func (c *Collector) StartDocument() {

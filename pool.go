@@ -1,6 +1,7 @@
 package xpushstream
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -51,10 +52,16 @@ type Result struct {
 	Err     error
 }
 
+// errPoolStopped is the sentinel the split callback returns to cancel the
+// splitter once the collector has recorded a document-level error.
+var errPoolStopped = errors.New("xpushstream: pool stream stopped after first error")
+
 // FilterStream splits the reader into documents and filters them on all
 // workers concurrently, invoking onResult (from multiple goroutines is
 // avoided: results are delivered from a single collector goroutine) for
-// each document. The first document-level error stops the stream.
+// each document. The first document-level error stops the stream: the
+// splitter stops reading and no further documents are submitted (documents
+// already in flight on other workers still deliver their results).
 func (p *Pool) FilterStream(r io.Reader, onResult func(Result)) error {
 	type job struct {
 		seq int
@@ -62,6 +69,7 @@ func (p *Pool) FilterStream(r io.Reader, onResult func(Result)) error {
 	}
 	jobs := make(chan job, 2*len(p.engines))
 	results := make(chan Result, 2*len(p.engines))
+	stop := make(chan struct{}) // closed by the collector on the first error
 
 	var wg sync.WaitGroup
 	for _, e := range p.engines {
@@ -81,6 +89,7 @@ func (p *Pool) FilterStream(r io.Reader, onResult func(Result)) error {
 		for res := range results {
 			if res.Err != nil && firstErr == nil {
 				firstErr = res.Err
+				close(stop)
 			}
 			onResult(res)
 		}
@@ -88,18 +97,58 @@ func (p *Pool) FilterStream(r io.Reader, onResult func(Result)) error {
 
 	seq := 0
 	splitErr := sax.StreamDocuments(r, func(doc []byte) error {
+		select {
+		case <-stop:
+			return errPoolStopped
+		default:
+		}
 		cp := make([]byte, len(doc))
 		copy(cp, doc)
-		jobs <- job{seq: seq, doc: cp}
-		seq++
-		return nil
+		select {
+		case jobs <- job{seq: seq, doc: cp}:
+			seq++
+			return nil
+		case <-stop:
+			return errPoolStopped
+		}
 	})
 	close(jobs)
 	wg.Wait()
 	close(results)
 	<-collectorDone
-	if splitErr != nil {
+	if splitErr != nil && splitErr != errPoolStopped {
 		return splitErr
 	}
 	return firstErr
+}
+
+// Stats aggregates runtime counters across the pool's workers: stream
+// counters (documents, events, bytes, matches) sum over the disjoint
+// document sets the workers processed, state/lookup counters sum over the
+// independently warmed clones, and the latency histograms merge. Safe to
+// call while FilterStream runs.
+func (p *Pool) Stats() Stats {
+	var out Stats
+	var sizeSum float64
+	for _, e := range p.engines {
+		s := e.Stats()
+		out.States += s.States
+		out.TopDownStates += s.TopDownStates
+		sizeSum += s.AvgStateSize * float64(s.States)
+		out.Lookups += s.Lookups
+		out.Hits += s.Hits
+		out.Matches += s.Matches
+		out.MixedContentEvents += s.MixedContentEvents
+		out.Flushes += s.Flushes
+		out.Documents += s.Documents
+		out.Events += s.Events
+		out.Bytes += s.Bytes
+		out.WindowDocuments += s.WindowDocuments
+		out.WindowLookups += s.WindowLookups
+		out.WindowHits += s.WindowHits
+		out.WindowStatesAdded += s.WindowStatesAdded
+		out.FilterLatency.Merge(s.FilterLatency)
+	}
+	finishStats(&out, sizeSum)
+	return out
 }

@@ -73,6 +73,50 @@ func TestPoolErrorPropagates(t *testing.T) {
 	}
 }
 
+func TestPoolStopsSubmittingAfterFirstError(t *testing.T) {
+	base, err := Compile([]string{"//x"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A poisoned document mid-stream: the splitter sees balanced tag depth
+	// and hands it over as a complete document, but the scanner rejects
+	// the mismatched end tag. Everything after it must not be filtered.
+	const n = 5000
+	var stream strings.Builder
+	stream.WriteString("<d><x/></d>")
+	stream.WriteString("<a><b></c></a>") // poison: seq 1
+	for i := 2; i < n; i++ {
+		stream.WriteString("<d><x/></d>")
+	}
+	var mu sync.Mutex
+	delivered := 0
+	sawErr := false
+	err = pool.FilterStream(strings.NewReader(stream.String()), func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		delivered++
+		if r.Err != nil {
+			sawErr = true
+		}
+	})
+	if err == nil {
+		t.Fatal("poisoned document must surface as a stream error")
+	}
+	if !sawErr {
+		t.Error("poisoned document's Result.Err not delivered")
+	}
+	// The collector records the error while at most a handful of documents
+	// are buffered or in flight; the seed behavior (split and filter the
+	// entire remaining stream) delivers all n.
+	if delivered >= n/2 {
+		t.Errorf("delivered %d of %d documents after the first error; splitter was not cancelled", delivered, n)
+	}
+}
+
 func TestPoolAllDocumentsSeen(t *testing.T) {
 	base, err := Compile([]string{"//x"}, Config{})
 	if err != nil {

@@ -5,7 +5,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sax"
 )
 
@@ -22,19 +25,33 @@ import (
 // and per-document match-set assembly on unselective workloads. For raw
 // throughput on a warm machine, parallelise over documents with Pool
 // instead.
+// Like Engine, a ShardedEngine processes one stream at a time: FilterDocument
+// reuses per-document buffers across calls and is not safe for concurrent
+// use (the shards still filter each single document in parallel internally).
 type ShardedEngine struct {
 	shards  []*Engine
 	mapping [][]int // per shard: local index -> global index
 	n       int
+
+	// Per-document scratch, reused across FilterDocument calls.
+	col     sax.Collector
+	results [][]int
+	errs    []error
+
+	// Stream observability (atomic: Stats may be scraped mid-document).
+	bytes atomic.Int64
+	lat   obs.Histogram
 }
 
 // CompileSharded compiles a workload split across the given number of
-// shards (<= 0 selects GOMAXPROCS).
+// shards (<= 0 selects GOMAXPROCS). The shard count never exceeds the
+// workload size: an empty workload collapses to a single empty shard
+// instead of GOMAXPROCS idle ones.
 func CompileSharded(queries []string, cfg Config, shards int) (*ShardedEngine, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if shards > len(queries) && len(queries) > 0 {
+	if shards > len(queries) {
 		shards = len(queries)
 	}
 	if shards == 0 {
@@ -66,40 +83,64 @@ func (s *ShardedEngine) NumShards() int { return len(s.shards) }
 
 // FilterDocument filters one document on all shards concurrently and
 // returns the sorted global indexes of matching filters. The document is
-// parsed once; shards consume the shared event sequence.
+// parsed once; shards consume the shared event sequence. The parse buffer
+// is reused across calls, so FilterDocument is not safe for concurrent use
+// (matching Engine.FilterDocument).
 func (s *ShardedEngine) FilterDocument(doc []byte) ([]int, error) {
-	var c sax.Collector
-	if err := sax.Parse(doc, &c); err != nil {
+	start := time.Now()
+	s.col.Reset()
+	if err := sax.Parse(doc, &s.col); err != nil {
 		return nil, err
 	}
-	results := make([][]int, len(s.shards))
-	errs := make([]error, len(s.shards))
+	s.bytes.Add(int64(len(doc)))
+	if s.results == nil {
+		s.results = make([][]int, len(s.shards))
+		s.errs = make([]error, len(s.shards))
+	}
+	if len(s.shards) == 1 {
+		// No fan-out needed; filter on the calling goroutine.
+		local, err := s.shards[0].filterParsedDocument(s.col.Events)
+		if err != nil {
+			return nil, fmt.Errorf("shard 0: %w", err)
+		}
+		out := make([]int, len(local))
+		for i, l := range local {
+			out[i] = s.mapping[0][l]
+		}
+		s.lat.Observe(time.Since(start).Seconds())
+		return out, nil
+	}
 	var wg sync.WaitGroup
 	for sh := range s.shards {
+		s.results[sh] = s.results[sh][:0]
+		s.errs[sh] = nil
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			local, err := s.shards[sh].filterParsedDocument(c.Events)
+			local, err := s.shards[sh].filterParsedDocument(s.col.Events)
 			if err != nil {
-				errs[sh] = err
+				s.errs[sh] = err
 				return
 			}
-			global := make([]int, len(local))
-			for i, l := range local {
-				global[i] = s.mapping[sh][l]
+			for _, l := range local {
+				s.results[sh] = append(s.results[sh], s.mapping[sh][l])
 			}
-			results[sh] = global
 		}(sh)
 	}
 	wg.Wait()
-	var out []int
+	total := 0
 	for sh := range s.shards {
-		if errs[sh] != nil {
-			return nil, fmt.Errorf("shard %d: %w", sh, errs[sh])
+		if s.errs[sh] != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, s.errs[sh])
 		}
-		out = append(out, results[sh]...)
+		total += len(s.results[sh])
+	}
+	out := make([]int, 0, total)
+	for sh := range s.shards {
+		out = append(out, s.results[sh]...)
 	}
 	sort.Ints(out)
+	s.lat.Observe(time.Since(start).Seconds())
 	return out, nil
 }
 
@@ -124,7 +165,9 @@ func (s *ShardedEngine) Train(data []byte) error {
 }
 
 // Stats aggregates shard counters (documents/events are per-stream and
-// taken from shard 0).
+// taken from shard 0; bytes and filter latency are tracked at the sharded
+// engine itself, since every shard sees the same stream). Safe to call
+// concurrently with FilterDocument.
 func (s *ShardedEngine) Stats() Stats {
 	var out Stats
 	var sizeSum float64
@@ -138,16 +181,17 @@ func (s *ShardedEngine) Stats() Stats {
 		out.Matches += st.Matches
 		out.MixedContentEvents += st.MixedContentEvents
 		out.Flushes += st.Flushes
+		out.WindowLookups += st.WindowLookups
+		out.WindowHits += st.WindowHits
+		out.WindowStatesAdded += st.WindowStatesAdded
 		if i == 0 {
 			out.Documents = st.Documents
 			out.Events = st.Events
+			out.WindowDocuments = st.WindowDocuments
 		}
 	}
-	if out.States > 0 {
-		out.AvgStateSize = sizeSum / float64(out.States)
-	}
-	if out.Lookups > 0 {
-		out.HitRatio = float64(out.Hits) / float64(out.Lookups)
-	}
+	out.Bytes = s.bytes.Load()
+	out.FilterLatency = s.lat.Snapshot()
+	finishStats(&out, sizeSum)
 	return out
 }

@@ -66,6 +66,77 @@ func TestShardedDefaults(t *testing.T) {
 	}
 }
 
+func TestShardedEmptyWorkload(t *testing.T) {
+	for _, shards := range []int{0, 1, 4} {
+		sh, err := CompileSharded(nil, Config{}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An empty workload must collapse to one empty shard, not
+		// GOMAXPROCS idle engines each spawning a goroutine per document.
+		if sh.NumShards() != 1 {
+			t.Errorf("shards=%d: NumShards = %d, want 1", shards, sh.NumShards())
+		}
+		got, err := sh.FilterDocument([]byte("<a><b>1</b></a>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("matches = %v", got)
+		}
+	}
+}
+
+func TestShardedMoreShardsThanQueries(t *testing.T) {
+	sh, err := CompileSharded([]string{"/a", "/b", "/c"}, Config{}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumShards() != 3 {
+		t.Errorf("NumShards = %d, want 3", sh.NumShards())
+	}
+	got, err := sh.FilterDocument([]byte("<c/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[2]" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestShardedBufferReuse(t *testing.T) {
+	sh, err := CompileSharded([]string{"/m[v=1]", "/m[v=2]", "//w"}, Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated documents through the same engine must stay correct while
+	// the parse buffer and result slices are being reused.
+	for i := 0; i < 50; i++ {
+		want := "[]"
+		doc := "<m><v>9</v></m>"
+		switch i % 3 {
+		case 0:
+			doc, want = "<m><v>1</v></m>", "[0]"
+		case 1:
+			doc, want = "<m><v>2</v><w/></m>", "[1 2]"
+		}
+		got, err := sh.FilterDocument([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != want {
+			t.Fatalf("doc %d: matches = %v, want %s", i, got, want)
+		}
+	}
+	st := sh.Stats()
+	if st.Documents != 50 || st.Bytes == 0 {
+		t.Errorf("stats: docs=%d bytes=%d", st.Documents, st.Bytes)
+	}
+	if st.FilterLatency.Count != 50 {
+		t.Errorf("latency count = %d", st.FilterLatency.Count)
+	}
+}
+
 func TestShardedCompileError(t *testing.T) {
 	if _, err := CompileSharded([]string{"/a", "bad["}, Config{}, 2); err == nil {
 		t.Error("bad query must fail")

@@ -36,10 +36,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/afa"
 	"repro/internal/core"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/sax"
 	"repro/internal/workload"
 	"repro/internal/xpath"
@@ -105,7 +108,27 @@ type Stats struct {
 	MixedContentEvents int64
 	// Flushes counts MaxStates cache flushes.
 	Flushes int64
+	// Bytes counts stream bytes processed.
+	Bytes int64
+	// FilterLatency is a snapshot of the per-document filter-latency
+	// histogram, in seconds. Use FilterLatency.Summary() for
+	// p50/p90/p99/max, or feed it to an obs.Registry for Prometheus
+	// exposition.
+	FilterLatency obs.Snapshot
+	// Windowed counters over the most recent WindowDocuments documents
+	// (at most core.StatsWindow per layer): the time-local view of
+	// Fig. 8's warm-up curve. On a long-running broker WindowHitRatio
+	// climbs toward 1 as the lazy machine completes, while the cumulative
+	// HitRatio above stays depressed by cold-start misses.
+	WindowDocuments           int
+	WindowLookups, WindowHits int64
+	WindowStatesAdded         int64
+	WindowHitRatio            float64
 }
+
+// LatencySummary returns the per-document filter-latency quantile summary
+// (seconds).
+func (s Stats) LatencySummary() obs.Summary { return s.FilterLatency.Summary() }
 
 // DTD is a parsed document type definition (the <!ELEMENT>/<!ATTLIST>
 // subset), used for the order optimization and training-data generation.
@@ -146,6 +169,12 @@ type Engine struct {
 	layers   []*core.Machine
 	layerOff []int
 	removed  []bool
+
+	// Runtime observability: stream bytes and per-document filter
+	// latency. Atomic/lock-free so Stats can be scraped while a stream is
+	// being filtered.
+	bytes atomic.Int64
+	lat   obs.Histogram
 }
 
 // Compile parses and compiles a workload of XPath filters. The returned
@@ -357,6 +386,8 @@ func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error 
 		sort.Ints(scratch)
 		onDocument(scratch)
 	}
+	e.bytes.Add(int64(len(data)))
+	var docStart time.Time
 	s := sax.NewScanner(data)
 	for {
 		ev, err := s.Next()
@@ -365,6 +396,9 @@ func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error 
 		}
 		if err != nil {
 			return err
+		}
+		if ev.Kind == sax.StartDocument {
+			docStart = time.Now()
 		}
 		for _, m := range e.layers {
 			switch ev.Kind {
@@ -381,6 +415,7 @@ func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error 
 			}
 		}
 		if ev.Kind == sax.EndDocument {
+			e.lat.Observe(time.Since(docStart).Seconds())
 			emit()
 		}
 	}
@@ -396,9 +431,11 @@ func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error 
 // through all layers and returns the global match indexes. It lets the
 // sharded engine parse each document once instead of once per shard.
 func (e *Engine) filterParsedDocument(events []sax.Event) ([]int, error) {
+	start := time.Now()
 	for _, m := range e.layers {
 		sax.Drive(events, m)
 	}
+	e.lat.Observe(time.Since(start).Seconds())
 	var out []int
 	for li, m := range e.layers {
 		if err := m.Err(); err != nil {
@@ -511,18 +548,32 @@ func (e *Engine) Stats() Stats {
 		out.Matches += s.Matches
 		out.MixedContentEvents += s.MixedContentEvents
 		out.Flushes += s.Flushes
+		out.WindowLookups += s.WindowLookups
+		out.WindowHits += s.WindowHits
+		out.WindowStatesAdded += s.WindowStatesAdded
 		if li == 0 {
 			out.Documents = s.Docs
 			out.Events = s.Events
+			out.WindowDocuments = s.WindowDocs
 		}
 	}
-	if out.States > 0 {
-		out.AvgStateSize = sizeSum / float64(out.States)
-	}
-	if out.Lookups > 0 {
-		out.HitRatio = float64(out.Hits) / float64(out.Lookups)
-	}
+	out.Bytes = e.bytes.Load()
+	out.FilterLatency = e.lat.Snapshot()
+	finishStats(&out, sizeSum)
 	return out
+}
+
+// finishStats computes the derived ratio fields from the summed counters.
+func finishStats(s *Stats, stateSizeSum float64) {
+	if s.States > 0 {
+		s.AvgStateSize = stateSizeSum / float64(s.States)
+	}
+	if s.Lookups > 0 {
+		s.HitRatio = float64(s.Hits) / float64(s.Lookups)
+	}
+	if s.WindowLookups > 0 {
+		s.WindowHitRatio = float64(s.WindowHits) / float64(s.WindowLookups)
+	}
 }
 
 // WorkloadReport summarises the pairwise state relationships of Theorem 6.1
