@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,6 +31,9 @@ func main() {
 	verbose := flag.Bool("v", false, "log every measured point")
 	out := flag.String("o", "", "write output to a file instead of stdout")
 	csvPath := flag.String("csv", "", "additionally dump raw sweep rows as CSV to this file")
+	jsonPath := flag.String("json", "", "additionally dump sweep rows and abstract results as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	flag.Parse()
 
 	scale, ok := bench.Scales[*scaleName]
@@ -47,6 +52,18 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	r := bench.NewRunner(ds, scale, w)
@@ -72,6 +89,27 @@ func main() {
 		defer f.Close()
 		if err := r.WriteCSV(f); err != nil {
 			fatalf("%v", err)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("write heap profile: %v", err)
 		}
 	}
 }

@@ -12,7 +12,7 @@ package afa
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/xmlval"
 )
@@ -193,7 +193,7 @@ func (a *AFA) DeltaInv(q []int32, in int32, out []int32) []int32 {
 		}
 	}
 	tail := out[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	slices.Sort(tail)
 	return out[:start+len(dedup(tail))]
 }
 
@@ -274,7 +274,7 @@ func (ev *Evaluator) Eval(q []int32, extra []int32) []int32 {
 			ev.closeAndOr(frontier)
 		}
 	}
-	sort.Slice(ev.out, func(i, j int) bool { return ev.out[i] < ev.out[j] })
+	slices.Sort(ev.out)
 	return ev.out
 }
 
@@ -299,7 +299,7 @@ func (ev *Evaluator) CloseEps(q []int32) []int32 {
 			ev.add(t)
 		}
 	}
-	sort.Slice(ev.out, func(i, j int) bool { return ev.out[i] < ev.out[j] })
+	slices.Sort(ev.out)
 	return ev.out
 }
 

@@ -120,6 +120,13 @@ type Runner struct {
 	Out     io.Writer
 	Verbose bool
 	cache   map[string][]Row
+	// abstracts stashes abstract-claim results for WriteJSON.
+	abstracts []namedAbstract
+}
+
+type namedAbstract struct {
+	name string
+	res  AbstractResult
 }
 
 // NewRunner builds a Runner.
@@ -199,6 +206,9 @@ func (r *Runner) abstract() error {
 	if err != nil {
 		return err
 	}
+	r.abstracts = append(r.abstracts,
+		namedAbstract{"1 predicate/filter", one},
+		namedAbstract{"10.45 predicates/filter", heavy})
 	fmt.Fprintf(r.Out, "  %-34s %12s %12s %12s\n", "workload", "cold MB/s", "warm MB/s", "preds")
 	fmt.Fprintf(r.Out, "  %-34s %12.2f %12.2f %12d\n",
 		"1 predicate/filter", one.ColdMBPerSec, one.WarmMBPerSec, one.TotalPreds)

@@ -30,40 +30,48 @@ func (m *Machine) DumpTables(w io.Writer) error {
 	}
 
 	fmt.Fprintln(w, "Tpop[q][label] -> q:")
-	popKeys := make([]popKey, 0, len(m.popTab))
-	for k := range m.popTab {
-		popKeys = append(popKeys, k)
+	type popRow struct {
+		qb, qt, sym int32
+		e           entry
 	}
-	sort.Slice(popKeys, func(i, j int) bool {
-		a, b := popKeys[i], popKeys[j]
+	popRows := make([]popRow, 0, m.popTab.len())
+	m.popTab.each(func(k key128, e entry) {
+		popRows = append(popRows, popRow{
+			qb: int32(k.lo >> 32), qt: int32(uint32(k.lo)), sym: int32(uint32(k.hi)), e: e,
+		})
+	})
+	sort.Slice(popRows, func(i, j int) bool {
+		a, b := popRows[i], popRows[j]
 		if a.qb != b.qb {
 			return a.qb < b.qb
 		}
 		return a.sym < b.sym
 	})
-	for _, k := range popKeys {
-		e := m.popTab[k]
-		fmt.Fprintf(w, "  Tpop[q%d][%s] = q%d", k.qb, m.afa.Syms.Name(k.sym), e.state)
-		if len(e.early) > 0 {
-			fmt.Fprintf(w, "  (early: %v)", e.early)
+	for _, r := range popRows {
+		fmt.Fprintf(w, "  Tpop[q%d][%s] = q%d", r.qb, m.afa.Syms.Name(r.sym), r.e.state)
+		if len(r.e.early) > 0 {
+			fmt.Fprintf(w, "  (early: %v)", r.e.early)
 		}
 		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintln(w, "Tbadd[qs][q] -> q:")
-	addKeys := make([]addKey, 0, len(m.addTab))
-	for k := range m.addTab {
-		addKeys = append(addKeys, k)
+	type addRow struct {
+		qbs, qaux, val int32
 	}
-	sort.Slice(addKeys, func(i, j int) bool {
-		a, b := addKeys[i], addKeys[j]
+	addRows := make([]addRow, 0, m.addTab.len())
+	m.addTab.each(func(k uint64, v int32) {
+		addRows = append(addRows, addRow{qbs: int32(k >> 32), qaux: int32(uint32(k)), val: v})
+	})
+	sort.Slice(addRows, func(i, j int) bool {
+		a, b := addRows[i], addRows[j]
 		if a.qbs != b.qbs {
 			return a.qbs < b.qbs
 		}
 		return a.qaux < b.qaux
 	})
-	for _, k := range addKeys {
-		fmt.Fprintf(w, "  Tbadd[q%d][q%d] = q%d\n", k.qbs, k.qaux, m.addTab[k])
+	for _, r := range addRows {
+		fmt.Fprintf(w, "  Tbadd[q%d][q%d] = q%d\n", r.qbs, r.qaux, r.val)
 	}
 
 	fmt.Fprintln(w, "Taccept (non-empty):")
@@ -72,6 +80,7 @@ func (m *Machine) DumpTables(w io.Writer) error {
 			fmt.Fprintf(w, "  Taccept[q%d] = %v\n", i, acc)
 		}
 	}
+	m.flushPending()
 	return nil
 }
 

@@ -67,6 +67,7 @@ func (m *Machine) PrecomputeEager(maxStates int) (int, error) {
 				}
 			}
 			if len(m.bsets) > maxStates {
+				m.flushPending()
 				return len(m.bsets), fmt.Errorf("xpush: eager construction exceeded %d states", maxStates)
 			}
 			grew = true
@@ -82,6 +83,7 @@ func (m *Machine) PrecomputeEager(maxStates int) (int, error) {
 				}
 				m.addStates(int32(qbs), qaux)
 				if len(m.bsets) > maxStates {
+					m.flushPending()
 					return len(m.bsets), fmt.Errorf("xpush: eager construction exceeded %d states", maxStates)
 				}
 			}
@@ -90,6 +92,7 @@ func (m *Machine) PrecomputeEager(maxStates int) (int, error) {
 			grew = true
 		}
 		if !grew && poppedThrough == len(m.bsets) {
+			m.flushPending()
 			return len(m.bsets), nil
 		}
 	}

@@ -28,7 +28,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -167,27 +167,6 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
-type pushKey struct {
-	qt  int32
-	sym int32
-}
-
-type popKey struct {
-	qb  int32
-	qt  int32
-	sym int32
-}
-
-type addKey struct {
-	qbs  int32
-	qaux int32
-}
-
-type valueKey struct {
-	qt       int32
-	interval int64
-}
-
 // entry is a transition-table value: the resulting state plus the filter
 // oids whose early state fired while computing it.
 type entry struct {
@@ -201,8 +180,9 @@ type frame struct {
 	sawElemChild bool
 }
 
-// Machine is a lazy XPush machine. It implements sax.Handler; one Machine
-// serves one stream (it is not safe for concurrent use).
+// Machine is a lazy XPush machine. It implements both sax.Handler and
+// sax.BytesHandler (the byte path avoids a string allocation per event); one
+// Machine serves one stream (it is not safe for concurrent use).
 type Machine struct {
 	afa   *afa.AFA
 	opts  Options
@@ -210,19 +190,23 @@ type Machine struct {
 	index *predindex.Index
 
 	// Interned states. Id 0 is the empty bottom-up state q0^b and the
-	// initial top-down state q0^t respectively.
+	// initial top-down state q0^t respectively. The intern indexes are
+	// flat signature tables (table.go).
 	bsets   [][]int32
-	bintern map[uint64][]int32
+	bintern internTab
 	baccept [][]int32
 	tsets   [][]int32
-	tintern map[uint64][]int32
+	tintern internTab
 	ttOf    [][]int32 // per top-down state: enabled TrueTerminals
 
-	pushTab  map[pushKey]int32
-	popTab   map[popKey]entry
-	addTab   map[addKey]int32
-	valueTab map[valueKey]entry
-	sectTab  map[addKey]int32
+	// Transition tables: open-addressing flat tables on packed integer
+	// keys (table.go), preserving the lazy-fill and MaxStates flush
+	// semantics of the former map implementation.
+	pushTab  tab64 // packPush(qt, sym) -> qt'
+	popTab   tabE  // packPop(qb, qt, sym) -> entry
+	addTab   tab64 // packAdd(qbs, qaux) -> qb'
+	valueTab tabE  // packValue(qt, interval) -> entry
+	sectTab  tab64 // packAdd(qaux, qt) -> qb'
 
 	isEarly     []bool // per AFA state
 	needIsect   bool   // early + descendant: intersect after pops
@@ -240,6 +224,20 @@ type Machine struct {
 
 	ctr      counters
 	training bool
+
+	// Per-event counters are batched in plain locals and flushed to the
+	// atomics at document boundaries: an atomic RMW per SAX event would
+	// dominate the O(1) per-event work the tables buy. Stats() read
+	// between document boundaries lags by at most one document's worth of
+	// events/lookups/hits; the concurrent-read guarantee is unchanged.
+	pendEvents  int64
+	pendLookups int64
+	pendHits    int64
+
+	// bscan is the reusable byte-level scanner behind Run, FilterDocument
+	// and Train; holding it here keeps its internal buffers warm across
+	// documents.
+	bscan sax.ByteScanner
 
 	// Document-boundary samples for the windowed Stats series, guarded by
 	// winMu (written once per document, read by Stats).
@@ -293,10 +291,10 @@ func New(a *afa.AFA, opts Options) *Machine {
 // Sec. 8's update discussion and of the MaxStates cap).
 func (m *Machine) reset() {
 	m.bsets = [][]int32{nil}
-	m.bintern = make(map[uint64][]int32)
+	m.bintern = internTab{}
 	m.baccept = [][]int32{nil}
 	m.tsets = [][]int32{nil}
-	m.tintern = make(map[uint64][]int32)
+	m.tintern = internTab{}
 	m.ttOf = [][]int32{nil}
 	if m.opts.TopDown {
 		m.tsets[0] = m.afa.Initials()
@@ -304,11 +302,11 @@ func (m *Machine) reset() {
 	} else {
 		m.ttOf[0] = m.trueTermAll
 	}
-	m.pushTab = make(map[pushKey]int32)
-	m.popTab = make(map[popKey]entry)
-	m.addTab = make(map[addKey]int32)
-	m.valueTab = make(map[valueKey]entry)
-	m.sectTab = make(map[addKey]int32)
+	m.pushTab = tab64{}
+	m.popTab = tabE{}
+	m.addTab = tab64{}
+	m.valueTab = tabE{}
+	m.sectTab = tab64{}
 	m.ctr.bstates.Store(1)
 	m.ctr.tstates.Store(1)
 	m.ctr.bstateAFASum.Store(0)
@@ -316,6 +314,9 @@ func (m *Machine) reset() {
 		for _, v := range m.index.Representatives() {
 			m.valueState(0, v)
 		}
+		// Precomputation lookups happen outside any document; publish
+		// them now so they are not attributed to the next document.
+		m.flushPending()
 	}
 }
 
@@ -382,17 +383,15 @@ func (m *Machine) internB(set []int32) int32 {
 		return 0
 	}
 	h := hashIDs(set)
-	for _, id := range m.bintern[h] {
-		if equalIDs(m.bsets[id], set) {
-			return id
-		}
+	if id := m.bintern.lookup(h, func(id int32) bool { return equalIDs(m.bsets[id], set) }); id >= 0 {
+		return id
 	}
 	cp := make([]int32, len(set))
 	copy(cp, set)
 	id := int32(len(m.bsets))
 	m.bsets = append(m.bsets, cp)
 	m.baccept = append(m.baccept, nil)
-	m.bintern[h] = append(m.bintern[h], id)
+	m.bintern.add(h, id)
 	m.ctr.bstates.Add(1)
 	m.ctr.bstateAFASum.Add(int64(len(set)))
 	return id
@@ -407,23 +406,40 @@ func (m *Machine) internT(set []int32) int32 {
 		return 0
 	}
 	h := hashIDs(set)
-	for _, id := range m.tintern[h] {
-		if equalIDs(m.tsets[id], set) {
-			return id
-		}
+	if id := m.tintern.lookup(h, func(id int32) bool { return equalIDs(m.tsets[id], set) }); id >= 0 {
+		return id
 	}
 	cp := make([]int32, len(set))
 	copy(cp, set)
 	id := int32(len(m.tsets))
 	m.tsets = append(m.tsets, cp)
 	m.ttOf = append(m.ttOf, intersectSorted(m.trueTermAll, cp, nil))
-	m.tintern[h] = append(m.tintern[h], id)
+	m.tintern.add(h, id)
 	m.ctr.tstates.Add(1)
 	return id
 }
 
+// flushPending publishes the batched per-event counters to the atomics.
+// Called at document boundaries and after every parse, so concurrent
+// Stats() readers lag by at most the in-flight document.
+func (m *Machine) flushPending() {
+	if m.pendEvents != 0 {
+		m.ctr.events.Add(m.pendEvents)
+		m.pendEvents = 0
+	}
+	if m.pendLookups != 0 {
+		m.ctr.lookups.Add(m.pendLookups)
+		m.pendLookups = 0
+	}
+	if m.pendHits != 0 {
+		m.ctr.hits.Add(m.pendHits)
+		m.pendHits = 0
+	}
+}
+
 // StartDocument implements sax.Handler.
 func (m *Machine) StartDocument() {
+	m.flushPending()
 	if m.opts.MaxStates > 0 && len(m.bsets) > m.opts.MaxStates {
 		m.reset()
 		m.ctr.flushes.Add(1)
@@ -439,14 +455,23 @@ func (m *Machine) StartDocument() {
 	}
 	m.results = m.results[:0]
 	m.inDoc = true
-	m.ctr.events.Add(1)
+	m.pendEvents++
 	m.ctr.docs.Add(1)
 }
 
 // StartElement implements sax.Handler (the tpush transition).
 func (m *Machine) StartElement(name string) {
-	m.ctr.events.Add(1)
-	sym := m.afa.Syms.InputSym(name)
+	m.startElement(m.afa.Syms.InputSym(name))
+}
+
+// StartElementBytes implements sax.BytesHandler; the symbol is resolved
+// straight from the borrowed name bytes.
+func (m *Machine) StartElementBytes(name []byte) {
+	m.startElement(m.afa.Syms.InputSymBytes(name))
+}
+
+func (m *Machine) startElement(sym int32) {
+	m.pendEvents++
 	isAttr := m.afa.Syms.IsAttr(sym)
 	if !isAttr {
 		if m.cur.sawText {
@@ -464,31 +489,41 @@ func (m *Machine) StartElement(name string) {
 
 // pushState computes tpush(qt, sym) = close({δ(s, sym) | s ∈ qt}) lazily.
 func (m *Machine) pushState(qt, sym int32) int32 {
-	key := pushKey{qt: qt, sym: sym}
-	m.ctr.lookups.Add(1)
-	if id, ok := m.pushTab[key]; ok {
-		m.ctr.hits.Add(1)
+	key := packPush(qt, sym)
+	m.pendLookups++
+	if id, ok := m.pushTab.get(key); ok {
+		m.pendHits++
 		return id
 	}
 	m.scratch = m.scratch[:0]
 	for _, s := range m.tsets[qt] {
 		m.scratch = m.afa.Delta(s, sym, m.scratch)
 	}
-	sort.Slice(m.scratch, func(i, j int) bool { return m.scratch[i] < m.scratch[j] })
+	slices.Sort(m.scratch)
 	closed := m.ev.CloseEps(dedupSorted(m.scratch))
 	id := m.internT(closed)
-	m.pushTab[key] = id
+	m.pushTab.put(key, id)
 	return id
 }
 
 // Text implements sax.Handler (the tvalue transition, merged into q^b).
 func (m *Machine) Text(data string) {
-	m.ctr.events.Add(1)
+	m.text(xmlval.New(data))
+}
+
+// TextBytes implements sax.BytesHandler; the Value borrows the scanner's
+// buffer and is consumed before the callback returns.
+func (m *Machine) TextBytes(data []byte) {
+	m.text(xmlval.NewBytes(data))
+}
+
+func (m *Machine) text(v xmlval.Value) {
+	m.pendEvents++
 	if m.cur.sawElemChild {
 		m.mixedContent()
 	}
 	m.cur.sawText = true
-	vb := m.valueState(m.qt, xmlval.New(data))
+	vb := m.valueState(m.qt, v)
 	if vb != 0 {
 		m.qb = m.addStates(m.qb, vb)
 	}
@@ -499,12 +534,12 @@ func (m *Machine) Text(data string) {
 // pruning).
 func (m *Machine) valueState(qt int32, v xmlval.Value) int32 {
 	cacheable := !m.index.HasStringFuncs()
-	var key valueKey
+	var key key128
 	if cacheable {
-		key = valueKey{qt: qt, interval: m.index.IntervalKey(v)}
-		m.ctr.lookups.Add(1)
-		if e, ok := m.valueTab[key]; ok {
-			m.ctr.hits.Add(1)
+		key = packValue(qt, m.index.IntervalKey(v))
+		m.pendLookups++
+		if e, ok := m.valueTab.get(key); ok {
+			m.pendHits++
 			m.recordEarly(e.early)
 			return e.state
 		}
@@ -522,7 +557,7 @@ func (m *Machine) valueState(qt int32, v xmlval.Value) int32 {
 		e.state = m.internB(ids)
 	}
 	if cacheable {
-		m.valueTab[key] = e
+		m.valueTab.put(key, e)
 	}
 	m.recordEarly(e.early)
 	return e.state
@@ -538,7 +573,7 @@ func (m *Machine) stripEarly(set []int32) entry {
 	var oids []int32
 	for _, s := range set {
 		if m.isEarly[s] {
-			oids = appendOid(oids, m.afa.QueryOf(s))
+			oids = insertSorted(oids, m.afa.QueryOf(s))
 		}
 	}
 	if len(oids) == 0 {
@@ -553,15 +588,6 @@ func (m *Machine) stripEarly(set []int32) entry {
 	return entry{early: oids}
 }
 
-func appendOid(oids []int32, q int32) []int32 {
-	if containsSorted(oids, q) {
-		return oids
-	}
-	oids = append(oids, q)
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	return oids
-}
-
 func (m *Machine) recordEarly(oids []int32) {
 	for _, q := range oids {
 		if !m.matched[q] {
@@ -573,13 +599,21 @@ func (m *Machine) recordEarly(oids []int32) {
 
 // EndElement implements sax.Handler (tpop followed by tbadd/ttadd).
 func (m *Machine) EndElement(name string) {
-	m.ctr.events.Add(1)
+	m.endElement(m.afa.Syms.InputSym(name))
+}
+
+// EndElementBytes implements sax.BytesHandler.
+func (m *Machine) EndElementBytes(name []byte) {
+	m.endElement(m.afa.Syms.InputSymBytes(name))
+}
+
+func (m *Machine) endElement(sym int32) {
+	m.pendEvents++
 	if len(m.stack) == 0 {
 		// Malformed event sequence (only possible via Drive on
 		// hand-built events; the scanners guarantee balance).
 		return
 	}
-	sym := m.afa.Syms.InputSym(name)
 	qaux := m.popState(m.qb, m.qt, sym)
 	top := m.stack[len(m.stack)-1]
 	m.stack = m.stack[:len(m.stack)-1]
@@ -595,10 +629,10 @@ func (m *Machine) EndElement(name string) {
 // The top-down state participates in the key because the TrueTerminal
 // injection depends on it.
 func (m *Machine) popState(qb, qt, sym int32) int32 {
-	key := popKey{qb: qb, qt: qt, sym: sym}
-	m.ctr.lookups.Add(1)
-	if e, ok := m.popTab[key]; ok {
-		m.ctr.hits.Add(1)
+	key := packPop(qb, qt, sym)
+	m.pendLookups++
+	if e, ok := m.popTab.get(key); ok {
+		m.pendHits++
 		m.recordEarly(e.early)
 		return e.state
 	}
@@ -616,7 +650,7 @@ func (m *Machine) popState(qb, qt, sym int32) int32 {
 		// the bottom-up ∩ top-down correction of Sec. 5.
 		for _, s := range evaled {
 			if m.isEarly[s] && containsSorted(m.tsets[qt], s) {
-				e.early = appendOid(e.early, m.afa.QueryOf(s))
+				e.early = insertSorted(e.early, m.afa.QueryOf(s))
 			}
 		}
 		if len(e.early) > 0 {
@@ -630,7 +664,7 @@ func (m *Machine) popState(qb, qt, sym int32) int32 {
 		}
 	}
 	e.state = m.internB(res)
-	m.popTab[key] = e
+	m.popTab.put(key, e)
 	m.recordEarly(e.early)
 	return e.state
 }
@@ -638,16 +672,16 @@ func (m *Machine) popState(qb, qt, sym int32) int32 {
 // intersectState implements the early-notification descendant fix: keep only
 // the bottom-up states enabled in the parent's top-down state.
 func (m *Machine) intersectState(qaux, qt int32) int32 {
-	key := addKey{qbs: qaux, qaux: qt}
-	m.ctr.lookups.Add(1)
-	if id, ok := m.sectTab[key]; ok {
-		m.ctr.hits.Add(1)
+	key := packAdd(qaux, qt)
+	m.pendLookups++
+	if id, ok := m.sectTab.get(key); ok {
+		m.pendHits++
 		return id
 	}
 	out := intersectSorted(m.bsets[qaux], m.tsets[qt], m.scratch[:0])
 	m.scratch = out
 	id := m.internB(out)
-	m.sectTab[key] = id
+	m.sectTab.put(key, id)
 	return id
 }
 
@@ -660,10 +694,10 @@ func (m *Machine) addStates(qbs, qaux int32) int32 {
 	if qbs == 0 && m.opts.Order == nil {
 		return qaux
 	}
-	key := addKey{qbs: qbs, qaux: qaux}
-	m.ctr.lookups.Add(1)
-	if id, ok := m.addTab[key]; ok {
-		m.ctr.hits.Add(1)
+	key := packAdd(qbs, qaux)
+	m.pendLookups++
+	if id, ok := m.addTab.get(key); ok {
+		m.pendHits++
 		return id
 	}
 	b := m.bsets[qbs]
@@ -680,13 +714,13 @@ func (m *Machine) addStates(qbs, qaux int32) int32 {
 	out := unionSorted(b, add, m.scratch[:0])
 	m.scratch = out
 	id := m.internB(out)
-	m.addTab[key] = id
+	m.addTab.put(key, id)
 	return id
 }
 
 // EndDocument implements sax.Handler (taccept plus early matches).
 func (m *Machine) EndDocument() {
-	m.ctr.events.Add(1)
+	m.pendEvents++
 	m.inDoc = false
 	for _, q := range m.acceptOf(m.qb) {
 		if !m.matched[q] {
@@ -694,8 +728,9 @@ func (m *Machine) EndDocument() {
 			m.results = append(m.results, q)
 		}
 	}
-	sort.Slice(m.results, func(i, j int) bool { return m.results[i] < m.results[j] })
+	slices.Sort(m.results)
 	m.ctr.matches.Add(int64(len(m.results)))
+	m.flushPending()
 	if m.OnDocument != nil && !m.training {
 		m.OnDocument(m.results)
 	}
@@ -715,7 +750,7 @@ func (m *Machine) acceptOf(qb int32) []int32 {
 	for _, s := range m.scratch {
 		acc = append(acc, m.afa.QueryOf(s))
 	}
-	sort.Slice(acc, func(i, j int) bool { return acc[i] < acc[j] })
+	slices.Sort(acc)
 	if len(acc) == 0 {
 		acc = emptyAccept
 	}
@@ -733,9 +768,13 @@ func (m *Machine) mixedContent() {
 }
 
 // Run streams one or more concatenated XML documents through the machine.
-// Match sets are delivered via OnDocument.
+// Match sets are delivered via OnDocument. Parsing goes through the
+// machine's reusable byte scanner, so a warmed machine runs the whole
+// document without heap allocation.
 func (m *Machine) Run(data []byte) error {
-	if err := sax.Parse(data, m); err != nil {
+	err := m.bscan.Parse(data, m)
+	m.flushPending()
+	if err != nil {
 		return err
 	}
 	return m.err
@@ -744,7 +783,9 @@ func (m *Machine) Run(data []byte) error {
 // FilterDocument processes a single document and returns the sorted oids of
 // matching filters.
 func (m *Machine) FilterDocument(data []byte) ([]int32, error) {
-	if err := sax.Parse(data, m); err != nil {
+	err := m.bscan.Parse(data, m)
+	m.flushPending()
+	if err != nil {
 		return nil, err
 	}
 	if m.err != nil {
@@ -761,8 +802,9 @@ func (m *Machine) FilterDocument(data []byte) ([]int32, error) {
 // machine.
 func (m *Machine) Train(data []byte) error {
 	m.training = true
-	err := sax.Parse(data, m)
+	err := m.bscan.Parse(data, m)
 	m.training = false
+	m.flushPending()
 	m.ctr.lookups.Store(0)
 	m.ctr.hits.Store(0)
 	m.ctr.docs.Store(0)
@@ -789,22 +831,24 @@ func dedupSorted(ids []int32) []int32 {
 }
 
 // ApproxMemoryBytes estimates the memory held by the lazily built states
-// and transition tables (state arrays plus table entries; map overhead
-// approximated at 3x entry payload). It backs the paper's observation that
-// total memory grows slightly above linearly with the workload
-// (Figs. 6 + 7 combined).
+// and transition tables: state arrays plus the allocated slots of the flat
+// tables and intern indexes (a slot's cost is its key + value footprint;
+// open addressing has no per-entry boxes, so no overhead factor applies).
+// It backs the paper's observation that total memory grows slightly above
+// linearly with the workload (Figs. 6 + 7 combined).
 func (m *Machine) ApproxMemoryBytes() int64 {
 	var b int64
 	b += 4 * m.ctr.bstateAFASum.Load() // bottom-up state arrays
 	for _, t := range m.tsets {
 		b += 4 * int64(len(t))
 	}
-	const mapFactor = 3
-	b += mapFactor * int64(len(m.pushTab)) * 12
-	b += mapFactor * int64(len(m.popTab)) * 24
-	b += mapFactor * int64(len(m.addTab)) * 12
-	b += mapFactor * int64(len(m.valueTab)) * 28
-	b += mapFactor * int64(len(m.sectTab)) * 12
+	b += m.pushTab.memBytes()
+	b += m.popTab.memBytes()
+	b += m.addTab.memBytes()
+	b += m.valueTab.memBytes()
+	b += m.sectTab.memBytes()
+	b += m.bintern.memBytes()
+	b += m.tintern.memBytes()
 	return b
 }
 

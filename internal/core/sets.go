@@ -75,6 +75,28 @@ func intersectSorted(a, b, out []int32) []int32 {
 	return out
 }
 
+// insertSorted inserts id into a sorted set, keeping it sorted and
+// duplicate-free. The sets on the event hot path are tiny (early-fired oids,
+// accept lists), so a shift-based insertion beats re-sorting.
+func insertSorted(set []int32, id int32) []int32 {
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if set[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(set) && set[lo] == id {
+		return set
+	}
+	set = append(set, 0)
+	copy(set[lo+1:], set[lo:])
+	set[lo] = id
+	return set
+}
+
 // containsSorted reports whether a sorted set contains id.
 func containsSorted(set []int32, id int32) bool {
 	lo, hi := 0, len(set)

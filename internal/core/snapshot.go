@@ -115,39 +115,39 @@ func (m *Machine) WriteSnapshot(w io.Writer) error {
 	for _, s := range m.tsets {
 		sw.ids(s)
 	}
-	sw.u64(uint64(len(m.pushTab)))
-	for k, v := range m.pushTab {
-		sw.i32(k.qt)
-		sw.i32(k.sym)
+	sw.u64(uint64(m.pushTab.len()))
+	m.pushTab.each(func(k uint64, v int32) {
+		sw.i32(int32(k >> 32))     // qt
+		sw.i32(int32(uint32(k)))   // sym
 		sw.i32(v)
-	}
-	sw.u64(uint64(len(m.popTab)))
-	for k, v := range m.popTab {
-		sw.i32(k.qb)
-		sw.i32(k.qt)
-		sw.i32(k.sym)
-		sw.i32(v.state)
-		sw.ids(v.early)
-	}
-	sw.u64(uint64(len(m.addTab)))
-	for k, v := range m.addTab {
-		sw.i32(k.qbs)
-		sw.i32(k.qaux)
+	})
+	sw.u64(uint64(m.popTab.len()))
+	m.popTab.each(func(k key128, e entry) {
+		sw.i32(int32(k.lo >> 32))   // qb
+		sw.i32(int32(uint32(k.lo))) // qt
+		sw.i32(int32(uint32(k.hi))) // sym
+		sw.i32(e.state)
+		sw.ids(e.early)
+	})
+	sw.u64(uint64(m.addTab.len()))
+	m.addTab.each(func(k uint64, v int32) {
+		sw.i32(int32(k >> 32))   // qbs
+		sw.i32(int32(uint32(k))) // qaux
 		sw.i32(v)
-	}
-	sw.u64(uint64(len(m.valueTab)))
-	for k, v := range m.valueTab {
-		sw.i32(k.qt)
-		sw.u64(uint64(k.interval))
-		sw.i32(v.state)
-		sw.ids(v.early)
-	}
-	sw.u64(uint64(len(m.sectTab)))
-	for k, v := range m.sectTab {
-		sw.i32(k.qbs)
-		sw.i32(k.qaux)
+	})
+	sw.u64(uint64(m.valueTab.len()))
+	m.valueTab.each(func(k key128, e entry) {
+		sw.i32(int32(uint32(k.lo))) // qt
+		sw.u64(k.hi)                // interval
+		sw.i32(e.state)
+		sw.ids(e.early)
+	})
+	sw.u64(uint64(m.sectTab.len()))
+	m.sectTab.each(func(k uint64, v int32) {
+		sw.i32(int32(k >> 32))   // qaux
+		sw.i32(int32(uint32(k))) // qt
 		sw.i32(v)
-	}
+	})
 	if sw.err != nil {
 		return sw.err
 	}
@@ -185,40 +185,47 @@ func (m *Machine) ReadSnapshot(r io.Reader) error {
 	for i := range tsets {
 		tsets[i] = sr.ids()
 	}
-	pushTab := make(map[pushKey]int32)
-	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
-		k := pushKey{qt: sr.i32(), sym: sr.i32()}
-		pushTab[k] = sr.i32()
+	type i32Rec struct {
+		a, b, c int32
+		val     int32
 	}
-	popTab := make(map[popKey]entry)
+	type entryRec struct {
+		a, b, c  int32
+		interval uint64
+		e        entry
+	}
+	pushRecs := make([]i32Rec, 0)
 	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
-		k := popKey{qb: sr.i32(), qt: sr.i32(), sym: sr.i32()}
-		e := entry{state: sr.i32()}
-		e.early = sr.ids()
-		if len(e.early) == 0 {
-			e.early = nil
+		pushRecs = append(pushRecs, i32Rec{a: sr.i32(), b: sr.i32(), val: sr.i32()})
+	}
+	popRecs := make([]entryRec, 0)
+	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
+		r := entryRec{a: sr.i32(), b: sr.i32(), c: sr.i32()}
+		r.e.state = sr.i32()
+		r.e.early = sr.ids()
+		if len(r.e.early) == 0 {
+			r.e.early = nil
 		}
-		popTab[k] = e
+		popRecs = append(popRecs, r)
 	}
-	addTab := make(map[addKey]int32)
+	addRecs := make([]i32Rec, 0)
 	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
-		k := addKey{qbs: sr.i32(), qaux: sr.i32()}
-		addTab[k] = sr.i32()
+		addRecs = append(addRecs, i32Rec{a: sr.i32(), b: sr.i32(), val: sr.i32()})
 	}
-	valueTab := make(map[valueKey]entry)
+	valueRecs := make([]entryRec, 0)
 	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
-		k := valueKey{qt: sr.i32(), interval: int64(sr.u64())}
-		e := entry{state: sr.i32()}
-		e.early = sr.ids()
-		if len(e.early) == 0 {
-			e.early = nil
+		r := entryRec{a: sr.i32()}
+		r.interval = sr.u64()
+		r.e.state = sr.i32()
+		r.e.early = sr.ids()
+		if len(r.e.early) == 0 {
+			r.e.early = nil
 		}
-		valueTab[k] = e
+		valueRecs = append(valueRecs, r)
 	}
-	sectTab := make(map[addKey]int32)
+	sectRecs := make([]i32Rec, 0)
 	for i, n := uint64(0), sr.u64(); i < n && sr.err == nil; i++ {
-		k := addKey{qbs: sr.i32(), qaux: sr.i32()}
-		sectTab[k] = sr.i32()
+		sectRecs = append(sectRecs, i32Rec{a: sr.i32(), b: sr.i32(), val: sr.i32()})
 	}
 	if sr.err != nil {
 		return fmt.Errorf("xpush: corrupt snapshot: %v", sr.err)
@@ -245,75 +252,75 @@ func (m *Machine) ReadSnapshot(r io.Reader) error {
 			}
 		}
 	}
-	for k, v := range pushTab {
-		if err := checkT(k.qt); err != nil {
+	for _, r := range pushRecs {
+		if err := checkT(r.a); err != nil {
 			return err
 		}
-		if err := checkT(v); err != nil {
-			return err
-		}
-	}
-	for k, v := range popTab {
-		if err := checkB(k.qb); err != nil {
-			return err
-		}
-		if err := checkT(k.qt); err != nil {
-			return err
-		}
-		if err := checkB(v.state); err != nil {
+		if err := checkT(r.val); err != nil {
 			return err
 		}
 	}
-	for k, v := range addTab {
-		if err := checkB(k.qbs); err != nil {
+	for _, r := range popRecs {
+		if err := checkB(r.a); err != nil {
 			return err
 		}
-		if err := checkB(k.qaux); err != nil {
+		if err := checkT(r.b); err != nil {
 			return err
 		}
-		if err := checkB(v); err != nil {
-			return err
-		}
-	}
-	for k, v := range valueTab {
-		if err := checkT(k.qt); err != nil {
-			return err
-		}
-		if err := checkB(v.state); err != nil {
+		if err := checkB(r.e.state); err != nil {
 			return err
 		}
 	}
-	for k, v := range sectTab {
-		if err := checkB(k.qbs); err != nil {
+	for _, r := range addRecs {
+		if err := checkB(r.a); err != nil {
 			return err
 		}
-		if err := checkT(k.qaux); err != nil {
+		if err := checkB(r.b); err != nil {
 			return err
 		}
-		if err := checkB(v); err != nil {
+		if err := checkB(r.val); err != nil {
+			return err
+		}
+	}
+	for _, r := range valueRecs {
+		if err := checkT(r.a); err != nil {
+			return err
+		}
+		if err := checkB(r.e.state); err != nil {
+			return err
+		}
+	}
+	for _, r := range sectRecs {
+		if err := checkB(r.a); err != nil {
+			return err
+		}
+		if err := checkT(r.b); err != nil {
+			return err
+		}
+		if err := checkB(r.val); err != nil {
 			return err
 		}
 	}
 
 	// Install: rebuild intern indexes and derived caches.
 	m.bsets = bsets
-	m.bintern = make(map[uint64][]int32, len(bsets))
+	m.bintern = internTab{}
 	m.baccept = make([][]int32, len(bsets))
 	m.ctr.bstates.Store(int64(len(bsets)))
 	m.ctr.bstateAFASum.Store(0)
 	for i, s := range bsets {
-		h := hashIDs(s)
-		m.bintern[h] = append(m.bintern[h], int32(i))
+		if i > 0 {
+			m.bintern.add(hashIDs(s), int32(i))
+		}
 		m.ctr.bstateAFASum.Add(int64(len(s)))
 	}
 	m.tsets = tsets
-	m.tintern = make(map[uint64][]int32, len(tsets))
+	m.tintern = internTab{}
 	m.ttOf = make([][]int32, len(tsets))
 	m.ctr.tstates.Store(int64(len(tsets)))
 	for i, s := range tsets {
 		if i > 0 {
-			h := hashIDs(s)
-			m.tintern[h] = append(m.tintern[h], int32(i))
+			m.tintern.add(hashIDs(s), int32(i))
 		}
 		m.ttOf[i] = intersectSorted(m.trueTermAll, s, nil)
 	}
@@ -322,11 +329,26 @@ func (m *Machine) ReadSnapshot(r io.Reader) error {
 		// TrueTerminal.
 		m.ttOf[0] = m.trueTermAll
 	}
-	m.pushTab = pushTab
-	m.popTab = popTab
-	m.addTab = addTab
-	m.valueTab = valueTab
-	m.sectTab = sectTab
+	m.pushTab = tab64{}
+	for _, r := range pushRecs {
+		m.pushTab.put(packPush(r.a, r.b), r.val)
+	}
+	m.popTab = tabE{}
+	for _, r := range popRecs {
+		m.popTab.put(packPop(r.a, r.b, r.c), r.e)
+	}
+	m.addTab = tab64{}
+	for _, r := range addRecs {
+		m.addTab.put(packAdd(r.a, r.b), r.val)
+	}
+	m.valueTab = tabE{}
+	for _, r := range valueRecs {
+		m.valueTab.put(packValue(r.a, int64(r.interval)), r.e)
+	}
+	m.sectTab = tab64{}
+	for _, r := range sectRecs {
+		m.sectTab.put(packAdd(r.a, r.b), r.val)
+	}
 	m.qt, m.qb = 0, 0
 	m.stack = m.stack[:0]
 	return nil

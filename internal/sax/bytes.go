@@ -1,0 +1,477 @@
+package sax
+
+import (
+	"bytes"
+	"fmt"
+	"unicode/utf8"
+)
+
+// BytesHandler is the byte-level counterpart of Handler: event names and
+// character data are delivered as sub-slices of the input buffer (or of an
+// internal scratch buffer when entity decoding or run coalescing forces a
+// copy). Slices are only valid for the duration of the callback — handlers
+// that retain them must copy. The XPush machine consumes this interface
+// directly, resolving names to interned symbols without ever materialising a
+// string, which is what makes the warm filtering path allocation-free.
+type BytesHandler interface {
+	StartDocument()
+	StartElementBytes(name []byte)
+	TextBytes(data []byte)
+	EndElementBytes(name []byte)
+	EndDocument()
+}
+
+// handlerShim adapts a string-level Handler to BytesHandler, paying one
+// string allocation per named event (the cost the byte path exists to avoid).
+type handlerShim struct{ h Handler }
+
+func (s handlerShim) StartDocument()               { s.h.StartDocument() }
+func (s handlerShim) StartElementBytes(name []byte) { s.h.StartElement(string(name)) }
+func (s handlerShim) TextBytes(data []byte)         { s.h.Text(string(data)) }
+func (s handlerShim) EndElementBytes(name []byte)   { s.h.EndElement(string(name)) }
+func (s handlerShim) EndDocument()                  { s.h.EndDocument() }
+
+// AsBytesHandler returns h itself when it already implements BytesHandler,
+// and a string-converting shim otherwise.
+func AsBytesHandler(h Handler) BytesHandler {
+	if bh, ok := h.(BytesHandler); ok {
+		return bh
+	}
+	return handlerShim{h}
+}
+
+// span is a byte range into the scanner's input buffer.
+type span struct{ start, end int }
+
+// Text accumulation modes: most text nodes are one contiguous raw segment of
+// the input and are delivered without copying; entity references and
+// coalescing across CDATA/comments fall back to a reusable buffer.
+const (
+	textNone = iota
+	textSimple
+	textBuffered
+)
+
+// ByteScanner is a push-mode, reusable counterpart of Scanner: it parses the
+// same document syntax and produces the same event stream, but delivers
+// events through BytesHandler callbacks instead of an Event queue, and after
+// its internal buffers have warmed up it performs no heap allocations per
+// document. One ByteScanner serves one goroutine; reuse it across Parse
+// calls to amortise buffer growth.
+type ByteScanner struct {
+	data []byte
+	pos  int
+	h    BytesHandler
+
+	stack []span // open element names, as ranges into data
+	inDoc bool
+
+	textMode           uint8
+	textStart, textEnd int
+	textBuf            []byte
+
+	attrName []byte // "@" + attribute label scratch
+	attrVal  []byte // entity-decoded attribute value scratch
+
+	// MaxDepth bounds element nesting; 0 selects DefaultMaxDepth.
+	MaxDepth int
+}
+
+// ParseBytes parses one or more concatenated documents with a throwaway
+// ByteScanner. Hot paths should hold a ByteScanner and call its Parse method
+// so buffers are reused.
+func ParseBytes(data []byte, h BytesHandler) error {
+	var s ByteScanner
+	return s.Parse(data, h)
+}
+
+// Parse runs the handler over a buffer holding one or more concatenated
+// documents. The scanner can be reused for subsequent Parse calls.
+func (s *ByteScanner) Parse(data []byte, h BytesHandler) error {
+	if s.MaxDepth == 0 {
+		s.MaxDepth = DefaultMaxDepth
+	}
+	s.data, s.pos, s.h = data, 0, h
+	s.stack = s.stack[:0]
+	s.inDoc = false
+	s.textMode = textNone
+	err := s.run()
+	s.data, s.h = nil, nil
+	return err
+}
+
+func (s *ByteScanner) errf(format string, args ...any) error {
+	return &ParseError{Offset: s.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *ByteScanner) run() error {
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if c == '<' {
+			if err := s.markup(); err != nil {
+				return err
+			}
+			continue
+		}
+		if !s.inDoc || len(s.stack) == 0 {
+			// Character data outside any element: only whitespace is
+			// allowed.
+			if isSpace(c) {
+				s.pos++
+				continue
+			}
+			return s.errf("character data outside document element")
+		}
+		if err := s.textRun(); err != nil {
+			return err
+		}
+	}
+	if len(s.stack) > 0 {
+		top := s.stack[len(s.stack)-1]
+		return s.errf("unexpected end of input: %d unclosed element(s), innermost %q",
+			len(s.stack), s.data[top.start:top.end])
+	}
+	if s.inDoc {
+		s.inDoc = false
+		s.h.EndDocument()
+	}
+	return nil
+}
+
+// addTextSegment records raw character data [start, end) of the input,
+// staying in zero-copy simple mode while the pending text is one contiguous
+// range.
+func (s *ByteScanner) addTextSegment(start, end int) {
+	switch s.textMode {
+	case textNone:
+		s.textMode, s.textStart, s.textEnd = textSimple, start, end
+	case textSimple:
+		if start == s.textEnd {
+			s.textEnd = end
+			return
+		}
+		s.toBuffered()
+		s.textBuf = append(s.textBuf, s.data[start:end]...)
+	default:
+		s.textBuf = append(s.textBuf, s.data[start:end]...)
+	}
+}
+
+// toBuffered switches text accumulation to the scratch buffer, preserving
+// any pending simple segment.
+func (s *ByteScanner) toBuffered() {
+	switch s.textMode {
+	case textNone:
+		s.textBuf = s.textBuf[:0]
+	case textSimple:
+		s.textBuf = append(s.textBuf[:0], s.data[s.textStart:s.textEnd]...)
+	default:
+		return
+	}
+	s.textMode = textBuffered
+}
+
+// flushText emits accumulated character data as one TextBytes event,
+// dropping whitespace-only runs (the data model has no mixed content, so
+// inter-element whitespace is insignificant).
+func (s *ByteScanner) flushText() {
+	var t []byte
+	switch s.textMode {
+	case textNone:
+		return
+	case textSimple:
+		t = s.data[s.textStart:s.textEnd]
+	default:
+		t = s.textBuf
+	}
+	s.textMode = textNone
+	if len(bytes.TrimSpace(t)) == 0 {
+		return
+	}
+	s.h.TextBytes(t)
+}
+
+// textRun consumes character data up to the next '<'.
+func (s *ByteScanner) textRun() error {
+	start := s.pos
+	for s.pos < len(s.data) && s.data[s.pos] != '<' {
+		if s.data[s.pos] == '&' {
+			s.toBuffered()
+			s.textBuf = append(s.textBuf, s.data[start:s.pos]...)
+			r, err := s.entity()
+			if err != nil {
+				return err
+			}
+			s.textBuf = utf8.AppendRune(s.textBuf, r)
+			start = s.pos
+			continue
+		}
+		s.pos++
+	}
+	s.addTextSegment(start, s.pos)
+	return nil
+}
+
+// entity decodes an entity reference starting at '&' without allocating:
+// the five predefined names compare directly against the input and numeric
+// character references are accumulated by hand (matching
+// strconv.ParseUint's 32-bit range semantics).
+func (s *ByteScanner) entity() (rune, error) {
+	end := s.pos + 1
+	for end < len(s.data) && s.data[end] != ';' {
+		if end-s.pos > 12 {
+			return 0, s.errf("malformed entity reference")
+		}
+		end++
+	}
+	if end >= len(s.data) {
+		return 0, s.errf("unterminated entity reference")
+	}
+	name := s.data[s.pos+1 : end]
+	s.pos = end + 1
+	switch string(name) {
+	case "lt":
+		return '<', nil
+	case "gt":
+		return '>', nil
+	case "amp":
+		return '&', nil
+	case "apos":
+		return '\'', nil
+	case "quot":
+		return '"', nil
+	}
+	if len(name) > 1 && name[0] == '#' {
+		base, digits := uint64(10), name[1:]
+		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+			base, digits = 16, digits[1:]
+		}
+		n := uint64(0)
+		ok := len(digits) > 0
+		for _, c := range digits {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			n = n*base + d
+			if n > 1<<32-1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return 0, s.errf("bad character reference &%s;", name)
+		}
+		return rune(uint32(n)), nil
+	}
+	return 0, s.errf("unknown entity &%s;", name)
+}
+
+// markup handles everything starting with '<'.
+func (s *ByteScanner) markup() error {
+	if s.pos+1 >= len(s.data) {
+		return s.errf("unexpected end of input after '<'")
+	}
+	switch s.data[s.pos+1] {
+	case '?':
+		end := indexFrom(s.data, s.pos+2, "?>")
+		if end < 0 {
+			return s.errf("unterminated processing instruction")
+		}
+		s.pos = end + 2
+		return nil
+	case '!':
+		return s.bang()
+	case '/':
+		return s.endTag()
+	default:
+		return s.startTag()
+	}
+}
+
+func (s *ByteScanner) bang() error {
+	rest := s.data[s.pos:]
+	switch {
+	case hasPrefix(rest, "<!--"):
+		end := indexFrom(s.data, s.pos+4, "-->")
+		if end < 0 {
+			return s.errf("unterminated comment")
+		}
+		s.pos = end + 3
+		return nil
+	case hasPrefix(rest, "<![CDATA["):
+		end := indexFrom(s.data, s.pos+9, "]]>")
+		if end < 0 {
+			return s.errf("unterminated CDATA section")
+		}
+		if !s.inDoc || len(s.stack) == 0 {
+			return s.errf("CDATA outside document element")
+		}
+		if end > s.pos+9 {
+			s.addTextSegment(s.pos+9, end)
+		}
+		s.pos = end + 3
+		return nil
+	case hasPrefix(rest, "<!DOCTYPE"):
+		depth := 0
+		for i := s.pos; i < len(s.data); i++ {
+			switch s.data[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '>':
+				if depth <= 0 {
+					s.pos = i + 1
+					return nil
+				}
+			}
+		}
+		return s.errf("unterminated DOCTYPE declaration")
+	default:
+		return s.errf("unsupported markup declaration")
+	}
+}
+
+func (s *ByteScanner) startTag() error {
+	if !s.inDoc {
+		s.inDoc = true
+		s.h.StartDocument()
+	}
+	s.flushText()
+	i := s.pos + 1
+	nameStart := i
+	for i < len(s.data) && !isSpace(s.data[i]) && s.data[i] != '>' && s.data[i] != '/' {
+		i++
+	}
+	if i == nameStart {
+		return s.errf("missing element name")
+	}
+	name := s.data[nameStart:i]
+	if len(s.stack) >= s.MaxDepth {
+		return s.errf("maximum element depth %d exceeded", s.MaxDepth)
+	}
+	s.h.StartElementBytes(name)
+	// Attributes.
+	for {
+		for i < len(s.data) && isSpace(s.data[i]) {
+			i++
+		}
+		if i >= len(s.data) {
+			return s.errf("unterminated start tag <%s", name)
+		}
+		if s.data[i] == '>' {
+			s.stack = append(s.stack, span{start: nameStart, end: nameStart + len(name)})
+			s.pos = i + 1
+			return nil
+		}
+		if s.data[i] == '/' {
+			if i+1 >= len(s.data) || s.data[i+1] != '>' {
+				return s.errf("bad '/' in start tag")
+			}
+			// Self-closing element.
+			s.h.EndElementBytes(name)
+			s.pos = i + 2
+			if len(s.stack) == 0 {
+				s.inDoc = false
+				s.h.EndDocument()
+			}
+			return nil
+		}
+		attrStart := i
+		for i < len(s.data) && s.data[i] != '=' && !isSpace(s.data[i]) && s.data[i] != '>' {
+			i++
+		}
+		if i >= len(s.data) || s.data[i] != '=' {
+			return s.errf("attribute without value in <%s>", name)
+		}
+		s.attrName = append(s.attrName[:0], '@')
+		s.attrName = append(s.attrName, s.data[attrStart:i]...)
+		i++ // skip '='
+		for i < len(s.data) && isSpace(s.data[i]) {
+			i++
+		}
+		if i >= len(s.data) || (s.data[i] != '"' && s.data[i] != '\'') {
+			return s.errf("attribute value must be quoted in <%s>", name)
+		}
+		quote := s.data[i]
+		i++
+		valStart := i
+		buffered := false
+		for i < len(s.data) && s.data[i] != quote {
+			if s.data[i] == '&' {
+				if !buffered {
+					s.attrVal = s.attrVal[:0]
+					buffered = true
+				}
+				s.attrVal = append(s.attrVal, s.data[valStart:i]...)
+				save := s.pos
+				s.pos = i
+				r, err := s.entity()
+				if err != nil {
+					return err
+				}
+				i = s.pos
+				s.pos = save
+				s.attrVal = utf8.AppendRune(s.attrVal, r)
+				valStart = i
+				continue
+			}
+			i++
+		}
+		if i >= len(s.data) {
+			return s.errf("unterminated attribute value in <%s>", name)
+		}
+		val := s.data[valStart:i]
+		if buffered {
+			s.attrVal = append(s.attrVal, s.data[valStart:i]...)
+			val = s.attrVal
+		}
+		i++ // skip closing quote
+		s.h.StartElementBytes(s.attrName)
+		s.h.TextBytes(val)
+		s.h.EndElementBytes(s.attrName)
+	}
+}
+
+func (s *ByteScanner) endTag() error {
+	i := s.pos + 2
+	nameStart := i
+	for i < len(s.data) && s.data[i] != '>' && !isSpace(s.data[i]) {
+		i++
+	}
+	name := s.data[nameStart:i]
+	for i < len(s.data) && isSpace(s.data[i]) {
+		i++
+	}
+	if i >= len(s.data) || s.data[i] != '>' {
+		return s.errf("unterminated end tag </%s", name)
+	}
+	if len(s.stack) == 0 {
+		return s.errf("end tag </%s> with no open element", name)
+	}
+	top := s.stack[len(s.stack)-1]
+	if !bytes.Equal(s.data[top.start:top.end], name) {
+		return s.errf("mismatched end tag: expected </%s>, got </%s>",
+			s.data[top.start:top.end], name)
+	}
+	s.flushText()
+	s.stack = s.stack[:len(s.stack)-1]
+	s.h.EndElementBytes(name)
+	s.pos = i + 1
+	if len(s.stack) == 0 {
+		s.inDoc = false
+		s.h.EndDocument()
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package sax
+
+import (
+	"strings"
+	"testing"
+)
+
+// byteCollector records byte-level events as Events for comparison against
+// the pull scanner's output.
+type byteCollector struct {
+	Events []Event
+}
+
+func (c *byteCollector) StartDocument() {
+	c.Events = append(c.Events, Event{Kind: StartDocument})
+}
+func (c *byteCollector) StartElementBytes(name []byte) {
+	c.Events = append(c.Events, Event{Kind: StartElement, Name: string(name)})
+}
+func (c *byteCollector) TextBytes(data []byte) {
+	c.Events = append(c.Events, Event{Kind: Text, Data: string(data)})
+}
+func (c *byteCollector) EndElementBytes(name []byte) {
+	c.Events = append(c.Events, Event{Kind: EndElement, Name: string(name)})
+}
+func (c *byteCollector) EndDocument() {
+	c.Events = append(c.Events, Event{Kind: EndDocument})
+}
+
+func diffEventStreams(t *testing.T, input string) {
+	t.Helper()
+	var sc Collector
+	strErr := Parse([]byte(input), &sc)
+	var bc byteCollector
+	byteErr := ParseBytes([]byte(input), &bc)
+	if (strErr == nil) != (byteErr == nil) {
+		t.Fatalf("acceptance mismatch on %q: scanner err=%v, byte scanner err=%v",
+			input, strErr, byteErr)
+	}
+	// On errors, the event prefixes up to the shorter stream must agree
+	// (delivery points differ slightly because the pull scanner queues
+	// attribute triples before reporting a later error in the same tag).
+	n := len(sc.Events)
+	if len(bc.Events) < n {
+		n = len(bc.Events)
+	}
+	if strErr == nil && (len(sc.Events) != len(bc.Events)) {
+		t.Fatalf("event count mismatch on %q: scanner %d, byte scanner %d\n%v\n%v",
+			input, len(sc.Events), len(bc.Events), sc.Events, bc.Events)
+	}
+	for i := 0; i < n; i++ {
+		if sc.Events[i] != bc.Events[i] {
+			t.Fatalf("event %d mismatch on %q:\n scanner: %v\n byte:    %v",
+				i, input, sc.Events[i], bc.Events[i])
+		}
+	}
+}
+
+// TestByteScannerMatchesScanner drives both parsers over a corpus covering
+// every syntactic feature and requires identical event streams.
+func TestByteScannerMatchesScanner(t *testing.T) {
+	corpus := []string{
+		`<a/>`,
+		`<a></a>`,
+		`<a c="3"> <b> 4 </b> </a>`,
+		`<a><b/><c x="1"/></a>`,
+		`<a>&lt;x&gt; &amp; &#65;</a>`,
+		`<a>&#x41;&#x1F600;</a>`,
+		`<a><![CDATA[1 < 2]]></a>`,
+		`<a>pre<![CDATA[mid]]>post</a>`,
+		`<a><![CDATA[]]></a>`,
+		`<a>one<!-- c -->two</a>`,
+		`<?xml version="1.0"?><!-- c --><a/>`,
+		`<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b>1</b></a>`,
+		`<a>1</a><b>2</b>`,
+		`<a x='1&quot;'/>`,
+		`<a x="&amp;&lt;">v</a>`,
+		"<a>\n  <b> </b>\n</a>",
+		`<a x="1" y="2" z="3">mixed<b/>tail</a>`,
+		`<root><item id="1"><name>n1</name><price>17</price></item></root>`,
+		`<a>text&amp;more&amp;even more</a>`,
+		`<a>   </a>`,
+		`<a><b>x</b><b>y</b></a>`,
+		strings.Repeat("<a>", 40) + "z" + strings.Repeat("</a>", 40),
+		// Malformed inputs: acceptance must agree.
+		`<a`,
+		`</a>`,
+		`<a>&bogus;</a>`,
+		`<a><b></a></b>`,
+		`<a x=1></a>`,
+		`<a x></a>`,
+		`<a><b>`,
+		`text outside`,
+		`<a>&#xZZ;</a>`,
+		`<a>&toolongentityname;</a>`,
+		`<!-- unterminated`,
+		`<![CDATA[ orphan ]]>`,
+		`<a><![CDATA[ unterminated`,
+		strings.Repeat("<a>", 600),
+	}
+	for _, doc := range corpus {
+		diffEventStreams(t, doc)
+	}
+}
+
+// TestByteScannerReuse checks that one ByteScanner instance parses multiple
+// buffers correctly (its buffers are recycled between calls).
+func TestByteScannerReuse(t *testing.T) {
+	var s ByteScanner
+	docs := []string{
+		`<a b="1">x&amp;y</a>`,
+		`<c><d/></c>`,
+		`<e>plain</e>`,
+	}
+	for _, doc := range docs {
+		var sc Collector
+		if err := Parse([]byte(doc), &sc); err != nil {
+			t.Fatal(err)
+		}
+		var bc byteCollector
+		if err := s.Parse([]byte(doc), &bc); err != nil {
+			t.Fatalf("%q: %v", doc, err)
+		}
+		if len(sc.Events) != len(bc.Events) {
+			t.Fatalf("%q: event count %d vs %d", doc, len(sc.Events), len(bc.Events))
+		}
+		for i := range sc.Events {
+			if sc.Events[i] != bc.Events[i] {
+				t.Fatalf("%q event %d: %v vs %v", doc, i, sc.Events[i], bc.Events[i])
+			}
+		}
+	}
+}
+
+// TestAsBytesHandler checks the Handler compatibility shim (and that a type
+// implementing BytesHandler is passed through unchanged).
+func TestAsBytesHandler(t *testing.T) {
+	var c Collector
+	bh := AsBytesHandler(&c)
+	if err := ParseBytes([]byte(`<a x="1">t</a>`), bh); err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: StartDocument},
+		{Kind: StartElement, Name: "a"},
+		{Kind: StartElement, Name: "@x"},
+		{Kind: Text, Data: "1"},
+		{Kind: EndElement, Name: "@x"},
+		{Kind: Text, Data: "t"},
+		{Kind: EndElement, Name: "a"},
+		{Kind: EndDocument},
+	}
+	if len(c.Events) != len(want) {
+		t.Fatalf("events = %v", c.Events)
+	}
+	for i := range want {
+		if c.Events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, c.Events[i], want[i])
+		}
+	}
+	// A handler that already implements BytesHandler is passed through
+	// unchanged, so it keeps receiving zero-copy callbacks.
+	var both dualCollector
+	if AsBytesHandler(&both) != &both {
+		t.Fatal("AsBytesHandler wrapped a BytesHandler instead of passing it through")
+	}
+}
+
+// dualCollector implements both Handler and BytesHandler.
+type dualCollector struct {
+	Collector
+	byteCollector
+}
+
+func (d *dualCollector) StartDocument() {}
+func (d *dualCollector) EndDocument()   {}
+
+// FuzzByteScanner fuzzes the byte-level scanner differentially against the
+// string scanner: both must accept or reject the same inputs, and on
+// accepted inputs produce identical event streams.
+func FuzzByteScanner(f *testing.F) {
+	seeds := []string{
+		`<a c="3"> <b> 4 </b> </a>`,
+		`<a><b/><c x="1"/></a>`,
+		`<a>&lt;x&gt; &amp; &#65;</a>`,
+		`<a><![CDATA[1 < 2]]></a>`,
+		`<?xml version="1.0"?><!-- c --><a/>`,
+		`<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b>1</b></a>`,
+		`<a>1</a><b>2</b>`,
+		`<a x='1&quot;'/>`,
+		`<a>&bogus;</a>`,
+		"<a>\n  <b> </b>\n</a>",
+		`<a x="1" y="2" z="3">mixed<b/>tail</a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		var sc Collector
+		strErr := Parse([]byte(input), &sc)
+		var bc byteCollector
+		byteErr := ParseBytes([]byte(input), &bc)
+		if (strErr == nil) != (byteErr == nil) {
+			t.Fatalf("acceptance mismatch: scanner err=%v, byte scanner err=%v", strErr, byteErr)
+		}
+		if strErr != nil {
+			// Compare the common event prefix only: the scanners may
+			// detect the error at slightly different queue/callback
+			// points.
+			n := len(sc.Events)
+			if len(bc.Events) < n {
+				n = len(bc.Events)
+			}
+			sc.Events = sc.Events[:n]
+			bc.Events = bc.Events[:n]
+		}
+		if len(sc.Events) != len(bc.Events) {
+			t.Fatalf("event count mismatch: %d vs %d\n%v\n%v",
+				len(sc.Events), len(bc.Events), sc.Events, bc.Events)
+		}
+		for i := range sc.Events {
+			if sc.Events[i] != bc.Events[i] {
+				t.Fatalf("event %d: %v vs %v", i, sc.Events[i], bc.Events[i])
+			}
+		}
+	})
+}

@@ -10,8 +10,10 @@
 package xmlval
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
+	"unsafe"
 )
 
 // Kind discriminates the two constant domains of the XPath fragment.
@@ -56,6 +58,30 @@ func New(text string) Value {
 	return v
 }
 
+// NewBytes builds a Value whose string fields are zero-copy views of the
+// byte slice. The Value borrows the buffer: it is only valid until the
+// caller mutates or recycles the slice, so it must be consumed immediately
+// (the machine's per-event predicate evaluation does exactly that). Callers
+// that retain the Value must use New(string(text)) instead.
+func NewBytes(text []byte) Value {
+	t := byteView(bytes.TrimSpace(text))
+	v := Value{Text: byteView(text), trimmed: t}
+	if n, ok := parseNum(t); ok {
+		v.Num = n
+		v.IsNum = true
+	}
+	return v
+}
+
+// byteView reinterprets a byte slice as a string without copying. The result
+// aliases b's storage and must not outlive it.
+func byteView(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
 // FromNumber builds a numeric Value.
 func FromNumber(n float64) Value {
 	s := strconv.FormatFloat(n, 'g', -1, 64)
@@ -74,11 +100,75 @@ func parseNum(s string) (float64, bool) {
 	if c != '-' && c != '+' && c != '.' && (c < '0' || c > '9') {
 		return 0, false
 	}
+	// strconv.ParseFloat allocates a *NumError on failure, which would put
+	// an allocation on the hot path for every non-numeric text node that
+	// happens to start with a digit ("3rd", "12-31", ...). Pre-validate
+	// with a strict decimal grammar so ParseFloat is only called on input
+	// it accepts; inputs using ParseFloat's extended forms (hex floats,
+	// digit-separating underscores, inf/nan spellings) are rare and take
+	// the fallible call.
+	if !isPlainFloat(s) && !maybeSpecialFloat(s) {
+		return 0, false
+	}
 	n, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, false
 	}
 	return n, true
+}
+
+// isPlainFloat reports whether s matches [+-]?digits[.digits][(e|E)[+-]digits]
+// with at least one mantissa digit — a subset of what strconv.ParseFloat
+// accepts, so ParseFloat cannot fail on it except for range errors.
+func isPlainFloat(s string) bool {
+	i := 0
+	if s[i] == '+' || s[i] == '-' {
+		i++
+	}
+	mantissa := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		mantissa++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+			mantissa++
+		}
+	}
+	if mantissa == 0 {
+		return false
+	}
+	if i == len(s) {
+		return true
+	}
+	if s[i] != 'e' && s[i] != 'E' {
+		return false
+	}
+	i++
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	exp := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		exp++
+	}
+	return exp > 0 && i == len(s)
+}
+
+// maybeSpecialFloat reports whether s could be one of ParseFloat's extended
+// forms that isPlainFloat rejects: hex floats (0x1p-2), underscore digit
+// separators (1_000), or inf/nan spellings (+inf, -Infinity, nan).
+func maybeSpecialFloat(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 'x', 'X', '_', 'i', 'I', 'n', 'N':
+			return true
+		}
+	}
+	return false
 }
 
 // Const is a typed constant appearing in an atomic predicate.

@@ -175,6 +175,11 @@ type Engine struct {
 	// being filtered.
 	bytes atomic.Int64
 	lat   obs.Histogram
+
+	// Reusable byte-level scanner and event fan-out for FilterBytes; kept
+	// on the engine so their buffers stay warm across documents.
+	bscan sax.ByteScanner
+	drv   byteDriver
 }
 
 // Compile parses and compiles a workload of XPath filters. The returned
@@ -368,56 +373,72 @@ func (e *Engine) FilterStreaming(r io.Reader, onDocument func(matches []int)) er
 	})
 }
 
+// byteDriver fans the byte-level SAX events of a stream to every machine
+// layer and emits the combined match set at each document boundary. It is
+// the zero-copy counterpart of the former per-Event dispatch loop: element
+// and attribute names flow from the input buffer to the machines' symbol
+// interner without a string allocation per event.
+type byteDriver struct {
+	e          *Engine
+	onDocument func(matches []int)
+	scratch    []int
+	docStart   time.Time
+}
+
+func (d *byteDriver) StartDocument() {
+	d.docStart = time.Now()
+	for _, m := range d.e.layers {
+		m.StartDocument()
+	}
+}
+
+func (d *byteDriver) StartElementBytes(name []byte) {
+	for _, m := range d.e.layers {
+		m.StartElementBytes(name)
+	}
+}
+
+func (d *byteDriver) TextBytes(data []byte) {
+	for _, m := range d.e.layers {
+		m.TextBytes(data)
+	}
+}
+
+func (d *byteDriver) EndElementBytes(name []byte) {
+	for _, m := range d.e.layers {
+		m.EndElementBytes(name)
+	}
+}
+
+func (d *byteDriver) EndDocument() {
+	for _, m := range d.e.layers {
+		m.EndDocument()
+	}
+	d.e.lat.Observe(time.Since(d.docStart).Seconds())
+	d.scratch = d.scratch[:0]
+	for li, m := range d.e.layers {
+		off := d.e.layerOff[li]
+		for _, o := range m.Results() {
+			idx := off + int(o)
+			if !d.e.removed[idx] {
+				d.scratch = append(d.scratch, idx)
+			}
+		}
+	}
+	sort.Ints(d.scratch)
+	d.onDocument(d.scratch)
+}
+
 // FilterBytes is FilterStream over a byte slice. All layers run in lockstep
 // off a single parse of the stream.
 func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error {
-	var scratch []int
-	emit := func() {
-		scratch = scratch[:0]
-		for li, m := range e.layers {
-			off := e.layerOff[li]
-			for _, o := range m.Results() {
-				idx := off + int(o)
-				if !e.removed[idx] {
-					scratch = append(scratch, idx)
-				}
-			}
-		}
-		sort.Ints(scratch)
-		onDocument(scratch)
-	}
 	e.bytes.Add(int64(len(data)))
-	var docStart time.Time
-	s := sax.NewScanner(data)
-	for {
-		ev, err := s.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if ev.Kind == sax.StartDocument {
-			docStart = time.Now()
-		}
-		for _, m := range e.layers {
-			switch ev.Kind {
-			case sax.StartDocument:
-				m.StartDocument()
-			case sax.StartElement:
-				m.StartElement(ev.Name)
-			case sax.Text:
-				m.Text(ev.Data)
-			case sax.EndElement:
-				m.EndElement(ev.Name)
-			case sax.EndDocument:
-				m.EndDocument()
-			}
-		}
-		if ev.Kind == sax.EndDocument {
-			e.lat.Observe(time.Since(docStart).Seconds())
-			emit()
-		}
+	e.drv.e = e
+	e.drv.onDocument = onDocument
+	err := e.bscan.Parse(data, &e.drv)
+	e.drv.onDocument = nil
+	if err != nil {
+		return err
 	}
 	for _, m := range e.layers {
 		if err := m.Err(); err != nil {
