@@ -1,0 +1,233 @@
+// Package client is the Go client for the repro/server broker: it speaks
+// the length-prefixed framed protocol (see repro/server), multiplexing
+// synchronous request/response calls (Subscribe, Unsubscribe, Publish,
+// Ping) with asynchronous DELIVER notifications on one TCP connection.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sax"
+	"repro/server"
+)
+
+// Delivery is one matched-document notification from the broker.
+type Delivery struct {
+	// Filters holds the server-assigned ids of this client's filters that
+	// matched the document.
+	Filters []uint64
+	// Doc is the document's bytes. The slice is owned by the receiver.
+	Doc []byte
+}
+
+// Options configures a Client. The zero value is usable.
+type Options struct {
+	// OnDeliver receives matched-document notifications. It is called
+	// synchronously from the read loop: a slow handler delays subsequent
+	// frames (and eventually exerts the server's backpressure policy),
+	// which is often exactly what a subscriber wants. nil discards
+	// deliveries.
+	OnDeliver func(Delivery)
+	// MaxDocBytes bounds frames in both directions, mirroring the
+	// server's limit and sax.Splitter.MaxDocBytes on the PublishStream
+	// path (0 = 64 MiB).
+	MaxDocBytes int
+	// Timeout bounds each request's wait for its response (0 = none).
+	Timeout time.Duration
+	// DialTimeout bounds the initial connect (0 = none).
+	DialTimeout time.Duration
+}
+
+func (o *Options) maxDocBytes() int {
+	if o.MaxDocBytes > 0 {
+		return o.MaxDocBytes
+	}
+	return 64 << 20
+}
+
+// Client is a broker connection. All methods are safe for concurrent use;
+// requests are serialized on the wire.
+type Client struct {
+	nc  net.Conn
+	opt Options
+
+	reqMu sync.Mutex // serializes request/response round-trips
+	wmu   sync.Mutex
+	resp  chan server.Frame
+
+	done    chan struct{} // closed when the read loop exits
+	errMu   sync.Mutex
+	readErr error
+
+	closeOnce sync.Once
+}
+
+// Dial connects to a broker.
+func Dial(addr string, opt Options) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:   nc,
+		opt:  opt,
+		resp: make(chan server.Frame, 1),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes incoming frames: DELIVER to the handler, everything else
+// to the pending request.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		f, err := server.ReadFrame(br, c.opt.maxDocBytes())
+		if err != nil {
+			c.errMu.Lock()
+			if c.readErr == nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+					c.readErr = io.EOF
+				} else {
+					c.readErr = err
+				}
+			}
+			c.errMu.Unlock()
+			return
+		}
+		if f.Type == server.FrameDeliver {
+			if c.opt.OnDeliver != nil {
+				filters, doc, err := server.ParseDeliverPayload(f.Payload)
+				if err == nil {
+					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc})
+				}
+			}
+			continue
+		}
+		select {
+		case c.resp <- f:
+		default: // unsolicited response; drop rather than stall deliveries
+		}
+	}
+}
+
+// roundTrip sends one request frame and waits for its response.
+func (c *Client) roundTrip(typ byte, payload []byte) (server.Frame, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	// Drop any stale response left by a timed-out predecessor.
+	select {
+	case <-c.resp:
+	default:
+	}
+	c.wmu.Lock()
+	err := server.WriteFrame(c.nc, typ, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		return server.Frame{}, err
+	}
+	var timeout <-chan time.Time
+	if c.opt.Timeout > 0 {
+		t := time.NewTimer(c.opt.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case f := <-c.resp:
+		if f.Type == server.FrameErr {
+			return f, fmt.Errorf("client: server error: %s", f.Payload)
+		}
+		return f, nil
+	case <-c.done:
+		return server.Frame{}, fmt.Errorf("client: connection closed: %w", c.err())
+	case <-timeout:
+		return server.Frame{}, fmt.Errorf("client: request timed out after %v", c.opt.Timeout)
+	}
+}
+
+// Subscribe registers an XPath filter and returns its server-assigned id.
+// Matching documents arrive via Options.OnDeliver.
+func (c *Client) Subscribe(xpath string) (uint64, error) {
+	f, err := c.roundTrip(server.FrameSubscribe, []byte(xpath))
+	if err != nil {
+		return 0, err
+	}
+	return server.ParseUint64(f.Payload)
+}
+
+// Unsubscribe removes a filter previously registered on this connection.
+func (c *Client) Unsubscribe(id uint64) error {
+	_, err := c.roundTrip(server.FrameUnsubscribe, server.AppendUint64(nil, id))
+	return err
+}
+
+// Publish sends one XML document and returns how many filters (across all
+// subscribers) matched it.
+func (c *Client) Publish(doc []byte) (int, error) {
+	f, err := c.roundTrip(server.FramePublish, doc)
+	if err != nil {
+		return 0, err
+	}
+	n, err := server.ParseUint64(f.Payload)
+	return int(n), err
+}
+
+// PublishStream splits a stream of concatenated XML documents (bounded per
+// document by Options.MaxDocBytes, via sax.Splitter) and publishes each.
+// It returns the number of documents published.
+func (c *Client) PublishStream(r io.Reader) (int, error) {
+	n := 0
+	err := sax.StreamDocumentsLimit(r, c.opt.MaxDocBytes, func(doc []byte) error {
+		if _, err := c.Publish(doc); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// Ping round-trips a keepalive.
+func (c *Client) Ping() error {
+	f, err := c.roundTrip(server.FramePing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != server.FramePong {
+		return fmt.Errorf("client: expected PONG, got frame 0x%02x", f.Type)
+	}
+	return nil
+}
+
+// Done is closed when the connection's read loop has exited (server closed
+// the connection, or Close was called) — after the final delivery has been
+// handed to OnDeliver.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the terminal read error after Done is closed (io.EOF for a
+// clean remote close).
+func (c *Client) Err() error {
+	<-c.done
+	return c.err()
+}
+
+func (c *Client) err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.readErr
+}
+
+// Close tears the connection down and waits for the read loop to finish.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { c.nc.Close() })
+	<-c.done
+	return nil
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	xpushfilter -queries filters.txt [-xml stream.xml] [-dtd schema.dtd]
-//	            [-topdown] [-order] [-early] [-train]
+//	            [-topdown] [-order] [-early] [-train] [-max-doc-bytes 0]
 //	            [-stats] [-stats-format text|json|prom]
 //
 // The queries file holds one XPath filter per line; blank lines and lines
@@ -48,6 +48,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	train := fs.Bool("train", false, "warm the machine with synthetic training data (needs -dtd)")
 	strict := fs.Bool("strict", false, "reject mixed element/text content")
 	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
+	maxDocBytes := fs.Int("max-doc-bytes", 0, "per-document size bound in bytes; >0 uses the streaming splitter and rejects oversized documents (0 = unbounded)")
 	showQueries := fs.Bool("show-queries", false, "print matching filter text instead of indexes")
 	stats := fs.Bool("stats", false, "print machine statistics after the stream")
 	statsFormat := fs.String("stats-format", "text", "stats report format: text, json, or prom (Prometheus text)")
@@ -98,7 +99,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	doc := 0
-	err = engine.FilterStream(in, func(matches []int) {
+	onDocument := func(matches []int) {
 		doc++
 		fmt.Fprintf(w, "document %d: %d match(es)", doc, len(matches))
 		if len(matches) > 0 {
@@ -113,7 +114,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		} else {
 			fmt.Fprintln(w)
 		}
-	})
+	}
+	if *maxDocBytes > 0 {
+		err = engine.FilterStreamingLimit(in, *maxDocBytes, onDocument)
+	} else {
+		err = engine.FilterStream(in, onDocument)
+	}
 	if err != nil {
 		return err
 	}

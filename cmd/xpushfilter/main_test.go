@@ -133,6 +133,32 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunMaxDocBytes(t *testing.T) {
+	queries := writeFile(t, "q.txt", "//order\n")
+	small := `<order><total>1</total></order>`
+	big := `<order><pad>` + strings.Repeat("x", 512) + `</pad></order>`
+
+	// Within the bound the streaming path behaves like the buffered one.
+	var out strings.Builder
+	if err := run([]string{"-queries", queries, "-max-doc-bytes", "256"},
+		strings.NewReader(small+small), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "document 2: 1 match(es)") {
+		t.Errorf("bounded run output:\n%s", out.String())
+	}
+
+	// An oversized document fails with a clean parse error, not an OOM.
+	err := run([]string{"-queries", queries, "-max-doc-bytes", "256"},
+		strings.NewReader(big), &strings.Builder{})
+	if err == nil {
+		t.Fatal("oversized document passed -max-doc-bytes")
+	}
+	if !strings.Contains(err.Error(), "size bound") {
+		t.Errorf("error %q does not mention the size bound", err)
+	}
+}
+
 func TestReadQueries(t *testing.T) {
 	path := writeFile(t, "q.txt", "  /a \n\n#skip\n//b[c=1]\n")
 	qs, err := readQueries(path)

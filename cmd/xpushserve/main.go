@@ -1,0 +1,176 @@
+// Command xpushserve runs the XPush broker: subscribers register XPath
+// filters over the framed TCP protocol, publishers send XML documents, and
+// every document is forwarded to the subscribers whose filters match — the
+// paper's message-routing application (Sec. 1) as a long-running service.
+//
+// Usage:
+//
+//	xpushserve [-addr :9310] [-metrics-addr :9311]
+//	           [-queries filters.txt] [-backend engine|pool|sharded]
+//	           [-workers n] [-policy drop-oldest|drop-newest|block|disconnect]
+//	           [-queue-depth 128] [-block-deadline 1s]
+//	           [-max-conns 0] [-max-doc-bytes 0] [-read-timeout 0]
+//	           [-write-timeout 0] [-snapshot state.xpw] [-snapshot-interval 0]
+//	           [-drain-timeout 10s]
+//	           [-topdown] [-order] [-early] [-train] [-dtd schema.dtd]
+//	           [-strict] [-maxstates 0]
+//
+// On SIGTERM or SIGINT the broker drains gracefully: it stops accepting,
+// rejects new publishes, flips /healthz to not-ready, flushes every
+// subscriber's queued deliveries (bounded by -drain-timeout), writes a
+// final snapshot when -snapshot is set, and exits. With -snapshot, a
+// restart warm-starts from the persisted workload and machine state.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	xpushstream "repro"
+	"repro/server"
+)
+
+func main() {
+	cfg, drain, err := buildConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpushserve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "xpushserve: ", log.LstdFlags)
+	cfg.Logf = logger.Printf
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving on %s (backend=%s policy=%s queue-depth=%d)",
+		srv.Addr(), cfg.Backend, cfg.Policy, cfg.QueueDepth)
+	if srv.MetricsAddr() != "" {
+		logger.Printf("metrics on http://%s/metrics", srv.MetricsAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	logger.Printf("%v: draining (timeout %v)", got, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}
+
+// buildConfig parses flags into a server configuration; factored out of
+// main for testing.
+func buildConfig(args []string) (server.Config, time.Duration, error) {
+	fs := flag.NewFlagSet("xpushserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":9310", "data-plane listen address")
+	metricsAddr := fs.String("metrics-addr", ":9311", "metrics listen address (empty disables /metrics)")
+	queriesPath := fs.String("queries", "", "file with one initial XPath filter per line (warms the machine)")
+	backend := fs.String("backend", "engine", "filter backend: engine, pool, or sharded")
+	workers := fs.Int("workers", 0, "pool workers / shard count (0 = GOMAXPROCS)")
+	policy := fs.String("policy", "drop-newest", "slow-subscriber backpressure: drop-oldest, drop-newest, block, or disconnect")
+	queueDepth := fs.Int("queue-depth", 128, "per-subscriber delivery queue bound")
+	blockDeadline := fs.Duration("block-deadline", time.Second, "max publisher wait for queue space under -policy block")
+	maxConns := fs.Int("max-conns", 0, "concurrent connection limit (0 = unlimited)")
+	maxDocBytes := fs.Int("max-doc-bytes", 0, "published document size bound in bytes (0 = 64 MiB)")
+	readTimeout := fs.Duration("read-timeout", 0, "per-frame read deadline for connections without subscriptions (0 = none)")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
+	snapshot := fs.String("snapshot", "", "workload snapshot path: warm-start on boot, checkpoint on drain")
+	snapshotInterval := fs.Duration("snapshot-interval", 0, "periodic checkpoint interval (0 = only on drain)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown flush bound")
+	topdown := fs.Bool("topdown", false, "enable top-down pruning")
+	order := fs.Bool("order", false, "enable the order optimization (needs -dtd)")
+	early := fs.Bool("early", false, "enable early notification (implies -topdown)")
+	train := fs.Bool("train", false, "warm the machine with synthetic training data (needs -dtd)")
+	dtdPath := fs.String("dtd", "", "DTD file (enables -order and -train)")
+	strict := fs.Bool("strict", false, "reject mixed element/text content")
+	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return server.Config{}, 0, err
+	}
+
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		return server.Config{}, 0, err
+	}
+	bk, err := server.ParseBackend(*backend)
+	if err != nil {
+		return server.Config{}, 0, err
+	}
+	ecfg := xpushstream.Config{
+		TopDownPruning:     *topdown,
+		OrderOptimization:  *order,
+		EarlyNotification:  *early,
+		Training:           *train,
+		StrictMixedContent: *strict,
+		MaxStates:          *maxStates,
+	}
+	if *dtdPath != "" {
+		text, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			return server.Config{}, 0, err
+		}
+		d, err := xpushstream.ParseDTD(string(text))
+		if err != nil {
+			return server.Config{}, 0, err
+		}
+		ecfg.DTD = d
+	}
+	var initial []string
+	if *queriesPath != "" {
+		initial, err = readQueries(*queriesPath)
+		if err != nil {
+			return server.Config{}, 0, err
+		}
+	}
+	cfg := server.Config{
+		Addr:             *addr,
+		MetricsAddr:      *metricsAddr,
+		Backend:          bk,
+		Workers:          *workers,
+		Engine:           ecfg,
+		InitialQueries:   initial,
+		Policy:           pol,
+		QueueDepth:       *queueDepth,
+		BlockDeadline:    *blockDeadline,
+		MaxConns:         *maxConns,
+		MaxDocBytes:      *maxDocBytes,
+		ReadTimeout:      *readTimeout,
+		WriteTimeout:     *writeTimeout,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
+	}
+	return cfg, *drainTimeout, nil
+}
+
+// readQueries loads one filter per line; blank lines and '#' comments are
+// skipped.
+func readQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}

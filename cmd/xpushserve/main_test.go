@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/server"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, drain, err := buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != ":9310" || cfg.MetricsAddr != ":9311" {
+		t.Errorf("addrs = %q, %q", cfg.Addr, cfg.MetricsAddr)
+	}
+	if cfg.Backend != server.BackendEngine {
+		t.Errorf("backend = %q", cfg.Backend)
+	}
+	if cfg.Policy != server.DropNewest {
+		t.Errorf("policy = %q", cfg.Policy)
+	}
+	if cfg.QueueDepth != 128 || cfg.BlockDeadline != time.Second {
+		t.Errorf("queue = %d/%v", cfg.QueueDepth, cfg.BlockDeadline)
+	}
+	if drain != 10*time.Second {
+		t.Errorf("drain = %v", drain)
+	}
+}
+
+func TestBuildConfigFull(t *testing.T) {
+	dir := t.TempDir()
+	queries := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(queries, []byte("# c\n//a[b > 1]\n\n//c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, drain, err := buildConfig([]string{
+		"-addr", "127.0.0.1:0",
+		"-metrics-addr", "",
+		"-queries", queries,
+		"-backend", "pool",
+		"-workers", "3",
+		"-policy", "block",
+		"-queue-depth", "64",
+		"-block-deadline", "250ms",
+		"-max-conns", "10",
+		"-max-doc-bytes", "4096",
+		"-snapshot", filepath.Join(dir, "s.xpw"),
+		"-snapshot-interval", "5s",
+		"-drain-timeout", "3s",
+		"-topdown",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != server.BackendPool || cfg.Workers != 3 {
+		t.Errorf("backend = %q workers=%d", cfg.Backend, cfg.Workers)
+	}
+	if cfg.Policy != server.Block || cfg.QueueDepth != 64 || cfg.BlockDeadline != 250*time.Millisecond {
+		t.Errorf("policy = %q/%d/%v", cfg.Policy, cfg.QueueDepth, cfg.BlockDeadline)
+	}
+	if cfg.MaxConns != 10 || cfg.MaxDocBytes != 4096 {
+		t.Errorf("limits = %d/%d", cfg.MaxConns, cfg.MaxDocBytes)
+	}
+	if len(cfg.InitialQueries) != 2 || cfg.InitialQueries[0] != "//a[b > 1]" {
+		t.Errorf("initial queries = %v", cfg.InitialQueries)
+	}
+	if !cfg.Engine.TopDownPruning {
+		t.Error("-topdown not wired through")
+	}
+	if cfg.SnapshotInterval != 5*time.Second || drain != 3*time.Second {
+		t.Errorf("intervals = %v/%v", cfg.SnapshotInterval, drain)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	if _, _, err := buildConfig([]string{"-policy", "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if _, _, err := buildConfig([]string{"-backend", "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+	if _, _, err := buildConfig([]string{"-queries", "/nonexistent.txt"}); err == nil {
+		t.Error("missing queries file accepted")
+	}
+	if _, _, err := buildConfig([]string{"-dtd", "/nonexistent.dtd"}); err == nil {
+		t.Error("missing dtd file accepted")
+	}
+}
+
+// TestServeAndDrain boots the broker through the same configuration main
+// uses and exercises the drain path New→Shutdown without signals.
+func TestServeAndDrain(t *testing.T) {
+	cfg, _, err := buildConfig([]string{"-addr", "127.0.0.1:0", "-metrics-addr", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package xpushstream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// Copy-on-write workload derivation. A broker serving live traffic cannot
+// mutate the engine its publishers are filtering on: AddQueries appends to
+// the layer list mid-iteration and RemoveQuery flips the removed mask that
+// match assembly reads. WithQueries and WithoutQuery instead derive a new
+// Engine that SHARES the receiver's warm machine layers (the lazily built
+// state tables are the expensive part) while leaving the receiver
+// completely untouched, so a server can build the next workload generation
+// off to the side and swap an atomic pointer — publishers either see the
+// old engine or the new one, never a half-updated workload.
+//
+// Sharing rules: the receiver and the derived engine reference the same
+// machine layers, and a machine processes one stream at a time, so the two
+// engines must not filter concurrently. The intended pattern is a swap:
+// once the derived engine is published, the old one is retired (in-flight
+// documents on it may finish first — they only touch layers both engines
+// share, under the caller's filtering serialization).
+
+// WithQueries returns a new engine whose workload is the receiver's plus
+// the given filters, compiled as one additional machine layer (the paper's
+// layered insertion path, Sec. 8). The receiver is not modified and keeps
+// serving its current workload; the shared base layers stay warm. The new
+// filters' indexes start at the receiver's NumQueries. See the package
+// comment on cow.go for the sharing rules.
+func (e *Engine) WithQueries(queries []string) (*Engine, error) {
+	filters, err := parseQueries(queries, len(e.queries))
+	if err != nil {
+		return nil, err
+	}
+	n := e.derive(len(queries))
+	if len(queries) == 0 {
+		return n, nil
+	}
+	m, err := e.buildMachine(filters)
+	if err != nil {
+		return nil, err
+	}
+	n.layerOff = append(n.layerOff, len(e.queries))
+	n.layers = append(n.layers, m)
+	n.queries = append(n.queries, queries...)
+	n.filters = append(n.filters, filters...)
+	n.removed = append(n.removed, make([]bool, len(queries))...)
+	return n, nil
+}
+
+// WithoutQuery returns a new engine with filter i marked removed (its
+// states are physically removed at the next Consolidate, as with
+// RemoveQuery). The receiver is not modified; machine layers are shared.
+func (e *Engine) WithoutQuery(i int) (*Engine, error) {
+	if i < 0 || i >= len(e.removed) {
+		return nil, fmt.Errorf("xpushstream: no query %d", i)
+	}
+	n := e.derive(0)
+	n.removed[i] = true
+	return n, nil
+}
+
+// derive makes a shallow copy of the engine: fresh slice headers (with
+// spare capacity for extra more queries) over copied contents, shared
+// machine layers, and carried-over stream counters.
+func (e *Engine) derive(extra int) *Engine {
+	n := &Engine{cfg: e.cfg}
+	n.queries = make([]string, len(e.queries), len(e.queries)+extra)
+	copy(n.queries, e.queries)
+	n.filters = make([]*xpath.Filter, len(e.filters), len(e.filters)+extra)
+	copy(n.filters, e.filters)
+	n.layers = append(make([]*core.Machine, 0, len(e.layers)+1), e.layers...)
+	n.layerOff = append(make([]int, 0, len(e.layerOff)+1), e.layerOff...)
+	n.removed = make([]bool, len(e.removed), len(e.removed)+extra)
+	copy(n.removed, e.removed)
+	n.bytes.Store(e.bytes.Load())
+	n.lat.CopyFrom(&e.lat)
+	return n
+}
+
+// Queries returns a copy of the workload's filter texts (including removed
+// slots, which keep their index).
+func (e *Engine) Queries() []string {
+	return append([]string(nil), e.queries...)
+}
+
+// Removed returns a copy of the removed-filter mask: Removed()[i] reports
+// whether filter i has been unregistered with RemoveQuery/WithoutQuery.
+func (e *Engine) Removed() []bool {
+	return append([]bool(nil), e.removed...)
+}

@@ -1,305 +1,96 @@
 // Netrouter: XML packet routing over TCP — the mesh-based content routing
-// application the paper cites as a driver for XML stream processing. A
-// broker listens for subscribers (who register XPath filters with a
-// line-based protocol) and producers (who publish XML packets); each packet
-// is forwarded to every subscriber whose filter matches. Subscriptions can
-// arrive while traffic flows: the broker inserts them with Engine.AddQueries
-// (the paper's layered-machine update path) without discarding its warm
-// machine state.
+// application the paper cites as a driver for XML stream processing. The
+// demo is a thin consumer of the repro/server broker and repro/client
+// connection: subscribers register XPath filters over the framed protocol,
+// a producer publishes XML packets, and the broker forwards each packet to
+// every subscriber whose filter matches. Subscriptions land while traffic
+// flows: the broker inserts them as copy-on-write machine layers (the
+// paper's layered-machine update path) without discarding warm state.
 //
-// The demo runs a broker, three subscribers, and a producer in one process
-// over real loopback TCP connections. The broker is observable: it serves
-// GET /metrics (Prometheus text format — per-document filter-latency
-// quantiles, cumulative documents/events/bytes, warm-machine hit ratio) and
-// GET /healthz on a second loopback port, and the demo scrapes it at the
-// end to show the machine warming up.
+// Slow subscribers are handled by the broker's backpressure policy instead
+// of a silent drop: this demo runs the lossless "block" policy, and the
+// scraped xpushserve_dropped_total counter proves no delivery was lost.
+//
+// The demo runs the broker, three subscribers, and a producer in one
+// process over real loopback TCP. The broker serves GET /metrics
+// (Prometheus text — filter-latency and delivery-latency quantiles,
+// documents/events/bytes, warm-machine hit ratio, per-policy drop counters)
+// and GET /healthz on a second loopback port; the demo scrapes it at the
+// end to show the machine warming up, then shuts the broker down
+// gracefully so every queued delivery is flushed before exit.
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net"
 	"net/http"
-	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
-	xpushstream "repro"
+	"repro/client"
+	"repro/server"
 )
 
-// Broker routes XML packets to matching subscribers.
-type Broker struct {
-	mu      sync.Mutex
-	engine  *xpushstream.Engine
-	writers []chan []byte // per filter index
-	ln      net.Listener
-	wg      sync.WaitGroup
-
-	// Observability: engine metrics plus broker-level counters, served
-	// at /metrics on a dedicated loopback listener.
-	reg        *xpushstream.Registry
-	metricsLn  net.Listener
-	httpSrv    *http.Server
-	packets    *xpushstream.Counter
-	deliveries *xpushstream.Counter
+// subscriber connects, registers filters, and counts received packets until
+// the broker closes the connection (at drain time).
+type subscriber struct {
+	name  string
+	conn  *client.Client
+	count atomic.Int64
 }
 
-// NewBroker starts a broker on a loopback port and its metrics endpoint on
-// a second one.
-func NewBroker() (*Broker, error) {
-	engine, err := xpushstream.Compile(nil, xpushstream.Config{TopDownPruning: true})
-	if err != nil {
-		return nil, err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	b := &Broker{engine: engine, ln: ln, reg: xpushstream.NewRegistry()}
-	// Engine stats are read under the broker lock: AddQueries mutates the
-	// engine's layer list while traffic flows.
-	xpushstream.RegisterMetrics(b.reg, "xpush", xpushstream.StatsFunc(func() xpushstream.Stats {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return b.engine.Stats()
-	}))
-	b.packets = b.reg.Counter("netrouter_packets_total", "XML packets published to the broker")
-	b.deliveries = b.reg.Counter("netrouter_deliveries_total", "packet deliveries to subscribers")
-	b.reg.GaugeFunc("netrouter_subscriptions", "registered filters", func() float64 {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return float64(b.engine.NumQueries())
+func newSubscriber(addr, name string, filters []string) *subscriber {
+	s := &subscriber{name: name}
+	conn, err := client.Dial(addr, client.Options{
+		Timeout:   5 * time.Second,
+		OnDeliver: func(d client.Delivery) { s.count.Add(1) },
 	})
-	mln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
-	b.metricsLn = mln
-	b.httpSrv = &http.Server{Handler: b.reg.NewMux()}
-	go b.httpSrv.Serve(mln)
-	b.wg.Add(1)
-	go b.acceptLoop()
-	return b, nil
-}
-
-// Addr returns the broker's listen address.
-func (b *Broker) Addr() string { return b.ln.Addr().String() }
-
-// MetricsAddr returns the /metrics + /healthz listen address.
-func (b *Broker) MetricsAddr() string { return b.metricsLn.Addr().String() }
-
-// Close stops the broker.
-func (b *Broker) Close() {
-	b.ln.Close()
-	b.httpSrv.Close()
-	b.wg.Wait()
-}
-
-func (b *Broker) acceptLoop() {
-	defer b.wg.Done()
-	for {
-		conn, err := b.ln.Accept()
-		if err != nil {
-			return
-		}
-		b.wg.Add(1)
-		go func() {
-			defer b.wg.Done()
-			b.serve(conn)
-		}()
-	}
-}
-
-// serve handles one connection. The first line decides the role:
-//
-//	SUBSCRIBE <xpath>     (repeatable)  then  READY
-//	PUBLISH <byte-count>  followed by that many bytes of XML (repeatable)
-//	QUIT
-func (b *Broker) serve(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	var mine chan []byte // set once this connection subscribes
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
-		}
-		cmd, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
-		switch cmd {
-		case "SUBSCRIBE":
-			ch, err := b.subscribe(rest, mine)
-			if err != nil {
-				fmt.Fprintf(conn, "ERR %v\n", err)
-				continue
-			}
-			mine = ch
-			fmt.Fprintf(conn, "OK\n")
-		case "READY":
-			// Stream matched packets to this subscriber.
-			for doc := range mine {
-				fmt.Fprintf(conn, "MSG %d\n", len(doc))
-				if _, err := conn.Write(doc); err != nil {
-					return
-				}
-			}
-			return
-		case "PUBLISH":
-			n, err := strconv.Atoi(rest)
-			if err != nil || n <= 0 || n > 1<<20 {
-				fmt.Fprintf(conn, "ERR bad length\n")
-				return
-			}
-			doc := make([]byte, n)
-			if _, err := io.ReadFull(r, doc); err != nil {
-				return
-			}
-			matched, err := b.route(doc)
-			if err != nil {
-				fmt.Fprintf(conn, "ERR %v\n", err)
-				continue
-			}
-			fmt.Fprintf(conn, "ROUTED %d\n", matched)
-		case "QUIT":
-			return
-		default:
-			fmt.Fprintf(conn, "ERR unknown command %q\n", cmd)
-		}
-	}
-}
-
-// subscribe registers one filter and binds it to the connection's delivery
-// channel (created on the first subscription); several SUBSCRIBE lines on
-// one connection share the channel.
-func (b *Broker) subscribe(query string, ch chan []byte) (chan []byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.engine.AddQueries([]string{query}); err != nil {
-		return nil, err
-	}
-	if ch == nil {
-		ch = make(chan []byte, 128)
-	}
-	b.writers = append(b.writers, ch)
-	return ch, nil
-}
-
-// route filters one packet and fans it out.
-func (b *Broker) route(doc []byte) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.packets.Inc()
-	matches, err := b.engine.FilterDocument(doc)
-	if err != nil {
-		return 0, err
-	}
-	delivered := map[chan []byte]bool{}
-	for _, m := range matches {
-		ch := b.writers[m]
-		if !delivered[ch] {
-			delivered[ch] = true
-			select {
-			case ch <- doc:
-				b.deliveries.Inc()
-			default: // slow subscriber: drop
-			}
-		}
-	}
-	return len(matches), nil
-}
-
-// CloseSubscribers ends all subscriber streams.
-func (b *Broker) CloseSubscribers() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	seen := map[chan []byte]bool{}
-	for _, ch := range b.writers {
-		if !seen[ch] {
-			seen[ch] = true
-			close(ch)
-		}
-	}
-}
-
-// subscriber connects, registers filters, and counts received packets.
-func subscriber(addr, name string, filters []string, got *sync.Map, done *sync.WaitGroup) {
-	defer done.Done()
-	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	r := bufio.NewReader(conn)
+	s.conn = conn
 	for _, f := range filters {
-		fmt.Fprintf(conn, "SUBSCRIBE %s\n", f)
-		resp, _ := r.ReadString('\n')
-		if !strings.HasPrefix(resp, "OK") {
-			log.Fatalf("%s: subscribe failed: %s", name, resp)
+		if _, err := conn.Subscribe(f); err != nil {
+			log.Fatalf("%s: subscribe %q: %v", name, f, err)
 		}
 	}
-	fmt.Fprintf(conn, "READY\n")
-	count := 0
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			break
-		}
-		var n int
-		if _, err := fmt.Sscanf(line, "MSG %d", &n); err != nil {
-			break
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			break
-		}
-		count++
-	}
-	got.Store(name, count)
+	return s
 }
 
 func main() {
-	broker, err := NewBroker()
+	broker, err := server.New(server.Config{
+		MetricsAddr: "127.0.0.1:0",
+		Policy:      server.Block, // lossless: a slow subscriber stalls the publisher, nothing is dropped
+		QueueDepth:  128,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var got sync.Map
-	var subs sync.WaitGroup
-	subs.Add(3)
-	go subscriber(broker.Addr(), "alerts", []string{
-		`//order[total > 1000]`,
-		`//order[@priority = "high"]`,
-	}, &got, &subs)
-	go subscriber(broker.Addr(), "eu-desk", []string{
-		`//order[customer/country != "US"]`,
-	}, &got, &subs)
-	go subscriber(broker.Addr(), "audit", []string{
-		`//order`,
-	}, &got, &subs)
 
-	// Wait until all four filters are registered (a real broker would
-	// acknowledge out of band).
-	for {
-		broker.mu.Lock()
-		n := broker.engine.NumQueries()
-		broker.mu.Unlock()
-		if n == 4 {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	subs := []*subscriber{
+		newSubscriber(broker.Addr(), "alerts", []string{
+			`//order[total > 1000]`,
+			`//order[@priority = "high"]`,
+		}),
+		newSubscriber(broker.Addr(), "eu-desk", []string{
+			`//order[customer/country != "US"]`,
+		}),
+		newSubscriber(broker.Addr(), "audit", []string{
+			`//order`,
+		}),
 	}
 
-	// Producer: publish packets over its own TCP connection. The first
-	// round is shown packet by packet; then the same traffic repeats so
-	// the lazy machine warms up and the scraped window hit ratio climbs
-	// (the live view of the paper's Fig. 8).
-	conn, err := net.Dial("tcp", broker.Addr())
+	// Producer: publish packets over its own connection. The first round is
+	// shown packet by packet; then the same traffic repeats so the lazy
+	// machine warms up and the scraped window hit ratio climbs (the live
+	// view of the paper's Fig. 8).
+	producer, err := client.Dial(broker.Addr(), client.Options{Timeout: 5 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}
-	pr := bufio.NewReader(conn)
 	packets := []string{
 		`<order id="1" priority="high"><customer><country>US</country></customer><total>40</total></order>`,
 		`<order id="2" priority="low"><customer><country>DE</country></customer><total>2500</total></order>`,
@@ -310,17 +101,18 @@ func main() {
 	published := 0
 	for round := 0; round < rounds; round++ {
 		for _, p := range packets {
-			fmt.Fprintf(conn, "PUBLISH %d\n%s", len(p), p)
-			resp, _ := pr.ReadString('\n')
+			n, err := producer.Publish([]byte(p))
+			if err != nil {
+				log.Fatal(err)
+			}
 			published++
 			if round == 0 {
-				fmt.Printf("published order -> broker says: %s", resp)
+				fmt.Printf("published order -> broker says: %d match(es)\n", n)
 			}
 		}
 	}
 	fmt.Printf("... and %d more packets to warm the machine\n", published-len(packets))
-	fmt.Fprintf(conn, "QUIT\n")
-	conn.Close()
+	producer.Close()
 
 	// Scrape the broker's Prometheus endpoint while it is still serving.
 	fmt.Printf("\nscraping http://%s/metrics:\n", broker.MetricsAddr())
@@ -328,14 +120,24 @@ func main() {
 		fmt.Println(" ", line)
 	}
 
-	broker.CloseSubscribers()
-	subs.Wait()
-	broker.Close()
+	// Graceful drain: every queued delivery is flushed, then subscriber
+	// connections are closed.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := broker.Shutdown(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	for _, s := range subs {
+		<-s.conn.Done()
+	}
 
 	fmt.Println("\npackets received per subscriber:")
 	for _, name := range []string{"alerts", "audit", "eu-desk"} {
-		n, _ := got.Load(name)
-		fmt.Printf("  %-8s %v\n", name, n)
+		for _, s := range subs {
+			if s.name == name {
+				fmt.Printf("  %-8s %d\n", name, s.count.Load())
+			}
+		}
 	}
 }
 
@@ -359,7 +161,11 @@ func scrapeMetrics(addr string) []string {
 			strings.HasPrefix(line, "xpush_bytes_total"),
 			strings.HasPrefix(line, "xpush_hit_ratio"),
 			strings.HasPrefix(line, "xpush_window_hit_ratio"),
-			strings.HasPrefix(line, "netrouter_"):
+			strings.HasPrefix(line, "xpushserve_publishes_total"),
+			strings.HasPrefix(line, "xpushserve_deliveries_total"),
+			strings.HasPrefix(line, "xpushserve_dropped_total"),
+			strings.HasPrefix(line, "xpushserve_subscriptions"),
+			strings.HasPrefix(line, "xpushserve_delivery_latency_seconds{"):
 			lines = append(lines, line)
 		}
 	}

@@ -20,10 +20,23 @@ func (r *Registry) MetricsHandler() http.Handler {
 // GET /metrics (Prometheus text) and GET /healthz (always "ok" — the
 // process is healthy if it can answer).
 func (r *Registry) NewMux() *http.ServeMux {
+	return r.NewMuxWithReadiness(nil)
+}
+
+// NewMuxWithReadiness is NewMux with a readiness probe: while ready returns
+// false, GET /healthz answers 503 "draining" so load balancers stop routing
+// to an instance that is shutting down, while /metrics stays scrapeable for
+// the final flush. A nil ready means always ready.
+func (r *Registry) NewMuxWithReadiness(ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	return mux

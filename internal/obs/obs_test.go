@@ -229,3 +229,34 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Errorf("healthz body: %q", buf[:n])
 	}
 }
+
+func TestHTTPReadiness(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_docs", "").Add(3)
+	ready := true
+	srv := httptest.NewServer(r.NewMuxWithReadiness(func() bool { return ready }))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("ready healthz: %d %q", code, body)
+	}
+	ready = false
+	if code, body := get("/healthz"); code != 503 || strings.TrimSpace(body) != "draining" {
+		t.Errorf("draining healthz: %d %q", code, body)
+	}
+	// /metrics stays scrapeable while draining (the final flush).
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_docs 3") {
+		t.Errorf("draining metrics: %d %q", code, body)
+	}
+}

@@ -244,7 +244,16 @@ func onlySpace(b []byte) bool {
 // each, keeping memory bounded by the largest document. handle may return
 // an error to stop the stream.
 func StreamDocuments(r io.Reader, handle func(doc []byte) error) error {
+	return StreamDocumentsLimit(r, 0, handle)
+}
+
+// StreamDocumentsLimit is StreamDocuments with an explicit per-document
+// size bound (0 selects the splitter's 64 MiB default): a document that
+// exceeds maxDocBytes fails the stream with a *ParseError instead of
+// buffering without bound.
+func StreamDocumentsLimit(r io.Reader, maxDocBytes int, handle func(doc []byte) error) error {
 	sp := NewSplitter(r)
+	sp.MaxDocBytes = maxDocBytes
 	for {
 		doc, err := sp.Next()
 		if err == io.EOF {

@@ -21,6 +21,9 @@ import (
 // starting).
 type Pool struct {
 	engines []*Engine
+	// free is the idle-worker list for FilterDocument; FilterStream drives
+	// the workers directly instead.
+	free chan *Engine
 }
 
 // NewPool builds a pool of n clones of the engine (n <= 0 selects
@@ -29,15 +32,29 @@ func NewPool(e *Engine, n int) (*Pool, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{}
+	p := &Pool{free: make(chan *Engine, n)}
 	for i := 0; i < n; i++ {
 		c, err := e.Clone()
 		if err != nil {
 			return nil, fmt.Errorf("clone %d: %w", i, err)
 		}
 		p.engines = append(p.engines, c)
+		p.free <- c
 	}
 	return p, nil
+}
+
+// FilterDocument filters one document on an idle worker engine, blocking
+// while all workers are busy. Unlike Engine.FilterDocument it is safe to
+// call from many goroutines at once — the request/response deployment shape
+// (e.g. a broker's publisher connections), complementing FilterStream's
+// single-reader shape. Do not run it concurrently with FilterStream, which
+// takes over every worker.
+func (p *Pool) FilterDocument(doc []byte) ([]int, error) {
+	e := <-p.free
+	matches, err := e.FilterDocument(doc)
+	p.free <- e
+	return matches, err
 }
 
 // Size returns the worker count.

@@ -152,6 +152,50 @@ func TestPoolAllDocumentsSeen(t *testing.T) {
 	}
 }
 
+// TestPoolFilterDocument: the request/response entry point agrees with the
+// sequential engine under concurrent callers.
+func TestPoolFilterDocument(t *testing.T) {
+	base, err := Compile([]string{"/m[v=1]", "/m[v=2]", "//m[w>3]"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([][]byte, 64)
+	want := make([]string, len(docs))
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf("<m><v>%d</v><w>%d</w></m>", i%4, i%6))
+		m, err := base.FilterDocument(docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fmt.Sprint(m)
+	}
+	pool, err := NewPool(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(docs))
+	for i := range docs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := pool.FilterDocument(docs[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := fmt.Sprint(m); got != want[i] {
+				errs <- fmt.Errorf("doc %d: pool %s vs sequential %s", i, got, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func BenchmarkPoolThroughput(b *testing.B) {
 	ds := datagen.ProteinLike()
 	filters := workload.Generate(ds, bench.WorkloadParams(59, 2000, 5))

@@ -1,0 +1,163 @@
+// Package server is the production serving subsystem for the XPush engine:
+// a TCP broker that holds the subscription table (10⁴–10⁵ XPath filters, the
+// paper's message-routing application from Sec. 1) and forwards every
+// published XML document to the subscribers whose filters match.
+//
+// The wire protocol is length-prefixed framing over one TCP connection per
+// peer, carrying a control plane (SUBSCRIBE / UNSUBSCRIBE / PING) and a
+// data plane (PUBLISH, asynchronous DELIVER notifications). Subscription
+// changes are applied behind a copy-on-write engine swap, so publishers
+// never observe a half-updated workload. Per-subscriber delivery runs
+// through bounded queues with a selectable backpressure policy; every drop
+// is counted. The server drains gracefully: on Shutdown it stops accepting,
+// rejects new publishes, flips /healthz to not-ready, and flushes every
+// delivery queue before closing connections.
+//
+// Use the repro/client package to talk to a Server; cmd/xpushserve wraps
+// one in a binary.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame layout: a 4-byte big-endian length n (covering the type byte and
+// the payload, so n >= 1), one type byte, and n-1 payload bytes.
+//
+//	+--------+--------+----------------+
+//	| u32 BE | type   | payload        |
+//	| length | 1 byte | length-1 bytes |
+//	+--------+--------+----------------+
+//
+// Frame types and payloads:
+//
+//	client -> server
+//	  Subscribe    XPath filter text
+//	  Unsubscribe  8-byte big-endian filter id
+//	  Ping         empty
+//	  Publish      one XML document
+//	server -> client
+//	  OK           8-byte big-endian value: the assigned filter id
+//	               (Subscribe), the echoed id (Unsubscribe), or the
+//	               matched-filter count (Publish)
+//	  Err          UTF-8 error message
+//	  Pong         empty
+//	  Deliver      u32 BE matched-filter count n, n 8-byte BE filter ids,
+//	               then the document bytes
+const (
+	FrameSubscribe   byte = 0x01
+	FrameUnsubscribe byte = 0x02
+	FramePing        byte = 0x03
+	FramePublish     byte = 0x04
+
+	FrameOK      byte = 0x81
+	FrameErr     byte = 0x82
+	FramePong    byte = 0x83
+	FrameDeliver byte = 0x84
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// ErrFrameTooLarge reports a frame whose declared payload exceeds the
+// reader's limit. The frame has not been consumed from the stream.
+type ErrFrameTooLarge struct {
+	Size, Limit int
+}
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("server: frame payload %d bytes exceeds limit %d", e.Size, e.Limit)
+}
+
+// ReadFrame reads one frame from r. A frame whose payload would exceed
+// maxPayload returns *ErrFrameTooLarge without consuming the payload, so
+// the caller can decide between discarding and closing.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("server: zero-length frame")
+	}
+	if int64(n-1) > int64(maxPayload) {
+		return Frame{}, &ErrFrameTooLarge{Size: int(n - 1), Limit: maxPayload}
+	}
+	var t [1]byte
+	if _, err := io.ReadFull(r, t[:]); err != nil {
+		return Frame{}, err
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: t[0], Payload: payload}, nil
+}
+
+// WriteFrame writes one frame. Callers interleaving writers on a shared
+// connection must serialize WriteFrame calls themselves.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendUint64 encodes an 8-byte big-endian value (the OK / Unsubscribe
+// payload).
+func AppendUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// ParseUint64 decodes an 8-byte big-endian payload.
+func ParseUint64(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("server: expected 8-byte payload, got %d", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendDeliverPayload encodes a Deliver payload: the subscriber's matched
+// filter ids followed by the document.
+func AppendDeliverPayload(dst []byte, filters []uint64, doc []byte) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(filters)))
+	dst = append(dst, b[:]...)
+	for _, f := range filters {
+		dst = AppendUint64(dst, f)
+	}
+	return append(dst, doc...)
+}
+
+// ParseDeliverPayload decodes a Deliver payload. The returned slices alias
+// p.
+func ParseDeliverPayload(p []byte) (filters []uint64, doc []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("server: short deliver payload")
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	if int64(len(p)) < int64(n)*8 {
+		return nil, nil, fmt.Errorf("server: deliver payload truncated (%d ids declared)", n)
+	}
+	filters = make([]uint64, n)
+	for i := range filters {
+		filters[i] = binary.BigEndian.Uint64(p[i*8:])
+	}
+	return filters, p[n*8:], nil
+}

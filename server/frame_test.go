@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{FrameSubscribe, []byte(`//a[b = 1]`)},
+		{FramePing, nil},
+		{FramePublish, []byte(`<a><b>1</b></a>`)},
+		{FrameOK, AppendUint64(nil, 42)},
+		{FrameErr, []byte("boom")},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.typ, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.typ || !bytes.Equal(got.Payload, want.payload) {
+			t.Fatalf("frame %d: got (0x%02x, %q), want (0x%02x, %q)",
+				i, got.Type, got.Payload, want.typ, want.payload)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePublish, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(&buf, 256)
+	var tooLarge *ErrFrameTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if tooLarge.Size != 1024 || tooLarge.Limit != 256 {
+		t.Errorf("ErrFrameTooLarge = %+v, want Size=1024 Limit=256", tooLarge)
+	}
+}
+
+func TestFrameEmptyAndTruncated(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), 1<<20); err == nil {
+		t.Error("reading an empty stream succeeded")
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePublish, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc), 1<<20); err == nil {
+		t.Error("reading a truncated frame succeeded")
+	}
+}
+
+func TestUint64Codec(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 1 << 40, ^uint64(0)} {
+		b := AppendUint64(nil, v)
+		got, err := ParseUint64(b)
+		if err != nil || got != v {
+			t.Errorf("ParseUint64(AppendUint64(%d)) = %d, %v", v, got, err)
+		}
+	}
+	if _, err := ParseUint64([]byte{1, 2, 3}); err == nil {
+		t.Error("short uint64 payload parsed")
+	}
+}
+
+func TestDeliverPayloadCodec(t *testing.T) {
+	doc := []byte(`<m><v>7</v></m>`)
+	filters := []uint64{3, 17, 1 << 33}
+	p := AppendDeliverPayload(nil, filters, doc)
+	gotFilters, gotDoc, err := ParseDeliverPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFilters) != len(filters) {
+		t.Fatalf("got %d filters, want %d", len(gotFilters), len(filters))
+	}
+	for i := range filters {
+		if gotFilters[i] != filters[i] {
+			t.Errorf("filter %d: got %d, want %d", i, gotFilters[i], filters[i])
+		}
+	}
+	if !bytes.Equal(gotDoc, doc) {
+		t.Errorf("doc: got %q, want %q", gotDoc, doc)
+	}
+
+	// Corrupt payloads fail cleanly.
+	if _, _, err := ParseDeliverPayload(nil); err == nil {
+		t.Error("nil deliver payload parsed")
+	}
+	if _, _, err := ParseDeliverPayload(p[:5]); err == nil {
+		t.Error("truncated deliver payload parsed")
+	}
+}

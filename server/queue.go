@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Policy selects what happens when a subscriber's bounded delivery queue is
+// full — the classic slow-consumer problem of a broker fanning one fast
+// stream out to many subscribers of varying speed.
+type Policy string
+
+const (
+	// DropOldest evicts the oldest queued delivery to admit the new one:
+	// the subscriber lags but always converges to recent traffic.
+	DropOldest Policy = "drop-oldest"
+	// DropNewest discards the incoming delivery: the subscriber keeps a
+	// contiguous prefix and loses the tail.
+	DropNewest Policy = "drop-newest"
+	// Block makes the publisher wait (up to the configured deadline) for
+	// queue space: lossless as long as consumers keep up on average, at
+	// the cost of publisher latency. On deadline expiry the delivery is
+	// dropped and counted.
+	Block Policy = "block"
+	// Disconnect drops the delivery and closes the slow subscriber's
+	// connection: strict-SLA deployments where a lagging consumer must
+	// re-sync out of band anyway.
+	Disconnect Policy = "disconnect"
+)
+
+// ParsePolicy validates a policy name from configuration.
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(s); p {
+	case DropOldest, DropNewest, Block, Disconnect:
+		return p, nil
+	}
+	return "", fmt.Errorf("server: unknown backpressure policy %q (want %s, %s, %s, or %s)",
+		s, DropOldest, DropNewest, Block, Disconnect)
+}
+
+// delivery is one queued notification for a subscriber.
+type delivery struct {
+	doc     []byte   // shared, read-only
+	filters []uint64 // the subscriber's filter ids that matched
+	enq     time.Time
+}
+
+// queue is a bounded per-subscriber delivery queue. Producers (publish
+// fan-out) push under the configured policy; a single consumer (the
+// subscriber connection's delivery goroutine) pops and writes frames.
+type queue struct {
+	ch       chan delivery
+	policy   Policy
+	deadline time.Duration // Block policy: max wait for space
+	dropped  *obs.Counter  // policy-specific drop counter (shared, server-wide)
+
+	closeOnce sync.Once
+	done      chan struct{} // closed to stop the consumer (after draining)
+}
+
+func newQueue(depth int, policy Policy, deadline time.Duration, dropped *obs.Counter) *queue {
+	if depth <= 0 {
+		depth = 128
+	}
+	return &queue{
+		ch:       make(chan delivery, depth),
+		policy:   policy,
+		deadline: deadline,
+		dropped:  dropped,
+		done:     make(chan struct{}),
+	}
+}
+
+// depth reports the current queue length (the queue-depth gauge).
+func (q *queue) depth() int { return len(q.ch) }
+
+// push enqueues one delivery under the queue's policy. It reports whether
+// the subscriber should be disconnected (Disconnect policy on overflow).
+func (q *queue) push(d delivery) (disconnect bool) {
+	select {
+	case q.ch <- d:
+		return false
+	case <-q.done:
+		return false
+	default:
+	}
+	switch q.policy {
+	case DropOldest:
+		for {
+			select {
+			case q.ch <- d:
+				return false
+			case <-q.done:
+				return false
+			default:
+			}
+			select {
+			case <-q.ch: // evict the oldest, then retry
+				q.dropped.Inc()
+			default:
+			}
+		}
+	case Block:
+		t := time.NewTimer(q.deadline)
+		defer t.Stop()
+		select {
+		case q.ch <- d:
+			return false
+		case <-q.done:
+			return false
+		case <-t.C:
+			q.dropped.Inc()
+			return false
+		}
+	case Disconnect:
+		q.dropped.Inc()
+		return true
+	default: // DropNewest
+		q.dropped.Inc()
+		return false
+	}
+}
+
+// close stops the consumer. The consumer drains whatever is queued first
+// (see drainLoop), which is what graceful shutdown relies on.
+func (q *queue) close() {
+	q.closeOnce.Do(func() { close(q.done) })
+}
+
+// consume runs the consumer loop: deliver is called for each queued item
+// until close(), then the remaining items are flushed. deliver returns
+// false to abort (e.g. the connection broke).
+func (q *queue) consume(deliver func(delivery) bool) {
+	for {
+		select {
+		case d := <-q.ch:
+			if !deliver(d) {
+				return
+			}
+		case <-q.done:
+			for {
+				select {
+				case d := <-q.ch:
+					if !deliver(d) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}

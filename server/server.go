@@ -1,0 +1,891 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	xpushstream "repro"
+	"repro/internal/obs"
+)
+
+// Backend selects the filtering deployment behind the broker.
+type Backend string
+
+const (
+	// BackendEngine is a single shared engine: publishes are serialized,
+	// subscription changes are cheap copy-on-write layer derivations that
+	// keep the warm machine state (the default, and the only backend that
+	// supports snapshot checkpoints).
+	BackendEngine Backend = "engine"
+	// BackendPool runs publishes concurrently on a pool of engine clones
+	// (documents are embarrassingly parallel). Subscription changes
+	// rebuild the pool, so it fits mostly-static workloads under heavy
+	// publish traffic.
+	BackendPool Backend = "pool"
+	// BackendSharded partitions the workload across shards that filter
+	// each document in parallel — for huge cold workloads (see the
+	// ShardedEngine caveats). Subscription changes recompile the shards.
+	BackendSharded Backend = "sharded"
+)
+
+// ParseBackend validates a backend name from configuration.
+func ParseBackend(s string) (Backend, error) {
+	switch b := Backend(s); b {
+	case BackendEngine, BackendPool, BackendSharded:
+		return b, nil
+	case "":
+		return BackendEngine, nil
+	}
+	return "", fmt.Errorf("server: unknown backend %q (want %s, %s, or %s)",
+		s, BackendEngine, BackendPool, BackendSharded)
+}
+
+// Config configures a Server. The zero value listens on a random loopback
+// port with the engine backend, drop-newest backpressure, and no metrics
+// endpoint.
+type Config struct {
+	// Addr is the data-plane listen address ("" = 127.0.0.1:0).
+	Addr string
+	// MetricsAddr serves GET /metrics and /healthz ("" = disabled).
+	MetricsAddr string
+
+	// Backend selects the filtering deployment ("" = BackendEngine).
+	Backend Backend
+	// Workers sets the pool size / shard count (<= 0 = GOMAXPROCS).
+	Workers int
+	// Engine is the compile configuration for the filter workload.
+	Engine xpushstream.Config
+	// InitialQueries is the boot workload (e.g. for warm-start
+	// benchmarks); its filters are unbound until a subscriber claims new
+	// ones, but they warm the machine.
+	InitialQueries []string
+
+	// Policy selects the slow-subscriber backpressure policy
+	// ("" = DropNewest).
+	Policy Policy
+	// QueueDepth bounds each subscriber's delivery queue (<= 0 = 128).
+	QueueDepth int
+	// BlockDeadline is the Block policy's maximum wait for queue space
+	// (<= 0 = 1s).
+	BlockDeadline time.Duration
+
+	// MaxConns bounds concurrent connections (0 = unlimited).
+	MaxConns int
+	// MaxDocBytes bounds a published document, mirroring
+	// sax.Splitter.MaxDocBytes on the streaming publish path
+	// (0 = 64 MiB). It is enforced as the frame payload limit.
+	MaxDocBytes int
+	// ReadTimeout is the per-frame read deadline for connections with no
+	// active subscriptions (0 = none). Subscriber connections are exempt:
+	// they legitimately go quiet forever.
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (0 = none).
+	WriteTimeout time.Duration
+
+	// SnapshotPath enables warm-start: on boot, if the file exists, the
+	// workload and machine state are restored from it (engine backend
+	// only); Checkpoint and Shutdown write it.
+	SnapshotPath string
+	// SnapshotInterval enables periodic checkpoints (0 = only on
+	// Shutdown).
+	SnapshotInterval time.Duration
+
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) maxDocBytes() int {
+	if c.MaxDocBytes > 0 {
+		return c.MaxDocBytes
+	}
+	return 64 << 20
+}
+
+func (c *Config) blockDeadline() time.Duration {
+	if c.BlockDeadline > 0 {
+		return c.BlockDeadline
+	}
+	return time.Second
+}
+
+// errDraining rejects work arriving during graceful shutdown.
+var errDraining = errors.New("server: draining")
+
+// core is one immutable generation of the broker's workload: the compiled
+// backend plus the filter-id -> subscriber binding. Subscription changes
+// build the next core off to the side and atomically swap the pointer
+// (copy-on-write), so the publish path never observes a half-updated
+// workload — it either filters on the old generation or the new one.
+type core struct {
+	queries []string
+	removed []bool
+	subs    []*conn // filter id -> owning subscriber (nil = unbound)
+
+	engine  *xpushstream.Engine        // BackendEngine
+	pool    *xpushstream.Pool          // BackendPool
+	sharded *xpushstream.ShardedEngine // BackendSharded
+}
+
+// filterDocument runs one document through the core's backend. For the
+// engine and sharded backends the caller must hold the server's publish
+// lock (they process one stream at a time); the pool backend is internally
+// concurrent.
+func (c *core) filterDocument(doc []byte) ([]int, error) {
+	switch {
+	case c.pool != nil:
+		return c.pool.FilterDocument(doc)
+	case c.sharded != nil:
+		return c.sharded.FilterDocument(doc)
+	default:
+		return c.engine.FilterDocument(doc)
+	}
+}
+
+// concurrent reports whether filterDocument may be called without the
+// publish lock.
+func (c *core) concurrent() bool { return c.pool != nil }
+
+func (c *core) stats() xpushstream.Stats {
+	switch {
+	case c.pool != nil:
+		return c.pool.Stats()
+	case c.sharded != nil:
+		return c.sharded.Stats()
+	default:
+		return c.engine.Stats()
+	}
+}
+
+// subscriptions counts bound filters.
+func (c *core) subscriptions() int {
+	n := 0
+	for _, s := range c.subs {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Server is the broker: it owns the listener, the subscription table, the
+// copy-on-write filter core, and the per-subscriber delivery queues.
+type Server struct {
+	cfg Config
+
+	ln      net.Listener
+	mln     net.Listener
+	httpSrv *http.Server
+	reg     *obs.Registry
+
+	// ctl serializes control-plane changes (subscribe/unsubscribe/
+	// checkpoint); pubMu serializes filtering for the single-stream
+	// backends. They are independent: a subscription change builds the
+	// next core without stalling publishes on the current one.
+	ctl   sync.Mutex
+	pubMu sync.Mutex
+	cur   atomic.Pointer[core]
+
+	draining atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	wg       sync.WaitGroup
+	ckStop   chan struct{}
+	ckWG     sync.WaitGroup
+	closeOne sync.Once
+
+	// Metrics.
+	mPublishes   *obs.Counter
+	mPublishErrs *obs.Counter
+	mDeliveries  *obs.Counter
+	mConnReject  *obs.Counter
+	mDropped     map[Policy]*obs.Counter
+	deliverLat   obs.Histogram
+}
+
+// New compiles (or warm-starts) the workload, starts the listeners, and
+// returns a serving broker.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = BackendEngine
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = DropNewest
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if _, err := ParseBackend(string(cfg.Backend)); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		conns:  map[*conn]struct{}{},
+		reg:    obs.NewRegistry(),
+		ckStop: make(chan struct{}),
+	}
+	c, err := s.bootCore()
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(c)
+	s.registerMetrics()
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	s.ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MetricsAddr != "" {
+		s.mln, err = net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			s.ln.Close()
+			return nil, err
+		}
+		s.httpSrv = &http.Server{Handler: s.reg.NewMuxWithReadiness(func() bool {
+			return !s.draining.Load()
+		})}
+		go s.httpSrv.Serve(s.mln)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
+		s.ckWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// bootCore builds the boot workload: from the snapshot file when warm-start
+// is configured and the file exists, otherwise from InitialQueries.
+func (s *Server) bootCore() (*core, error) {
+	if s.cfg.SnapshotPath != "" && s.cfg.Backend == BackendEngine {
+		if f, err := os.Open(s.cfg.SnapshotPath); err == nil {
+			defer f.Close()
+			e, err := xpushstream.OpenWorkloadSnapshot(bufio.NewReader(f), s.cfg.Engine)
+			if err != nil {
+				return nil, fmt.Errorf("server: warm-start from %s: %w", s.cfg.SnapshotPath, err)
+			}
+			q := e.Queries()
+			s.logf("warm-start: restored %d filters, %d machine states from %s",
+				len(q), e.Stats().States, s.cfg.SnapshotPath)
+			return &core{queries: q, removed: e.Removed(), subs: make([]*conn, len(q)), engine: e}, nil
+		}
+	}
+	return s.buildCore(append([]string(nil), s.cfg.InitialQueries...),
+		make([]bool, len(s.cfg.InitialQueries)), make([]*conn, len(s.cfg.InitialQueries)), nil)
+}
+
+// buildCore compiles a full workload for the configured backend. For the
+// engine backend, derived is used when non-nil (the copy-on-write fast
+// path); the pool and sharded backends always recompile.
+func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, derived *xpushstream.Engine) (*core, error) {
+	c := &core{queries: queries, removed: removed, subs: subs}
+	switch s.cfg.Backend {
+	case BackendPool:
+		e, err := s.compileWithRemoved(queries, removed)
+		if err != nil {
+			return nil, err
+		}
+		c.pool, err = xpushstream.NewPool(e, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	case BackendSharded:
+		var err error
+		c.sharded, err = xpushstream.CompileSharded(queries, s.cfg.Engine, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		if derived != nil {
+			c.engine = derived
+			break
+		}
+		e, err := s.compileWithRemoved(queries, removed)
+		if err != nil {
+			return nil, err
+		}
+		c.engine = e
+	}
+	return c, nil
+}
+
+func (s *Server) compileWithRemoved(queries []string, removed []bool) (*xpushstream.Engine, error) {
+	e, err := xpushstream.Compile(queries, s.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range removed {
+		if r {
+			if err := e.RemoveQuery(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// Addr returns the data-plane listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr returns the /metrics listen address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.mln == nil {
+		return ""
+	}
+	return s.mln.Addr().String()
+}
+
+// Stats returns the current workload generation's engine statistics.
+func (s *Server) Stats() xpushstream.Stats { return s.cur.Load().stats() }
+
+// Registry exposes the server's metric registry so embedders (like
+// examples/netrouter) can add their own series next to the built-ins.
+func (s *Server) Registry() *xpushstream.Registry { return s.reg }
+
+// NumSubscriptions reports the number of bound filters.
+func (s *Server) NumSubscriptions() int { return s.cur.Load().subscriptions() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) registerMetrics() {
+	xpushstream.RegisterMetrics(s.reg, "xpush", xpushstream.StatsFunc(func() xpushstream.Stats {
+		return s.cur.Load().stats()
+	}))
+	s.mPublishes = s.reg.Counter("xpushserve_publishes_total", "documents published to the broker")
+	s.mPublishErrs = s.reg.Counter("xpushserve_publish_errors_total", "rejected or failed publishes")
+	s.mDeliveries = s.reg.Counter("xpushserve_deliveries_total", "DELIVER frames written to subscribers")
+	s.mConnReject = s.reg.Counter("xpushserve_connections_rejected_total", "connections refused by the max-connections limit")
+	s.mDropped = map[Policy]*obs.Counter{}
+	for _, p := range []Policy{DropOldest, DropNewest, Block, Disconnect} {
+		name := "xpushserve_dropped_" + strings.ReplaceAll(string(p), "-", "_") + "_total"
+		s.mDropped[p] = s.reg.Counter(name, "deliveries dropped under the "+string(p)+" backpressure policy")
+	}
+	s.reg.CounterFunc("xpushserve_dropped_total", "deliveries dropped across all backpressure policies", func() int64 {
+		var n int64
+		for _, c := range s.mDropped {
+			n += c.Value()
+		}
+		return n
+	})
+	s.reg.GaugeFunc("xpushserve_connections", "open broker connections", func() float64 {
+		s.connMu.Lock()
+		defer s.connMu.Unlock()
+		return float64(len(s.conns))
+	})
+	s.reg.GaugeFunc("xpushserve_subscriptions", "bound subscriber filters", func() float64 {
+		return float64(s.cur.Load().subscriptions())
+	})
+	s.reg.GaugeFunc("xpushserve_queue_depth", "queued deliveries summed over subscribers", func() float64 {
+		s.connMu.Lock()
+		defer s.connMu.Unlock()
+		n := 0
+		for cn := range s.conns {
+			n += cn.queueDepth()
+		}
+		return float64(n)
+	})
+	s.reg.SummaryFunc("xpushserve_delivery_latency_seconds",
+		"publish-to-DELIVER-write latency quantiles", []float64{0.5, 0.9, 0.99},
+		s.deliverLat.Snapshot)
+	s.reg.HistogramFunc("xpushserve_delivery_latency_histogram_seconds",
+		"publish-to-DELIVER-write latency (log buckets)", s.deliverLat.Snapshot)
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: copy-on-write workload swaps.
+
+// subscribe registers one filter for cn and returns its id. The id is the
+// filter's index in the engine workload; ids are never reused.
+func (s *Server) subscribe(cn *conn, query string) (uint64, error) {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	if s.draining.Load() {
+		return 0, errDraining
+	}
+	cur := s.cur.Load()
+	id := uint64(len(cur.queries))
+	queries := append(append(make([]string, 0, len(cur.queries)+1), cur.queries...), query)
+	removed := append(append(make([]bool, 0, len(queries)), cur.removed...), false)
+	subs := append(append(make([]*conn, 0, len(queries)), cur.subs...), cn)
+	var derived *xpushstream.Engine
+	if s.cfg.Backend == BackendEngine {
+		var err error
+		derived, err = cur.engine.WithQueries([]string{query})
+		if err != nil {
+			return 0, err
+		}
+	}
+	next, err := s.buildCore(queries, removed, subs, derived)
+	if err != nil {
+		return 0, err
+	}
+	s.cur.Store(next)
+	return id, nil
+}
+
+// unsubscribe removes one filter; only the owning connection may remove it.
+func (s *Server) unsubscribe(cn *conn, id uint64) error {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	cur := s.cur.Load()
+	if id >= uint64(len(cur.subs)) || cur.subs[id] != cn {
+		return fmt.Errorf("server: filter %d is not subscribed on this connection", id)
+	}
+	next, err := s.coreWithout(cur, []uint64{id})
+	if err != nil {
+		return err
+	}
+	s.cur.Store(next)
+	return nil
+}
+
+// unsubscribeConn removes every filter bound to a departing connection.
+func (s *Server) unsubscribeConn(cn *conn) {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	cur := s.cur.Load()
+	var ids []uint64
+	for i, owner := range cur.subs {
+		if owner == cn {
+			ids = append(ids, uint64(i))
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	next, err := s.coreWithout(cur, ids)
+	if err != nil {
+		s.logf("unsubscribe on disconnect: %v", err)
+		return
+	}
+	s.cur.Store(next)
+}
+
+// coreWithout builds the next core with the given filter ids removed.
+func (s *Server) coreWithout(cur *core, ids []uint64) (*core, error) {
+	queries := append([]string(nil), cur.queries...)
+	removed := append([]bool(nil), cur.removed...)
+	subs := append([]*conn(nil), cur.subs...)
+	for _, id := range ids {
+		removed[id] = true
+		subs[id] = nil
+	}
+	var derived *xpushstream.Engine
+	if s.cfg.Backend == BackendEngine {
+		derived = cur.engine
+		for _, id := range ids {
+			var err error
+			derived, err = derived.WithoutQuery(int(id))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.buildCore(queries, removed, subs, derived)
+}
+
+// ---------------------------------------------------------------------------
+// Data plane.
+
+// publish filters one document on the current workload generation and fans
+// the matches out to subscriber queues. It returns the matched-filter
+// count.
+func (s *Server) publish(doc []byte) (int, error) {
+	if s.draining.Load() {
+		s.mPublishErrs.Inc()
+		return 0, errDraining
+	}
+	var (
+		c       *core
+		matches []int
+		err     error
+	)
+	if cc := s.cur.Load(); cc.concurrent() {
+		c = cc
+		matches, err = c.filterDocument(doc)
+	} else {
+		s.pubMu.Lock()
+		c = s.cur.Load() // reload under the lock: always the freshest generation
+		matches, err = c.filterDocument(doc)
+		s.pubMu.Unlock()
+	}
+	if err != nil {
+		s.mPublishErrs.Inc()
+		return 0, err
+	}
+	s.mPublishes.Inc()
+	if len(matches) == 0 {
+		return 0, nil
+	}
+	// Group the matched filter ids by owning subscriber; each subscriber
+	// gets one delivery per document regardless of how many of its filters
+	// matched.
+	now := time.Now()
+	var single *conn // fast path: all matches belong to one subscriber
+	var singleIDs []uint64
+	var perConn map[*conn][]uint64
+	for _, m := range matches {
+		owner := c.subs[m]
+		if owner == nil {
+			continue
+		}
+		switch {
+		case single == nil && perConn == nil:
+			single = owner
+			singleIDs = append(singleIDs, uint64(m))
+		case perConn == nil && owner == single:
+			singleIDs = append(singleIDs, uint64(m))
+		default:
+			if perConn == nil {
+				perConn = map[*conn][]uint64{single: singleIDs}
+				single = nil
+			}
+			perConn[owner] = append(perConn[owner], uint64(m))
+		}
+	}
+	if single != nil {
+		s.enqueue(single, delivery{doc: doc, filters: singleIDs, enq: now})
+	}
+	for owner, ids := range perConn {
+		s.enqueue(owner, delivery{doc: doc, filters: ids, enq: now})
+	}
+	return len(matches), nil
+}
+
+func (s *Server) enqueue(cn *conn, d delivery) {
+	q := cn.queue()
+	if q == nil {
+		return // subscriber is already tearing down
+	}
+	if q.push(d) {
+		s.logf("disconnecting slow subscriber %s (policy=%s)", cn.nc.RemoteAddr(), s.cfg.Policy)
+		cn.close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Connections.
+
+type conn struct {
+	s  *Server
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu        sync.Mutex
+	q         *queue
+	nsubs     int
+	deliverWG sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.connMu.Unlock()
+			s.mConnReject.Inc()
+			WriteFrame(nc, FrameErr, []byte("server: connection limit reached"))
+			nc.Close()
+			continue
+		}
+		cn := &conn{s: s, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), bw: bufio.NewWriterSize(nc, 64<<10)}
+		s.conns[cn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			cn.serve()
+			s.connMu.Lock()
+			delete(s.conns, cn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// serve runs one connection's frame loop until error or close.
+func (s *Server) maxPayload() int { return s.cfg.maxDocBytes() }
+
+func (cn *conn) serve() {
+	defer cn.teardown()
+	s := cn.s
+	for {
+		if s.cfg.ReadTimeout > 0 && !cn.hasSubs() {
+			cn.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		} else {
+			cn.nc.SetReadDeadline(time.Time{})
+		}
+		f, err := ReadFrame(cn.br, s.maxPayload())
+		if err != nil {
+			var big *ErrFrameTooLarge
+			if errors.As(err, &big) {
+				// The oversized payload was not consumed; the stream is
+				// desynchronized. Report and close.
+				cn.writeFrame(FrameErr, []byte(big.Error()))
+			}
+			return
+		}
+		switch f.Type {
+		case FramePing:
+			if cn.writeFrame(FramePong, nil) != nil {
+				return
+			}
+		case FrameSubscribe:
+			// Bind the queue before the new workload generation is
+			// published, so a publish racing with this subscribe never
+			// fans out to a queueless subscriber.
+			cn.ensureQueue()
+			id, err := s.subscribe(cn, string(f.Payload))
+			if cn.reply(id, err) != nil {
+				return
+			}
+			if err == nil {
+				cn.mu.Lock()
+				cn.nsubs++
+				cn.mu.Unlock()
+			}
+		case FrameUnsubscribe:
+			id, err := ParseUint64(f.Payload)
+			if err == nil {
+				err = s.unsubscribe(cn, id)
+			}
+			if cn.reply(id, err) != nil {
+				return
+			}
+			if err == nil {
+				cn.mu.Lock()
+				cn.nsubs--
+				cn.mu.Unlock()
+			}
+		case FramePublish:
+			n, err := s.publish(f.Payload)
+			if cn.reply(uint64(n), err) != nil {
+				return
+			}
+		default:
+			if cn.writeFrame(FrameErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", f.Type))) != nil {
+				return
+			}
+		}
+	}
+}
+
+// reply writes OK(v) or Err(err).
+func (cn *conn) reply(v uint64, err error) error {
+	if err != nil {
+		return cn.writeFrame(FrameErr, []byte(err.Error()))
+	}
+	return cn.writeFrame(FrameOK, AppendUint64(nil, v))
+}
+
+func (cn *conn) writeFrame(typ byte, payload []byte) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if t := cn.s.cfg.WriteTimeout; t > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	if err := WriteFrame(cn.bw, typ, payload); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+func (cn *conn) hasSubs() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.nsubs > 0
+}
+
+// queue returns the delivery queue, nil if never subscribed.
+func (cn *conn) queue() *queue {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.q
+}
+
+func (cn *conn) queueDepth() int {
+	if q := cn.queue(); q != nil {
+		return q.depth()
+	}
+	return 0
+}
+
+// ensureQueue lazily creates the delivery queue and its consumer goroutine.
+func (cn *conn) ensureQueue() *queue {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.q == nil {
+		s := cn.s
+		cn.q = newQueue(s.cfg.QueueDepth, s.cfg.Policy, s.cfg.blockDeadline(), s.mDropped[s.cfg.Policy])
+		cn.deliverWG.Add(1)
+		go func() {
+			defer cn.deliverWG.Done()
+			cn.q.consume(cn.deliver)
+		}()
+	}
+	return cn.q
+}
+
+// deliver writes one DELIVER frame; returning false aborts the consumer.
+func (cn *conn) deliver(d delivery) bool {
+	payload := AppendDeliverPayload(make([]byte, 0, 4+8*len(d.filters)+len(d.doc)), d.filters, d.doc)
+	if cn.writeFrame(FrameDeliver, payload) != nil {
+		return false
+	}
+	cn.s.mDeliveries.Inc()
+	cn.s.deliverLat.Observe(time.Since(d.enq).Seconds())
+	return true
+}
+
+// beginDrain stops the queue consumer after a final flush (graceful
+// shutdown); the connection itself stays open until Shutdown closes it.
+func (cn *conn) beginDrain() {
+	if q := cn.queue(); q != nil {
+		q.close()
+	}
+}
+
+// close tears the connection down immediately (Disconnect policy, server
+// close).
+func (cn *conn) close() {
+	cn.closeOnce.Do(func() { cn.nc.Close() })
+}
+
+// teardown runs when the frame loop exits: unbind filters, flush and stop
+// the delivery consumer, close the socket.
+func (cn *conn) teardown() {
+	cn.s.unsubscribeConn(cn)
+	if q := cn.queue(); q != nil {
+		q.close()
+		cn.deliverWG.Wait()
+	}
+	cn.close()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints and shutdown.
+
+// Checkpoint writes a workload snapshot (engine backend only) so the next
+// boot starts with a warm machine. The write happens under the publish
+// lock against an in-memory buffer; disk I/O is outside the lock.
+func (s *Server) Checkpoint() error {
+	if s.cfg.SnapshotPath == "" {
+		return fmt.Errorf("server: no SnapshotPath configured")
+	}
+	c := s.cur.Load()
+	if c.engine == nil {
+		return fmt.Errorf("server: checkpoints require the engine backend")
+	}
+	var buf bytes.Buffer
+	s.pubMu.Lock()
+	err := c.engine.WriteWorkloadSnapshot(&buf)
+	s.pubMu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.cfg.SnapshotPath)
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.ckWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil {
+				s.logf("checkpoint: %v", err)
+			}
+		case <-s.ckStop:
+			return
+		}
+	}
+}
+
+// Shutdown drains the broker gracefully: stop accepting connections and
+// publishes, flip /healthz to not-ready, flush every subscriber's queued
+// deliveries, then close connections. ctx bounds the flush; a final
+// checkpoint is written when SnapshotPath is configured. Shutdown returns
+// ctx.Err() if the drain deadline expired with deliveries still queued.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ln.Close()
+	s.closeOne.Do(func() { close(s.ckStop) })
+	s.ckWG.Wait()
+
+	s.connMu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for cn := range s.conns {
+		conns = append(conns, cn)
+	}
+	s.connMu.Unlock()
+	for _, cn := range conns {
+		cn.beginDrain()
+	}
+	flushed := make(chan struct{})
+	go func() {
+		defer close(flushed)
+		for _, cn := range conns {
+			cn.deliverWG.Wait()
+		}
+	}()
+	var drainErr error
+	select {
+	case <-flushed:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+	for _, cn := range conns {
+		cn.close()
+	}
+	s.wg.Wait()
+	if s.cfg.SnapshotPath != "" && s.cfg.Backend == BackendEngine {
+		if err := s.Checkpoint(); err != nil {
+			s.logf("final checkpoint: %v", err)
+		}
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	return drainErr
+}
+
+// Close shuts the broker down immediately, discarding queued deliveries.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}

@@ -32,6 +32,7 @@
 package xpushstream
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -368,7 +369,15 @@ func (e *Engine) FilterStream(r io.Reader, onDocument func(matches []int)) error
 // the reader incrementally instead of buffering the whole stream. This is
 // the deployment mode for long-running brokers.
 func (e *Engine) FilterStreaming(r io.Reader, onDocument func(matches []int)) error {
-	return sax.StreamDocuments(r, func(doc []byte) error {
+	return e.FilterStreamingLimit(r, 0, onDocument)
+}
+
+// FilterStreamingLimit is FilterStreaming with an explicit per-document
+// size bound, wired to the stream splitter (sax.Splitter.MaxDocBytes): a
+// document larger than maxDocBytes fails the stream with a clean parse
+// error instead of buffering without bound. 0 selects the 64 MiB default.
+func (e *Engine) FilterStreamingLimit(r io.Reader, maxDocBytes int, onDocument func(matches []int)) error {
+	return sax.StreamDocumentsLimit(r, maxDocBytes, func(doc []byte) error {
 		return e.FilterBytes(doc, onDocument)
 	})
 }
@@ -527,8 +536,20 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
+	// Each machine snapshot is length-prefixed: the machine reader buffers
+	// internally and would otherwise consume bytes belonging to the next
+	// layer.
+	var buf bytes.Buffer
 	for _, m := range e.layers {
-		if err := m.WriteSnapshot(w); err != nil {
+		buf.Reset()
+		if err := m.WriteSnapshot(&buf); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -546,7 +567,18 @@ func (e *Engine) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("xpushstream: snapshot has %d layers, engine has %d (Consolidate before snapshotting, or rebuild the same layer structure)", n, len(e.layers))
 	}
 	for _, m := range e.layers {
-		if err := m.ReadSnapshot(r); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return err
+		}
+		n := binary.LittleEndian.Uint64(hdr[:])
+		if n > 1<<33 {
+			return fmt.Errorf("xpushstream: corrupt snapshot (layer of %d bytes)", n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return err
+		}
+		if err := m.ReadSnapshot(bytes.NewReader(data)); err != nil {
 			return err
 		}
 	}
