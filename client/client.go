@@ -24,6 +24,12 @@ type Delivery struct {
 	Filters []uint64
 	// Doc is the document's bytes. The slice is owned by the receiver.
 	Doc []byte
+	// Durable reports whether this delivery came over a durable
+	// subscription's replay stream; Offset is then the document's log
+	// offset — pass it to Ack once the document is safely processed.
+	// Non-durable deliveries carry no offset.
+	Durable bool
+	Offset  uint64
 }
 
 // Options configures a Client. The zero value is usable.
@@ -112,6 +118,15 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		if f.Type == server.FrameDeliverAt {
+			if c.opt.OnDeliver != nil {
+				off, filters, doc, err := server.ParseDeliverAtPayload(f.Payload)
+				if err == nil {
+					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc, Durable: true, Offset: off})
+				}
+			}
+			continue
+		}
 		select {
 		case c.resp <- f:
 		default: // unsolicited response; drop rather than stall deliveries
@@ -161,6 +176,38 @@ func (c *Client) Subscribe(xpath string) (uint64, error) {
 		return 0, err
 	}
 	return server.ParseUint64(f.Payload)
+}
+
+// SubscribeDurable registers an XPath filter under a persistent subscriber
+// name (a WAL-backed broker is required). Matching documents arrive via
+// Options.OnDeliver with Durable set; the broker replays every document
+// published since the name's persisted cursor, so after acknowledging with
+// Ack a reconnecting subscriber resumes exactly where it left off
+// (at-least-once: unacked documents are delivered again). resume is the log
+// offset replay starts from. Reconnecting under a live name takes it over —
+// the broker closes the previous connection.
+func (c *Client) SubscribeDurable(name, xpath string) (id, resume uint64, err error) {
+	payload := server.AppendSubscribeDurablePayload(nil, name, xpath)
+	f, err := c.roundTrip(server.FrameSubscribeDurable, payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(f.Payload) != 16 {
+		return 0, 0, fmt.Errorf("client: expected 16-byte durable-subscribe reply, got %d", len(f.Payload))
+	}
+	id, _ = server.ParseUint64(f.Payload[:8])
+	resume, _ = server.ParseUint64(f.Payload[8:])
+	return id, resume, nil
+}
+
+// Ack tells the broker every durable delivery at or below offset is
+// processed; the persisted cursor advances past it. Acks are fire-and-forget
+// (no response frame), so calling Ack from inside OnDeliver is safe — it
+// cannot deadlock against the read loop.
+func (c *Client) Ack(offset uint64) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return server.WriteFrame(c.nc, server.FrameAck, server.AppendUint64(nil, offset))
 }
 
 // Unsubscribe removes a filter previously registered on this connection.

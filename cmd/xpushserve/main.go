@@ -12,8 +12,18 @@
 //	           [-max-conns 0] [-max-doc-bytes 0] [-read-timeout 0]
 //	           [-write-timeout 0] [-snapshot state.xpw] [-snapshot-interval 0]
 //	           [-drain-timeout 10s]
+//	           [-wal-dir dir] [-fsync always|interval|never]
+//	           [-fsync-interval 100ms] [-wal-segment-bytes 67108864]
+//	           [-retention 0] [-retention-bytes 0]
 //	           [-topdown] [-order] [-early] [-train] [-dtd schema.dtd]
-//	           [-strict] [-maxstates 0]
+//	           [-strict] [-maxstates 0] [-version]
+//
+// With -wal-dir the broker is durable: every published document is appended
+// to a write-ahead log before fan-out, and durable subscribers (client
+// SubscribeDurable) replay unacknowledged documents from their persisted
+// cursor on reconnect — at-least-once delivery. -fsync trades publish
+// latency against the crash-loss window; -retention / -retention-bytes bound
+// the log.
 //
 // On SIGTERM or SIGINT the broker drains gracefully: it stops accepting,
 // rejects new publishes, flips /healthz to not-ready, flushes every
@@ -30,19 +40,34 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
 	xpushstream "repro"
 	"repro/server"
+	"repro/wal"
 )
 
+// options carries the non-Config outputs of flag parsing.
+type options struct {
+	drain   time.Duration
+	version bool
+	wal     *wal.Log
+}
+
 func main() {
-	cfg, drain, err := buildConfig(os.Args[1:])
+	cfg, opts, err := buildConfig(os.Args[1:])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xpushserve: %v\n", err)
 		os.Exit(2)
+	}
+	if opts.version {
+		fmt.Println(versionString())
+		return
 	}
 	logger := log.New(os.Stderr, "xpushserve: ", log.LstdFlags)
 	cfg.Logf = logger.Printf
@@ -56,23 +81,47 @@ func main() {
 	if srv.MetricsAddr() != "" {
 		logger.Printf("metrics on http://%s/metrics", srv.MetricsAddr())
 	}
+	if opts.wal != nil {
+		st := opts.wal.Stats()
+		logger.Printf("wal: %d segments, offsets [%d, %d)", st.Segments, st.FirstOffset, st.NextOffset)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
-	logger.Printf("%v: draining (timeout %v)", got, drain)
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	logger.Printf("%v: draining (timeout %v)", got, opts.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	err = srv.Shutdown(ctx)
+	if opts.wal != nil {
+		if werr := opts.wal.Close(); werr != nil {
+			logger.Printf("wal close: %v", werr)
+		}
+	}
+	if err != nil {
 		logger.Printf("drain incomplete: %v", err)
 		os.Exit(1)
 	}
 	logger.Printf("drained cleanly")
 }
 
+// versionString reports the module version (from build info, "(devel)" for
+// a plain `go build`) and the Go runtime.
+func versionString() string {
+	v := "(unknown)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v = bi.Main.Version
+		if v == "" {
+			v = "(devel)"
+		}
+	}
+	return fmt.Sprintf("xpushserve %s %s %s/%s", v, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
 // buildConfig parses flags into a server configuration; factored out of
-// main for testing.
-func buildConfig(args []string) (server.Config, time.Duration, error) {
+// main for testing. When -wal-dir is set the returned options carry the
+// opened log; the caller owns closing it after the server shuts down.
+func buildConfig(args []string) (server.Config, options, error) {
 	fs := flag.NewFlagSet("xpushserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":9310", "data-plane listen address")
 	metricsAddr := fs.String("metrics-addr", ":9311", "metrics listen address (empty disables /metrics)")
@@ -89,6 +138,12 @@ func buildConfig(args []string) (server.Config, time.Duration, error) {
 	snapshot := fs.String("snapshot", "", "workload snapshot path: warm-start on boot, checkpoint on drain")
 	snapshotInterval := fs.Duration("snapshot-interval", 0, "periodic checkpoint interval (0 = only on drain)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown flush bound")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory: enables durable publish + durable subscriptions")
+	fsync := fs.String("fsync", "interval", "wal fsync policy: always, interval, or never")
+	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "wal fsync period under -fsync interval")
+	segmentBytes := fs.Int64("wal-segment-bytes", 64<<20, "wal segment rotation size")
+	retention := fs.Duration("retention", 0, "delete sealed wal segments older than this (0 = keep)")
+	retentionBytes := fs.Int64("retention-bytes", 0, "delete oldest sealed wal segments past this total size (0 = keep)")
 	topdown := fs.Bool("topdown", false, "enable top-down pruning")
 	order := fs.Bool("order", false, "enable the order optimization (needs -dtd)")
 	early := fs.Bool("early", false, "enable early notification (implies -topdown)")
@@ -96,17 +151,25 @@ func buildConfig(args []string) (server.Config, time.Duration, error) {
 	dtdPath := fs.String("dtd", "", "DTD file (enables -order and -train)")
 	strict := fs.Bool("strict", false, "reject mixed element/text content")
 	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
-		return server.Config{}, 0, err
+		return server.Config{}, options{}, err
+	}
+	if *version {
+		return server.Config{}, options{version: true}, nil
 	}
 
 	pol, err := server.ParsePolicy(*policy)
 	if err != nil {
-		return server.Config{}, 0, err
+		return server.Config{}, options{}, err
 	}
 	bk, err := server.ParseBackend(*backend)
 	if err != nil {
-		return server.Config{}, 0, err
+		return server.Config{}, options{}, err
+	}
+	fpol, err := wal.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return server.Config{}, options{}, err
 	}
 	ecfg := xpushstream.Config{
 		TopDownPruning:     *topdown,
@@ -119,11 +182,11 @@ func buildConfig(args []string) (server.Config, time.Duration, error) {
 	if *dtdPath != "" {
 		text, err := os.ReadFile(*dtdPath)
 		if err != nil {
-			return server.Config{}, 0, err
+			return server.Config{}, options{}, err
 		}
 		d, err := xpushstream.ParseDTD(string(text))
 		if err != nil {
-			return server.Config{}, 0, err
+			return server.Config{}, options{}, err
 		}
 		ecfg.DTD = d
 	}
@@ -131,7 +194,7 @@ func buildConfig(args []string) (server.Config, time.Duration, error) {
 	if *queriesPath != "" {
 		initial, err = readQueries(*queriesPath)
 		if err != nil {
-			return server.Config{}, 0, err
+			return server.Config{}, options{}, err
 		}
 	}
 	cfg := server.Config{
@@ -151,7 +214,49 @@ func buildConfig(args []string) (server.Config, time.Duration, error) {
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapshotInterval,
 	}
-	return cfg, *drainTimeout, nil
+	opts := options{drain: *drainTimeout}
+	if *walDir != "" {
+		if err := validateDir(*walDir); err != nil {
+			return server.Config{}, options{}, fmt.Errorf("-wal-dir: %w", err)
+		}
+		l, err := wal.Open(wal.Options{
+			Dir:            *walDir,
+			SegmentBytes:   *segmentBytes,
+			Fsync:          fpol,
+			FsyncEvery:     *fsyncInterval,
+			RetentionBytes: *retentionBytes,
+			RetentionAge:   *retention,
+			MaxRecordBytes: cfg.MaxDocBytes,
+		})
+		if err != nil {
+			return server.Config{}, options{}, err
+		}
+		cursors, err := wal.OpenCursorStore(filepath.Join(*walDir, "cursors"))
+		if err != nil {
+			l.Close()
+			return server.Config{}, options{}, err
+		}
+		cfg.WAL = server.WrapWAL(l)
+		cfg.Cursors = cursors
+		opts.wal = l
+	}
+	return cfg, opts, nil
+}
+
+// validateDir creates dir if missing and fails fast when it is not a
+// writable directory (probed with a throwaway temp file), so a misconfigured
+// -wal-dir aborts startup instead of failing on the first publish.
+func validateDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-")
+	if err != nil {
+		return fmt.Errorf("not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // readQueries loads one filter per line; blank lines and '#' comments are

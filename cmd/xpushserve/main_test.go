@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestBuildConfigDefaults(t *testing.T) {
-	cfg, drain, err := buildConfig(nil)
+	cfg, opts, err := buildConfig(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,8 +27,11 @@ func TestBuildConfigDefaults(t *testing.T) {
 	if cfg.QueueDepth != 128 || cfg.BlockDeadline != time.Second {
 		t.Errorf("queue = %d/%v", cfg.QueueDepth, cfg.BlockDeadline)
 	}
-	if drain != 10*time.Second {
-		t.Errorf("drain = %v", drain)
+	if opts.drain != 10*time.Second {
+		t.Errorf("drain = %v", opts.drain)
+	}
+	if cfg.WAL != nil || opts.wal != nil {
+		t.Error("WAL enabled without -wal-dir")
 	}
 }
 
@@ -37,7 +41,7 @@ func TestBuildConfigFull(t *testing.T) {
 	if err := os.WriteFile(queries, []byte("# c\n//a[b > 1]\n\n//c\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	cfg, drain, err := buildConfig([]string{
+	cfg, opts, err := buildConfig([]string{
 		"-addr", "127.0.0.1:0",
 		"-metrics-addr", "",
 		"-queries", queries,
@@ -71,8 +75,8 @@ func TestBuildConfigFull(t *testing.T) {
 	if !cfg.Engine.TopDownPruning {
 		t.Error("-topdown not wired through")
 	}
-	if cfg.SnapshotInterval != 5*time.Second || drain != 3*time.Second {
-		t.Errorf("intervals = %v/%v", cfg.SnapshotInterval, drain)
+	if cfg.SnapshotInterval != 5*time.Second || opts.drain != 3*time.Second {
+		t.Errorf("intervals = %v/%v", cfg.SnapshotInterval, opts.drain)
 	}
 }
 
@@ -89,12 +93,69 @@ func TestBuildConfigErrors(t *testing.T) {
 	if _, _, err := buildConfig([]string{"-dtd", "/nonexistent.dtd"}); err == nil {
 		t.Error("missing dtd file accepted")
 	}
+	if _, _, err := buildConfig([]string{"-fsync", "sometimes"}); err == nil {
+		t.Error("bogus fsync policy accepted")
+	}
+}
+
+func TestBuildConfigWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal") // create-if-missing path
+	cfg, opts, err := buildConfig([]string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "",
+		"-wal-dir", dir, "-fsync", "never",
+		"-wal-segment-bytes", "4096", "-retention-bytes", "65536",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WAL == nil || cfg.Cursors == nil || opts.wal == nil {
+		t.Fatal("-wal-dir did not wire the WAL and cursor store")
+	}
+	defer opts.wal.Close()
+	if _, err := cfg.WAL.Append([]byte("<x/>")); err != nil {
+		t.Fatalf("append through wired WAL: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "cursors")); err != nil || !fi.IsDir() {
+		t.Errorf("cursor dir not created: %v", err)
+	}
+}
+
+func TestBuildConfigWALUnwritable(t *testing.T) {
+	// A path below a regular file cannot be created, even running as root
+	// (where permission-bit checks would pass).
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := buildConfig([]string{"-wal-dir", filepath.Join(blocker, "wal")})
+	if err == nil || !strings.Contains(err.Error(), "-wal-dir") {
+		t.Fatalf("unwritable -wal-dir accepted: %v", err)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	_, opts, err := buildConfig([]string{"-version"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.version {
+		t.Fatal("-version not reported")
+	}
+	v := versionString()
+	if !strings.Contains(v, "xpushserve") || !strings.Contains(v, "go1") {
+		t.Errorf("versionString() = %q, want name and Go runtime", v)
+	}
 }
 
 // TestServeAndDrain boots the broker through the same configuration main
-// uses and exercises the drain path New→Shutdown without signals.
+// uses (WAL included) and exercises the drain path New→Shutdown without
+// signals.
 func TestServeAndDrain(t *testing.T) {
-	cfg, _, err := buildConfig([]string{"-addr", "127.0.0.1:0", "-metrics-addr", ""})
+	cfg, opts, err := buildConfig([]string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "",
+		"-wal-dir", filepath.Join(t.TempDir(), "wal"), "-fsync", "never",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,6 +164,9 @@ func TestServeAndDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.wal.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

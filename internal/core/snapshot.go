@@ -117,8 +117,8 @@ func (m *Machine) WriteSnapshot(w io.Writer) error {
 	}
 	sw.u64(uint64(m.pushTab.len()))
 	m.pushTab.each(func(k uint64, v int32) {
-		sw.i32(int32(k >> 32))     // qt
-		sw.i32(int32(uint32(k)))   // sym
+		sw.i32(int32(k >> 32))   // qt
+		sw.i32(int32(uint32(k))) // sym
 		sw.i32(v)
 	})
 	sw.u64(uint64(m.popTab.len()))

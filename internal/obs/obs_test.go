@@ -28,12 +28,12 @@ func TestCounterGauge(t *testing.T) {
 
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
-	h.Observe(0)         // bucket 0
-	h.Observe(1e-6)      // bucket 0 (v <= base)
-	h.Observe(3e-6)      // bucket 2 (<= 4µs)
-	h.Observe(1)         // <= 2^20µs ≈ 1.05s
-	h.Observe(1e9)       // overflow
-	h.Observe(-1)        // clamped to 0
+	h.Observe(0)          // bucket 0
+	h.Observe(1e-6)       // bucket 0 (v <= base)
+	h.Observe(3e-6)       // bucket 2 (<= 4µs)
+	h.Observe(1)          // <= 2^20µs ≈ 1.05s
+	h.Observe(1e9)        // overflow
+	h.Observe(-1)         // clamped to 0
 	h.Observe(math.NaN()) // clamped to 0
 	s := h.Snapshot()
 	if s.Count != 7 {

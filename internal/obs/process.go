@@ -1,0 +1,21 @@
+package obs
+
+import "time"
+
+// processStart is captured at program init so every registry exporting
+// process metrics reports the same start time.
+var processStart = time.Now()
+
+// RegisterProcessMetrics adds the standard process series Prometheus needs
+// for restart detection and uptime queries (`time() -
+// process_start_time_seconds`, resets of the uptime gauge).
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("process_start_time_seconds",
+		"unix time the process started", func() float64 {
+			return float64(processStart.UnixNano()) / 1e9
+		})
+	r.GaugeFunc("process_uptime_seconds",
+		"seconds since the process started", func() float64 {
+			return time.Since(processStart).Seconds()
+		})
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE process_start_time_seconds gauge",
+		"# TYPE process_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	var start, uptime float64
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			continue
+		}
+		switch f[0] {
+		case "process_start_time_seconds":
+			start = v
+		case "process_uptime_seconds":
+			uptime = v
+		}
+	}
+	now := float64(time.Now().UnixNano()) / 1e9
+	if start <= 0 || start > now {
+		t.Errorf("process_start_time_seconds = %v (now %v)", start, now)
+	}
+	if uptime < 0 || uptime > now-start+1 {
+		t.Errorf("process_uptime_seconds = %v inconsistent with start %v", uptime, start)
+	}
+	// Both series must come from the same captured instant: start + uptime
+	// reconstructs "now" to within scrape skew.
+	if diff := now - (start + uptime); diff < -1 || diff > 1 {
+		t.Errorf("start+uptime drifts from wall clock by %vs", diff)
+	}
+}

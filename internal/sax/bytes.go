@@ -25,7 +25,7 @@ type BytesHandler interface {
 // string allocation per named event (the cost the byte path exists to avoid).
 type handlerShim struct{ h Handler }
 
-func (s handlerShim) StartDocument()               { s.h.StartDocument() }
+func (s handlerShim) StartDocument()                { s.h.StartDocument() }
 func (s handlerShim) StartElementBytes(name []byte) { s.h.StartElement(string(name)) }
 func (s handlerShim) TextBytes(data []byte)         { s.h.Text(string(data)) }
 func (s handlerShim) EndElementBytes(name []byte)   { s.h.EndElement(string(name)) }

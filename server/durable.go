@@ -1,0 +1,347 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/wal"
+)
+
+// DocLog is the append-ordered document log behind durable delivery. The
+// production implementation is *wal.Log (via WrapWAL); tests inject failing
+// or in-memory logs through the same seam.
+type DocLog interface {
+	// Append stores one document and returns its monotonic offset.
+	Append(doc []byte) (uint64, error)
+	// OpenReader starts a reader at offset; its Next returns io.EOF at the
+	// committed tail and wal.ErrTruncated below the retained range.
+	OpenReader(offset uint64) (DocReader, error)
+	// FirstOffset is the oldest retained offset; NextOffset the next to be
+	// assigned.
+	FirstOffset() uint64
+	NextOffset() uint64
+}
+
+// DocReader iterates a DocLog; the payload is valid until the next call.
+type DocReader interface {
+	Next() (uint64, []byte, error)
+	Close() error
+}
+
+// CursorStore persists durable subscribers' replay cursors by name.
+type CursorStore interface {
+	Load(name string) (offset uint64, ok bool, err error)
+	Store(name string, offset uint64) error
+}
+
+type walDocLog struct{ l *wal.Log }
+
+func (w walDocLog) Append(doc []byte) (uint64, error)        { return w.l.Append(doc) }
+func (w walDocLog) OpenReader(off uint64) (DocReader, error) { return w.l.OpenReader(off) }
+func (w walDocLog) FirstOffset() uint64                      { return w.l.FirstOffset() }
+func (w walDocLog) NextOffset() uint64                       { return w.l.NextOffset() }
+
+// WrapWAL adapts a *wal.Log to the DocLog seam for Config.WAL.
+func WrapWAL(l *wal.Log) DocLog {
+	if l == nil {
+		return nil
+	}
+	return walDocLog{l}
+}
+
+// walChan returns the channel closed by the next walBroadcast. Pumps grab it
+// BEFORE checking the log tail so an append between the check and the wait
+// cannot be missed.
+func (s *Server) walChan() <-chan struct{} {
+	s.noteMu.Lock()
+	defer s.noteMu.Unlock()
+	return s.walNote
+}
+
+// walBroadcast wakes every pump parked at the log tail (close-and-replace).
+func (s *Server) walBroadcast() {
+	s.noteMu.Lock()
+	ch := s.walNote
+	s.walNote = make(chan struct{})
+	s.noteMu.Unlock()
+	close(ch)
+}
+
+// subscribeDurable registers a durable filter for cn under name and returns
+// the filter id plus the offset replay resumes from. Durable subscribers are
+// not fed from delivery queues: a per-connection pump reads the log from the
+// persisted cursor, re-filters each document through the current engine, and
+// writes DeliverAt frames paced by the TCP connection itself — nothing is
+// ever dropped, only delayed (at-least-once; Ack advances the cursor).
+//
+// A name identifies one logical subscriber: reconnecting under a live name
+// takes it over (the previous connection is closed), so a crashed client's
+// half-dead session cannot wedge its replacement.
+func (s *Server) subscribeDurable(cn *conn, name, xpath string) (id, resume uint64, err error) {
+	if s.wal == nil || s.cursors == nil {
+		return 0, 0, errors.New("server: durable subscriptions require a WAL-backed server (-wal-dir)")
+	}
+	cn.mu.Lock()
+	if cn.durName != "" && cn.durName != name {
+		have := cn.durName
+		cn.mu.Unlock()
+		return 0, 0, fmt.Errorf("server: connection already owns durable name %q", have)
+	}
+	cn.mu.Unlock()
+	cursor, haveCursor, err := s.cursors.Load(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	id, err = s.subscribe(cn, xpath, true)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	s.durMu.Lock()
+	if prev := s.durables[name]; prev != nil && prev != cn {
+		// Takeover: the newest session wins; the previous connection tears
+		// down asynchronously in its own serve goroutine.
+		s.logf("durable %q taken over by %s", name, cn.nc.RemoteAddr())
+		prev.close()
+	}
+	s.durables[name] = cn
+	s.durMu.Unlock()
+
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.pumpOn {
+		// Additional filters share the connection's existing pump.
+		return id, cn.resume, nil
+	}
+	cn.durName = name
+	resume = s.wal.NextOffset()
+	if haveCursor && cursor < resume {
+		// A cursor past the tail (the log was rebuilt) clamps to the tail.
+		resume = cursor
+	}
+	cn.resume = resume
+	cn.acked.Store(resume)
+	cn.pumpOff.Store(resume)
+	cn.pumpOn = true
+	cn.pumpStop = make(chan struct{})
+	cn.pumpWG.Add(1)
+	go cn.pump(name, resume)
+	return id, resume, nil
+}
+
+// pump is the durable delivery loop: replay from start, then follow the live
+// tail.
+func (cn *conn) pump(name string, start uint64) {
+	defer cn.pumpWG.Done()
+	s := cn.s
+	r, err := s.wal.OpenReader(start)
+	if err != nil {
+		s.logf("durable %q: open reader: %v", name, err)
+		cn.close()
+		return
+	}
+	defer r.Close()
+	for {
+		ch := s.walChan() // before Next: see walChan
+		off, doc, err := r.Next()
+		switch {
+		case err == io.EOF:
+			select {
+			case <-ch:
+				continue
+			case <-cn.pumpStop:
+				return
+			}
+		case errors.Is(err, wal.ErrTruncated):
+			// Retention deleted the wanted range before this subscriber
+			// caught up; skip to the oldest retained document.
+			first := s.wal.FirstOffset()
+			s.logf("durable %q: offsets below %d lost to retention", name, first)
+			r.Close()
+			if r, err = s.wal.OpenReader(first); err != nil {
+				s.logf("durable %q: reopen reader: %v", name, err)
+				cn.close()
+				return
+			}
+			continue
+		case err != nil:
+			s.logf("durable %q: log read: %v", name, err)
+			cn.close()
+			return
+		}
+		ids, err := s.matchDurable(cn, doc)
+		if err != nil {
+			// The document is already accepted into the log; a filter error
+			// here (e.g. malformed XML vs a stricter engine config) must not
+			// wedge the stream.
+			s.logf("durable %q: filter error at offset %d: %v", name, off, err)
+		}
+		if len(ids) > 0 {
+			payload := AppendDeliverAtPayload(make([]byte, 0, 12+8*len(ids)+len(doc)), off, ids, doc)
+			if cn.writeFrame(FrameDeliverAt, payload) != nil {
+				return
+			}
+			s.mDurDeliver.Inc()
+		}
+		cn.pumpOff.Store(off + 1)
+	}
+}
+
+// matchDurable filters one replayed document and returns the matched filter
+// ids that belong to cn's durable subscriptions.
+func (s *Server) matchDurable(cn *conn, doc []byte) ([]uint64, error) {
+	var (
+		c       *core
+		matches []int
+		err     error
+	)
+	if cc := s.cur.Load(); cc.concurrent() {
+		c = cc
+		matches, err = cc.filterDocument(doc)
+	} else {
+		s.pubMu.Lock()
+		c = s.cur.Load()
+		matches, err = c.filterDocument(doc)
+		s.pubMu.Unlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, m := range matches {
+		if c.subs[m] == cn && c.durable[m] {
+			ids = append(ids, uint64(m))
+		}
+	}
+	return ids, nil
+}
+
+// handleAck persists an advanced cursor. Acks carry no response frame, so
+// problems are logged rather than reported (a lost ack only widens the
+// at-least-once redelivery window).
+func (cn *conn) handleAck(off uint64) {
+	s := cn.s
+	cn.mu.Lock()
+	name := cn.durName
+	cn.mu.Unlock()
+	if name == "" || s.cursors == nil {
+		s.logf("ignoring ACK(%d) from non-durable connection %s", off, cn.nc.RemoteAddr())
+		return
+	}
+	next := off + 1
+	if next <= cn.acked.Load() {
+		return // stale or duplicate ack
+	}
+	// Only the connection currently owning the name may advance its cursor:
+	// a late ack from a taken-over session must not move the new session's
+	// replay point.
+	s.durMu.Lock()
+	owns := s.durables[name] == cn
+	s.durMu.Unlock()
+	if !owns {
+		return
+	}
+	if err := s.cursors.Store(name, next); err != nil {
+		s.logf("durable %q: persisting cursor %d: %v", name, next, err)
+		return
+	}
+	cn.acked.Store(next)
+	s.mAcks.Inc()
+}
+
+// stopPump asks the pump to exit; teardown closes the socket first so a pump
+// blocked in a frame write unsticks.
+func (cn *conn) stopPump() {
+	cn.mu.Lock()
+	on := cn.pumpOn
+	cn.mu.Unlock()
+	if !on {
+		return
+	}
+	cn.pumpOnce.Do(func() { close(cn.pumpStop) })
+	cn.pumpWG.Wait()
+}
+
+// releaseDurable drops the name binding if cn still owns it.
+func (s *Server) releaseDurable(cn *conn) {
+	cn.mu.Lock()
+	name := cn.durName
+	cn.mu.Unlock()
+	if name == "" {
+		return
+	}
+	s.durMu.Lock()
+	if s.durables[name] == cn {
+		delete(s.durables, name)
+	}
+	s.durMu.Unlock()
+}
+
+// registerDurableMetrics adds the WAL and durable-delivery series. Called
+// only when Config.WAL is set.
+func (s *Server) registerDurableMetrics() {
+	s.mAcks = s.reg.Counter("xpushserve_acks_total", "ACK frames that advanced a durable cursor")
+	s.mDurDeliver = s.reg.Counter("xpushserve_durable_deliveries_total", "DELIVERAT frames written to durable subscribers")
+	s.reg.GaugeFunc("xpushserve_durable_subscribers", "connected durable subscribers", func() float64 {
+		s.durMu.Lock()
+		defer s.durMu.Unlock()
+		return float64(len(s.durables))
+	})
+	s.reg.GaugeFunc("xpushserve_replay_lag", "log records not yet replayed to the slowest durable subscriber", func() float64 {
+		next := s.wal.NextOffset()
+		var max uint64
+		s.durMu.Lock()
+		for _, cn := range s.durables {
+			if at := cn.pumpOff.Load(); at < next && next-at > max {
+				max = next - at
+			}
+		}
+		s.durMu.Unlock()
+		return float64(max)
+	})
+	s.reg.GaugeFunc("xpushserve_acked_offset_min", "lowest persisted cursor among connected durable subscribers", func() float64 {
+		s.durMu.Lock()
+		defer s.durMu.Unlock()
+		min := float64(-1)
+		for _, cn := range s.durables {
+			if a := float64(cn.acked.Load()); min < 0 || a < min {
+				min = a
+			}
+		}
+		if min < 0 {
+			return 0
+		}
+		return min
+	})
+	wl, ok := s.wal.(walDocLog)
+	if !ok {
+		return
+	}
+	l := wl.l
+	s.reg.GaugeFunc("xpushserve_wal_bytes", "bytes retained in the document log", func() float64 {
+		return float64(l.Stats().Bytes)
+	})
+	s.reg.GaugeFunc("xpushserve_wal_segments", "segment files in the document log", func() float64 {
+		return float64(l.Stats().Segments)
+	})
+	s.reg.GaugeFunc("xpushserve_wal_first_offset", "oldest retained log offset", func() float64 {
+		return float64(l.FirstOffset())
+	})
+	s.reg.GaugeFunc("xpushserve_wal_next_offset", "next log offset to be assigned", func() float64 {
+		return float64(l.NextOffset())
+	})
+	s.reg.CounterFunc("xpushserve_wal_appends_total", "documents appended to the log", func() int64 {
+		return l.Stats().Appends
+	})
+	s.reg.CounterFunc("xpushserve_wal_append_errors_total", "failed log appends", func() int64 {
+		return l.Stats().AppendErrors
+	})
+	s.reg.CounterFunc("xpushserve_wal_syncs_total", "fsyncs of the active log segment", func() int64 {
+		return l.Stats().Syncs
+	})
+	s.reg.SummaryFunc("xpushserve_wal_fsync_latency_seconds",
+		"log fsync latency quantiles", []float64{0.5, 0.9, 0.99}, l.FsyncLatency)
+	s.reg.HistogramFunc("xpushserve_wal_fsync_latency_histogram_seconds",
+		"log fsync latency (log buckets)", l.FsyncLatency)
+}

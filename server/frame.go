@@ -34,28 +34,42 @@ import (
 // Frame types and payloads:
 //
 //	client -> server
-//	  Subscribe    XPath filter text
-//	  Unsubscribe  8-byte big-endian filter id
-//	  Ping         empty
-//	  Publish      one XML document
+//	  Subscribe         XPath filter text
+//	  Unsubscribe       8-byte big-endian filter id
+//	  Ping              empty
+//	  Publish           one XML document
+//	  SubscribeDurable  u32 BE name length, the subscriber name, then the
+//	                    XPath filter text (requires a WAL-backed server)
+//	  Ack               8-byte big-endian log offset: every document at or
+//	                    below it is processed; the persisted cursor advances
+//	                    to offset+1. No response frame is sent (acks are
+//	                    fire-and-forget so they can interleave with the
+//	                    client's request/response round-trips).
 //	server -> client
 //	  OK           8-byte big-endian value: the assigned filter id
 //	               (Subscribe), the echoed id (Unsubscribe), or the
-//	               matched-filter count (Publish)
+//	               matched-filter count (Publish). SubscribeDurable replies
+//	               with 16 bytes: the filter id then the resume offset the
+//	               replay starts from.
 //	  Err          UTF-8 error message
 //	  Pong         empty
 //	  Deliver      u32 BE matched-filter count n, n 8-byte BE filter ids,
 //	               then the document bytes
+//	  DeliverAt    8-byte BE log offset, then a Deliver payload — the
+//	               durable delivery stream; the offset is what Ack echoes
 const (
-	FrameSubscribe   byte = 0x01
-	FrameUnsubscribe byte = 0x02
-	FramePing        byte = 0x03
-	FramePublish     byte = 0x04
+	FrameSubscribe        byte = 0x01
+	FrameUnsubscribe      byte = 0x02
+	FramePing             byte = 0x03
+	FramePublish          byte = 0x04
+	FrameSubscribeDurable byte = 0x05
+	FrameAck              byte = 0x06
 
-	FrameOK      byte = 0x81
-	FrameErr     byte = 0x82
-	FramePong    byte = 0x83
-	FrameDeliver byte = 0x84
+	FrameOK        byte = 0x81
+	FrameErr       byte = 0x82
+	FramePong      byte = 0x83
+	FrameDeliver   byte = 0x84
+	FrameDeliverAt byte = 0x85
 )
 
 // Frame is one decoded protocol frame.
@@ -160,4 +174,45 @@ func ParseDeliverPayload(p []byte) (filters []uint64, doc []byte, err error) {
 		filters[i] = binary.BigEndian.Uint64(p[i*8:])
 	}
 	return filters, p[n*8:], nil
+}
+
+// AppendSubscribeDurablePayload encodes a SubscribeDurable payload: the
+// subscriber's durable name (its cursor identity) and the XPath filter.
+func AppendSubscribeDurablePayload(dst []byte, name, xpath string) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(name)))
+	dst = append(dst, b[:]...)
+	dst = append(dst, name...)
+	return append(dst, xpath...)
+}
+
+// ParseSubscribeDurablePayload decodes a SubscribeDurable payload.
+func ParseSubscribeDurablePayload(p []byte) (name, xpath string, err error) {
+	if len(p) < 4 {
+		return "", "", fmt.Errorf("server: short subscribe-durable payload")
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	if int64(len(p)) < int64(n) {
+		return "", "", fmt.Errorf("server: subscribe-durable payload truncated (%d-byte name declared)", n)
+	}
+	return string(p[:n]), string(p[n:]), nil
+}
+
+// AppendDeliverAtPayload encodes a DeliverAt payload: the record's log
+// offset followed by a Deliver payload.
+func AppendDeliverAtPayload(dst []byte, offset uint64, filters []uint64, doc []byte) []byte {
+	dst = AppendUint64(dst, offset)
+	return AppendDeliverPayload(dst, filters, doc)
+}
+
+// ParseDeliverAtPayload decodes a DeliverAt payload. The returned slices
+// alias p.
+func ParseDeliverAtPayload(p []byte) (offset uint64, filters []uint64, doc []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, nil, fmt.Errorf("server: short deliver-at payload")
+	}
+	offset = binary.BigEndian.Uint64(p[:8])
+	filters, doc, err = ParseDeliverPayload(p[8:])
+	return offset, filters, doc, err
 }

@@ -105,3 +105,38 @@ func TestDeliverPayloadCodec(t *testing.T) {
 		t.Error("truncated deliver payload parsed")
 	}
 }
+
+func TestSubscribeDurablePayloadCodec(t *testing.T) {
+	p := AppendSubscribeDurablePayload(nil, "billing-1", `//order[total > 1000]`)
+	name, xpath, err := ParseSubscribeDurablePayload(p)
+	if err != nil || name != "billing-1" || xpath != `//order[total > 1000]` {
+		t.Fatalf("round-trip = (%q, %q, %v)", name, xpath, err)
+	}
+	// Empty name and empty xpath are representable (validation is the
+	// server's job).
+	if name, xpath, err = ParseSubscribeDurablePayload(AppendSubscribeDurablePayload(nil, "", "")); err != nil || name != "" || xpath != "" {
+		t.Fatalf("empty round-trip = (%q, %q, %v)", name, xpath, err)
+	}
+	for _, bad := range [][]byte{nil, {0, 0}, {0, 0, 0, 9, 'x'}} {
+		if _, _, err := ParseSubscribeDurablePayload(bad); err == nil {
+			t.Errorf("ParseSubscribeDurablePayload(%x) succeeded", bad)
+		}
+	}
+}
+
+func TestDeliverAtPayloadCodec(t *testing.T) {
+	doc := []byte(`<order total="2000"/>`)
+	p := AppendDeliverAtPayload(nil, 1<<40, []uint64{3, 9}, doc)
+	off, filters, got, err := ParseDeliverAtPayload(p)
+	if err != nil || off != 1<<40 {
+		t.Fatalf("offset = %d, %v", off, err)
+	}
+	if len(filters) != 2 || filters[0] != 3 || filters[1] != 9 || !bytes.Equal(got, doc) {
+		t.Fatalf("round-trip = (%v, %q)", filters, got)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, AppendUint64(nil, 7)} {
+		if _, _, _, err := ParseDeliverAtPayload(bad); err == nil {
+			t.Errorf("ParseDeliverAtPayload(%x) succeeded", bad)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -92,6 +93,14 @@ type Config struct {
 	// WriteTimeout is the per-frame write deadline (0 = none).
 	WriteTimeout time.Duration
 
+	// WAL, when set, makes publishing durable: every document is appended
+	// to the log (assigned a monotonic offset) before fan-out, and durable
+	// subscriptions replay from it. Use WrapWAL to pass a *wal.Log.
+	WAL DocLog
+	// Cursors persists durable subscribers' replay cursors; durable
+	// subscriptions require it alongside WAL.
+	Cursors CursorStore
+
 	// SnapshotPath enables warm-start: on boot, if the file exists, the
 	// workload and machine state are restored from it (engine backend
 	// only); Checkpoint and Shutdown write it.
@@ -130,6 +139,7 @@ type core struct {
 	queries []string
 	removed []bool
 	subs    []*conn // filter id -> owning subscriber (nil = unbound)
+	durable []bool  // filter id -> delivered by the owner's WAL pump, not the queues
 
 	engine  *xpushstream.Engine        // BackendEngine
 	pool    *xpushstream.Pool          // BackendPool
@@ -197,6 +207,14 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// Durable delivery (nil / empty unless Config.WAL is set).
+	wal      DocLog
+	cursors  CursorStore
+	durMu    sync.Mutex
+	durables map[string]*conn // durable name -> owning connection
+	noteMu   sync.Mutex
+	walNote  chan struct{} // closed-and-replaced on every append
+
 	connMu sync.Mutex
 	conns  map[*conn]struct{}
 
@@ -211,6 +229,8 @@ type Server struct {
 	mDeliveries  *obs.Counter
 	mConnReject  *obs.Counter
 	mDropped     map[Policy]*obs.Counter
+	mAcks        *obs.Counter
+	mDurDeliver  *obs.Counter
 	deliverLat   obs.Histogram
 }
 
@@ -230,10 +250,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		conns:  map[*conn]struct{}{},
-		reg:    obs.NewRegistry(),
-		ckStop: make(chan struct{}),
+		cfg:      cfg,
+		conns:    map[*conn]struct{}{},
+		reg:      obs.NewRegistry(),
+		ckStop:   make(chan struct{}),
+		wal:      cfg.WAL,
+		cursors:  cfg.Cursors,
+		durables: map[string]*conn{},
+		walNote:  make(chan struct{}),
 	}
 	c, err := s.bootCore()
 	if err != nil {
@@ -283,18 +307,20 @@ func (s *Server) bootCore() (*core, error) {
 			q := e.Queries()
 			s.logf("warm-start: restored %d filters, %d machine states from %s",
 				len(q), e.Stats().States, s.cfg.SnapshotPath)
-			return &core{queries: q, removed: e.Removed(), subs: make([]*conn, len(q)), engine: e}, nil
+			return &core{queries: q, removed: e.Removed(), subs: make([]*conn, len(q)),
+				durable: make([]bool, len(q)), engine: e}, nil
 		}
 	}
 	return s.buildCore(append([]string(nil), s.cfg.InitialQueries...),
-		make([]bool, len(s.cfg.InitialQueries)), make([]*conn, len(s.cfg.InitialQueries)), nil)
+		make([]bool, len(s.cfg.InitialQueries)), make([]*conn, len(s.cfg.InitialQueries)),
+		make([]bool, len(s.cfg.InitialQueries)), nil)
 }
 
 // buildCore compiles a full workload for the configured backend. For the
 // engine backend, derived is used when non-nil (the copy-on-write fast
 // path); the pool and sharded backends always recompile.
-func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, derived *xpushstream.Engine) (*core, error) {
-	c := &core{queries: queries, removed: removed, subs: subs}
+func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, durable []bool, derived *xpushstream.Engine) (*core, error) {
+	c := &core{queries: queries, removed: removed, subs: subs, durable: durable}
 	switch s.cfg.Backend {
 	case BackendPool:
 		e, err := s.compileWithRemoved(queries, removed)
@@ -409,14 +435,20 @@ func (s *Server) registerMetrics() {
 		s.deliverLat.Snapshot)
 	s.reg.HistogramFunc("xpushserve_delivery_latency_histogram_seconds",
 		"publish-to-DELIVER-write latency (log buckets)", s.deliverLat.Snapshot)
+	obs.RegisterProcessMetrics(s.reg)
+	if s.wal != nil {
+		s.registerDurableMetrics()
+	}
 }
 
 // ---------------------------------------------------------------------------
 // Control plane: copy-on-write workload swaps.
 
 // subscribe registers one filter for cn and returns its id. The id is the
-// filter's index in the engine workload; ids are never reused.
-func (s *Server) subscribe(cn *conn, query string) (uint64, error) {
+// filter's index in the engine workload; ids are never reused. Durable
+// filters are excluded from queue fan-out: the owner's WAL pump delivers
+// them (see subscribeDurable).
+func (s *Server) subscribe(cn *conn, query string, durable bool) (uint64, error) {
 	s.ctl.Lock()
 	defer s.ctl.Unlock()
 	if s.draining.Load() {
@@ -427,6 +459,7 @@ func (s *Server) subscribe(cn *conn, query string) (uint64, error) {
 	queries := append(append(make([]string, 0, len(cur.queries)+1), cur.queries...), query)
 	removed := append(append(make([]bool, 0, len(queries)), cur.removed...), false)
 	subs := append(append(make([]*conn, 0, len(queries)), cur.subs...), cn)
+	dur := append(append(make([]bool, 0, len(queries)), cur.durable...), durable)
 	var derived *xpushstream.Engine
 	if s.cfg.Backend == BackendEngine {
 		var err error
@@ -435,7 +468,7 @@ func (s *Server) subscribe(cn *conn, query string) (uint64, error) {
 			return 0, err
 		}
 	}
-	next, err := s.buildCore(queries, removed, subs, derived)
+	next, err := s.buildCore(queries, removed, subs, dur, derived)
 	if err != nil {
 		return 0, err
 	}
@@ -486,9 +519,11 @@ func (s *Server) coreWithout(cur *core, ids []uint64) (*core, error) {
 	queries := append([]string(nil), cur.queries...)
 	removed := append([]bool(nil), cur.removed...)
 	subs := append([]*conn(nil), cur.subs...)
+	durable := append([]bool(nil), cur.durable...)
 	for _, id := range ids {
 		removed[id] = true
 		subs[id] = nil
+		durable[id] = false
 	}
 	var derived *xpushstream.Engine
 	if s.cfg.Backend == BackendEngine {
@@ -501,7 +536,7 @@ func (s *Server) coreWithout(cur *core, ids []uint64) (*core, error) {
 			}
 		}
 	}
-	return s.buildCore(queries, removed, subs, derived)
+	return s.buildCore(queries, removed, subs, durable, derived)
 }
 
 // ---------------------------------------------------------------------------
@@ -509,11 +544,23 @@ func (s *Server) coreWithout(cur *core, ids []uint64) (*core, error) {
 
 // publish filters one document on the current workload generation and fans
 // the matches out to subscriber queues. It returns the matched-filter
-// count.
+// count. On a WAL-backed server the document is appended to the log (and
+// the append is durable per the fsync policy) before anything else — a
+// failed append rejects the publish, so every accepted document is
+// replayable.
 func (s *Server) publish(doc []byte) (int, error) {
 	if s.draining.Load() {
 		s.mPublishErrs.Inc()
 		return 0, errDraining
+	}
+	if s.wal != nil {
+		if _, err := s.wal.Append(doc); err != nil {
+			s.mPublishErrs.Inc()
+			return 0, fmt.Errorf("server: wal append: %w", err)
+		}
+		// Wake the durable pumps parked at the old tail once the fan-out
+		// below has run (they deliver independently of the queues).
+		defer s.walBroadcast()
 	}
 	var (
 		c       *core
@@ -546,8 +593,8 @@ func (s *Server) publish(doc []byte) (int, error) {
 	var perConn map[*conn][]uint64
 	for _, m := range matches {
 		owner := c.subs[m]
-		if owner == nil {
-			continue
+		if owner == nil || c.durable[m] {
+			continue // durable filters are delivered by the owner's WAL pump
 		}
 		switch {
 		case single == nil && perConn == nil:
@@ -598,6 +645,16 @@ type conn struct {
 	q         *queue
 	nsubs     int
 	deliverWG sync.WaitGroup
+
+	// Durable state (zero unless the client sent SubscribeDurable).
+	durName  string // guarded by mu; the cursor identity this conn owns
+	resume   uint64 // guarded by mu; offset the pump started from
+	pumpOn   bool   // guarded by mu
+	pumpStop chan struct{}
+	pumpOnce sync.Once
+	pumpWG   sync.WaitGroup
+	pumpOff  atomic.Uint64 // next offset the pump will replay (lag gauge)
+	acked    atomic.Uint64 // persisted cursor (monotonic)
 
 	closeOnce sync.Once
 }
@@ -663,7 +720,7 @@ func (cn *conn) serve() {
 			// published, so a publish racing with this subscribe never
 			// fans out to a queueless subscriber.
 			cn.ensureQueue()
-			id, err := s.subscribe(cn, string(f.Payload))
+			id, err := s.subscribe(cn, string(f.Payload), false)
 			if cn.reply(id, err) != nil {
 				return
 			}
@@ -672,6 +729,33 @@ func (cn *conn) serve() {
 				cn.nsubs++
 				cn.mu.Unlock()
 			}
+		case FrameSubscribeDurable:
+			name, xpath, err := ParseSubscribeDurablePayload(f.Payload)
+			var id, resume uint64
+			if err == nil {
+				id, resume, err = s.subscribeDurable(cn, name, xpath)
+			}
+			if err != nil {
+				if cn.writeFrame(FrameErr, []byte(err.Error())) != nil {
+					return
+				}
+				continue
+			}
+			if cn.writeFrame(FrameOK, AppendUint64(AppendUint64(nil, id), resume)) != nil {
+				return
+			}
+			cn.mu.Lock()
+			cn.nsubs++
+			cn.mu.Unlock()
+		case FrameAck:
+			off, err := ParseUint64(f.Payload)
+			if err != nil {
+				// A malformed ack is a protocol violation; there is no ack
+				// response slot, so report and drop the connection.
+				cn.writeFrame(FrameErr, []byte(err.Error()))
+				return
+			}
+			cn.handleAck(off)
 		case FrameUnsubscribe:
 			id, err := ParseUint64(f.Payload)
 			if err == nil {
@@ -780,7 +864,9 @@ func (cn *conn) close() {
 }
 
 // teardown runs when the frame loop exits: unbind filters, flush and stop
-// the delivery consumer, close the socket.
+// the delivery consumer, close the socket, stop the WAL pump (the closed
+// socket unsticks a pump blocked in a frame write), release the durable
+// name.
 func (cn *conn) teardown() {
 	cn.s.unsubscribeConn(cn)
 	if q := cn.queue(); q != nil {
@@ -788,6 +874,8 @@ func (cn *conn) teardown() {
 		cn.deliverWG.Wait()
 	}
 	cn.close()
+	cn.stopPump()
+	cn.s.releaseDurable(cn)
 }
 
 // ---------------------------------------------------------------------------
@@ -811,11 +899,10 @@ func (s *Server) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	tmp := s.cfg.SnapshotPath + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	return xpushstream.WriteFileAtomic(s.cfg.SnapshotPath, func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
 		return err
-	}
-	return os.Rename(tmp, s.cfg.SnapshotPath)
+	})
 }
 
 func (s *Server) checkpointLoop() {

@@ -1,9 +1,12 @@
 package xpushstream
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Workload snapshots. Engine.WriteSnapshot/ReadSnapshot persist only the
@@ -152,4 +155,52 @@ func OpenWorkloadSnapshot(r io.Reader, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("xpushstream: restoring machine state: %w", err)
 	}
 	return e, nil
+}
+
+// WriteFileAtomic writes a file crash-atomically: the content goes to a
+// temporary file in the target's directory, is flushed and fsynced, and only
+// then renamed over path — a crash (or a write error) at any point leaves
+// either the previous file or nothing, never a truncated half-write. The
+// directory entry is fsynced best-effort so the rename itself survives a
+// crash.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveWorkloadSnapshot writes a workload snapshot to path crash-atomically
+// (see WriteFileAtomic). The engine must not be filtering during the call.
+func (e *Engine) SaveWorkloadSnapshot(path string) error {
+	return WriteFileAtomic(path, e.WriteWorkloadSnapshot)
 }

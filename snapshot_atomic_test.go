@@ -1,0 +1,93 @@
+package xpushstream
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomic: success replaces the file; a mid-write failure leaves
+// the previous contents intact and no temp litter behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	put := func(s string) error {
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, s)
+			return err
+		})
+	}
+	if err := put("first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := put("second"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content = %q", b)
+	}
+
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "torn-partial-")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("failed write clobbered the file: %q", b)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestSaveWorkloadSnapshotAtomic: a snapshot write that fails must leave the
+// previous snapshot fully loadable.
+func TestSaveWorkloadSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.xpw")
+	e, err := Compile([]string{`//order[total > 1000]`, `//a/b`}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FilterDocument([]byte(`<order><total>2000</total></order>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveWorkloadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a failed snapshot: the write callback dies partway.
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		if werr := e.WriteWorkloadSnapshot(w); werr != nil {
+			return werr
+		}
+		return errors.New("simulated crash before fsync")
+	})
+	if err == nil {
+		t.Fatal("failed write reported success")
+	}
+
+	// The previous snapshot must still restore a working engine.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := OpenWorkloadSnapshot(f, Config{})
+	if err != nil {
+		t.Fatalf("previous snapshot unreadable after failed write: %v", err)
+	}
+	matches, err := restored.FilterDocument([]byte(`<order><total>2000</total></order>`))
+	if err != nil || len(matches) != 1 || matches[0] != 0 {
+		t.Fatalf("restored engine filter = %v, %v", matches, err)
+	}
+}

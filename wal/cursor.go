@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// cursorMagic identifies a cursor file; the trailing byte is a version.
+var cursorMagic = [4]byte{'X', 'P', 'C', '1'}
+
+const cursorFileSize = 16 // 4-byte magic + u64 BE offset + u32 BE CRC32C
+
+// CursorStore persists durable-subscriber cursors: one 16-byte file per
+// subscriber name, written crash-atomically (temp file + fsync + rename), so
+// a crash mid-update leaves the previous cursor readable. A cursor is the
+// next log offset the subscriber should receive.
+type CursorStore struct {
+	dir string
+}
+
+// OpenCursorStore opens (or creates) a cursor directory.
+func OpenCursorStore(dir string) (*CursorStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &CursorStore{dir: dir}, nil
+}
+
+// ValidCursorName reports whether name is usable as a cursor identity: 1-128
+// characters from [A-Za-z0-9._-], starting with an alphanumeric (names
+// become file names, so path metacharacters are rejected).
+func ValidCursorName(name string) bool {
+	if len(name) == 0 || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *CursorStore) path(name string) string {
+	return filepath.Join(s.dir, name+".cur")
+}
+
+// Load reads a cursor; ok is false when the name has never been stored.
+func (s *CursorStore) Load(name string) (offset uint64, ok bool, err error) {
+	if !ValidCursorName(name) {
+		return 0, false, fmt.Errorf("wal: invalid cursor name %q", name)
+	}
+	b, err := os.ReadFile(s.path(name))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if len(b) != cursorFileSize || [4]byte(b[:4]) != cursorMagic ||
+		crc32.Checksum(b[4:12], castagnoli) != beU32(b[12:]) {
+		return 0, false, fmt.Errorf("wal: cursor %q is corrupt", name)
+	}
+	return beU64(b[4:12]), true, nil
+}
+
+// Store persists a cursor crash-atomically.
+func (s *CursorStore) Store(name string, offset uint64) (err error) {
+	if !ValidCursorName(name) {
+		return fmt.Errorf("wal: invalid cursor name %q", name)
+	}
+	var b [cursorFileSize]byte
+	copy(b[:4], cursorMagic[:])
+	putU64(b[4:12], offset)
+	putU32(b[12:], crc32.Checksum(b[4:12], castagnoli))
+	f, err := os.CreateTemp(s.dir, "."+name+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(b[:]); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, s.path(name)); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// Names lists the stored cursor names.
+func (s *CursorStore) Names() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".cur"); ok && ValidCursorName(name) {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
