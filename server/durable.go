@@ -93,9 +93,25 @@ func (s *Server) subscribeDurable(cn *conn, name, xpath string) (id, resume uint
 	if err != nil {
 		return 0, 0, err
 	}
+	resume = s.wal.NextOffset()
+	if haveCursor && cursor < resume {
+		// A cursor past the tail (the log was rebuilt) clamps to the tail.
+		resume = cursor
+	}
 	id, err = s.subscribe(cn, xpath, true)
 	if err != nil {
 		return 0, 0, err
+	}
+	if !haveCursor {
+		// Persist the subscription point before any delivery: a subscriber
+		// that disconnects or crashes before its first ack must resume from
+		// here on reconnect, not from whatever the tail has grown to.
+		if serr := s.cursors.Store(name, resume); serr != nil {
+			if uerr := s.unsubscribe(cn, id); uerr != nil {
+				s.logf("durable %q: rolling back filter %d: %v", name, id, uerr)
+			}
+			return 0, 0, fmt.Errorf("server: persisting initial cursor for durable %q: %w", name, serr)
+		}
 	}
 
 	s.durMu.Lock()
@@ -115,11 +131,6 @@ func (s *Server) subscribeDurable(cn *conn, name, xpath string) (id, resume uint
 		return id, cn.resume, nil
 	}
 	cn.durName = name
-	resume = s.wal.NextOffset()
-	if haveCursor && cursor < resume {
-		// A cursor past the tail (the log was rebuilt) clamps to the tail.
-		resume = cursor
-	}
 	cn.resume = resume
 	cn.acked.Store(resume)
 	cn.pumpOff.Store(resume)
@@ -179,7 +190,13 @@ func (cn *conn) pump(name string, start uint64) {
 		}
 		if len(ids) > 0 {
 			payload := AppendDeliverAtPayload(make([]byte, 0, 12+8*len(ids)+len(doc)), off, ids, doc)
-			if cn.writeFrame(FrameDeliverAt, payload) != nil {
+			if werr := cn.writeFrame(FrameDeliverAt, payload); werr != nil {
+				// A failed frame write (e.g. a write-deadline expiry mid-frame)
+				// leaves the stream unusable; tear the connection down so the
+				// serve loop releases the durable name and the client can
+				// reconnect, instead of silently stopping deliveries.
+				s.logf("durable %q: write at offset %d: %v", name, off, werr)
+				cn.close()
 				return
 			}
 			s.mDurDeliver.Inc()

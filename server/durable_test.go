@@ -167,6 +167,59 @@ func TestDurableSubscribeDeliverAck(t *testing.T) {
 	}
 }
 
+// TestDurableResumeBeforeFirstAck: the subscription point is persisted at
+// SUBSCRIBE_DURABLE time, so a subscriber that disconnects before its first
+// ack resumes from where it subscribed — not from the tail — and misses
+// nothing published while it was away.
+func TestDurableResumeBeforeFirstAck(t *testing.T) {
+	base := t.TempDir()
+	srv, _, cs := walServer(t, filepath.Join(base, "wal"), server.Config{})
+
+	// Pre-existing traffic moves the tail off zero.
+	pub := dialDur(t, srv.Addr(), nil)
+	for i := 0; i < 3; i++ {
+		if _, err := pub.Publish(missDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub := dialDur(t, srv.Addr(), nil)
+	_, resume, err := sub.SubscribeDurable("orders", `//order[total > 1000]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 3 {
+		t.Fatalf("resume = %d, want 3", resume)
+	}
+	// The subscription point is on disk immediately, before any ack.
+	if got, ok, err := cs.Load("orders"); err != nil || !ok || got != 3 {
+		t.Fatalf("cursor after subscribe = (%d, %v, %v), want (3, true, nil)", got, ok, err)
+	}
+
+	// Disconnect without ever acking, publish while away, reconnect.
+	sub.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := pub.Publish(matchDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := &durCollector{}
+	sub2 := dialDur(t, srv.Addr(), col)
+	_, resume2, err := sub2.SubscribeDurable("orders", `//order[total > 1000]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume2 != 3 {
+		t.Fatalf("resume after reconnect = %d, want 3", resume2)
+	}
+	waitFor(t, "docs published while away replayed", func() bool { return col.count() >= 5 })
+	for i := 0; i < 5; i++ {
+		if doc, _ := col.at(i); doc != string(matchDoc(i)) {
+			t.Fatalf("replay %d = %q, want %q", i, doc, matchDoc(i))
+		}
+	}
+}
+
 // TestDurableCrashRecovery is the acceptance scenario: a broker dies
 // mid-append (torn tail on disk), restarts over the same directories, and a
 // reconnecting durable subscriber receives every unacked match — with the

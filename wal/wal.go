@@ -143,11 +143,12 @@ func (o *Options) maxRecordBytes() int {
 // segment is one on-disk log file. base is the offset of its first record;
 // sealed segments are immutable, the last segment is the append target.
 type segment struct {
-	base    uint64
-	records uint64
-	size    int64 // bytes including the header
-	path    string
-	created time.Time
+	base       uint64
+	records    uint64
+	size       int64 // bytes including the header
+	path       string
+	created    time.Time
+	lastAppend time.Time // newest record's write time (RetentionAge basis)
 }
 
 // Log is the append-only document log. Append/Sync/Close and the reader API
@@ -289,8 +290,12 @@ func (l *Log) recover() error {
 		if ierr == nil {
 			created = info.ModTime()
 		}
+		// ModTime is when the segment was last written, i.e. its newest
+		// record's age — the right basis for both rotation and retention
+		// after a restart.
 		l.segs = append(l.segs, &segment{
-			base: f.base, records: sc.records, size: sc.validSize, path: f.path, created: created,
+			base: f.base, records: sc.records, size: sc.validSize, path: f.path,
+			created: created, lastAppend: created,
 		})
 		l.next = f.base + sc.records
 		if sc.torn {
@@ -375,13 +380,18 @@ func (l *Log) createSegment(base uint64) error {
 	}
 	syncDir(l.opt.Dir)
 	l.f = f
-	l.segs = append(l.segs, &segment{base: base, size: headerSize, path: path, created: time.Now()})
+	now := time.Now()
+	l.segs = append(l.segs, &segment{base: base, size: headerSize, path: path, created: now, lastAppend: now})
 	return nil
 }
 
 // Append appends one document and returns its offset. The document is on
 // disk (modulo the fsync policy) before Append returns; a failed append
-// assigns no offset and leaves the log consistent.
+// assigns no offset and leaves the log consistent — under FsyncAlways a
+// record whose fsync fails is truncated back out, unless that truncation
+// itself fails, in which case the record (and its offset) stand and the
+// error is still returned: the caller sees a rejected append that may
+// nevertheless be replayed, the at-least-once-safe direction.
 func (l *Log) Append(doc []byte) (uint64, error) {
 	if len(doc) == 0 {
 		return 0, errors.New("wal: empty document")
@@ -421,15 +431,32 @@ func (l *Log) Append(doc []byte) (uint64, error) {
 		}
 		return 0, err
 	}
+	lastAppend := active.lastAppend
 	active.size += int64(n)
 	active.records++
+	active.lastAppend = time.Now()
 	off := l.next
 	l.next++
 	l.appends++
 	switch l.opt.Fsync {
 	case FsyncAlways:
-		if err := l.syncLocked(true); err != nil {
-			return off, err
+		if serr := l.syncLocked(true); serr != nil {
+			// The record reached the file but not stable storage. Undo it so
+			// the failed append assigns no offset: the server rejects the
+			// publish, and a surviving record would be replayed to durable
+			// subscribers as a document nobody accepted.
+			l.appendErrs++
+			if terr := l.f.Truncate(active.size - int64(n)); terr != nil {
+				l.logf("wal: cannot undo append after failed fsync (%v); offset %d stands and may be redelivered", terr, off)
+				return off, serr
+			}
+			l.f.Seek(active.size-int64(n), io.SeekStart)
+			active.size -= int64(n)
+			active.records--
+			active.lastAppend = lastAppend
+			l.next--
+			l.appends--
+			return 0, serr
 		}
 	case FsyncNever:
 	default: // FsyncInterval
@@ -439,19 +466,24 @@ func (l *Log) Append(doc []byte) (uint64, error) {
 }
 
 // rotateLocked seals the active segment (fsync + close) and opens the next.
+// l.f is nil when a previous rotation sealed the segment but failed in
+// createSegment (e.g. transient disk-full); a retry then proceeds straight to
+// segment creation instead of failing forever on the nil file.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
-		return err
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+		l.dirty = false
 	}
-	if err := l.f.Close(); err != nil {
-		return err
-	}
-	l.f = nil
-	l.dirty = false
-	l.rotations++
 	if err := l.createSegment(l.next); err != nil {
 		return err
 	}
+	l.rotations++
 	l.applyRetentionLocked()
 	return nil
 }
@@ -472,7 +504,7 @@ func (l *Log) applyRetentionLocked() {
 			}
 			drop = total > l.opt.RetentionBytes
 		}
-		if !drop && l.opt.RetentionAge > 0 && time.Since(oldest.created) > l.opt.RetentionAge {
+		if !drop && l.opt.RetentionAge > 0 && time.Since(oldest.lastAppend) > l.opt.RetentionAge {
 			drop = true
 		}
 		if !drop {

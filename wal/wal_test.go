@@ -217,6 +217,82 @@ func TestRotationAndRetention(t *testing.T) {
 	}
 }
 
+// TestRotationRetriesAfterCreateFailure: a rotation that seals the active
+// segment but fails to create the next one (transient disk trouble) must not
+// wedge the log — the retried rotation skips the already-sealed file and goes
+// straight to segment creation once the condition clears.
+func TestRotationRetriesAfterCreateFailure(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 64})
+	// Overfill the active segment so the next append must rotate first.
+	for {
+		l.mu.Lock()
+		full := l.segs[len(l.segs)-1].size >= 64
+		l.mu.Unlock()
+		if full {
+			break
+		}
+		appendN(t, l, 1)
+	}
+	want := l.NextOffset()
+	// Make createSegment fail by pointing the log at a missing directory.
+	l.mu.Lock()
+	l.opt.Dir = filepath.Join(dir, "missing")
+	l.mu.Unlock()
+	if _, err := l.Append([]byte("<doc/>")); err == nil {
+		t.Fatal("append rotated into a missing directory")
+	}
+	// While the condition persists every append keeps failing cleanly...
+	if _, err := l.Append([]byte("<doc/>")); err == nil {
+		t.Fatal("append succeeded with the directory still missing")
+	}
+	// ...and once it clears the log recovers without a restart.
+	l.mu.Lock()
+	l.opt.Dir = dir
+	l.mu.Unlock()
+	off, err := l.Append([]byte("<doc/>"))
+	if err != nil {
+		t.Fatalf("append after the directory came back: %v", err)
+	}
+	if off != want {
+		t.Fatalf("offset = %d, want %d", off, want)
+	}
+	if got := readAll(t, l, 0); uint64(len(got)) != want+1 {
+		t.Fatalf("read %d docs, want %d", len(got), want+1)
+	}
+}
+
+// TestRetentionAgeUsesLastAppendTime: RetentionAge measures the newest
+// record's age, not the segment file's — a segment that was active for a long
+// time must not be deleted right after sealing.
+func TestRetentionAgeUsesLastAppendTime(t *testing.T) {
+	l := openTest(t, Options{SegmentBytes: 64, RetentionAge: time.Hour})
+	appendN(t, l, 1)
+	l.mu.Lock()
+	l.segs[0].created = time.Now().Add(-2 * time.Hour)
+	l.mu.Unlock()
+	for l.Stats().Rotations == 0 {
+		appendN(t, l, 1)
+	}
+	// Segment 0 was created long ago but written to just now: the rotation's
+	// retention pass must keep it.
+	if first := l.FirstOffset(); first != 0 {
+		t.Fatalf("recently-written segment deleted: FirstOffset = %d", first)
+	}
+	// Once its newest record is older than the window, it is deleted.
+	l.mu.Lock()
+	l.segs[0].lastAppend = time.Now().Add(-2 * time.Hour)
+	base := l.segs[1].base
+	rot := l.rotations
+	l.mu.Unlock()
+	for l.Stats().Rotations == rot {
+		appendN(t, l, 1)
+	}
+	if first := l.FirstOffset(); first != base {
+		t.Fatalf("FirstOffset = %d after aged-out segment, want %d", first, base)
+	}
+}
+
 // TestReaderFollowsLiveTail interleaves appends with reads through a single
 // reader, crossing segment boundaries.
 func TestReaderFollowsLiveTail(t *testing.T) {
