@@ -30,6 +30,10 @@ type Delivery struct {
 	// Non-durable deliveries carry no offset.
 	Durable bool
 	Offset  uint64
+	// TraceID is non-zero when the broker traced this document end to end;
+	// look the id up in the broker's /debug/traces output to see where the
+	// delivery spent its time.
+	TraceID uint64
 }
 
 // Options configures a Client. The zero value is usable.
@@ -111,18 +115,18 @@ func (c *Client) readLoop() {
 		}
 		if f.Type == server.FrameDeliver {
 			if c.opt.OnDeliver != nil {
-				filters, doc, err := server.ParseDeliverPayload(f.Payload)
+				filters, doc, traceID, err := server.ParseDeliverPayloadTrace(f.Payload)
 				if err == nil {
-					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc})
+					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc, TraceID: traceID})
 				}
 			}
 			continue
 		}
 		if f.Type == server.FrameDeliverAt {
 			if c.opt.OnDeliver != nil {
-				off, filters, doc, err := server.ParseDeliverAtPayload(f.Payload)
+				off, filters, doc, traceID, err := server.ParseDeliverAtPayloadTrace(f.Payload)
 				if err == nil {
-					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc, Durable: true, Offset: off})
+					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc, Durable: true, Offset: off, TraceID: traceID})
 				}
 			}
 			continue

@@ -6,13 +6,17 @@
 //
 //	xpushfilter -queries filters.txt [-xml stream.xml] [-dtd schema.dtd]
 //	            [-topdown] [-order] [-early] [-train] [-max-doc-bytes 0]
-//	            [-stats] [-stats-format text|json|prom]
+//	            [-stats] [-stats-format text|json|prom] [-trace trace.json]
 //
 // The queries file holds one XPath filter per line; blank lines and lines
 // starting with '#' are ignored. XML is read from -xml or stdin and may
 // contain any number of concatenated documents. -stats appends a runtime
 // report after the stream: human-readable text (including per-document
 // filter-latency quantiles), a JSON document, or Prometheus text format.
+// -trace records a span trace for every document (per-layer timings plus
+// machine telemetry: states created, table flushes, matches) and writes the
+// most recent ones as a Chrome trace_event file — load it at
+// ui.perfetto.dev or chrome://tracing.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	xpushstream "repro"
 	"repro/internal/obs"
+	"repro/internal/sax"
 )
 
 func main() {
@@ -52,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	showQueries := fs.Bool("show-queries", false, "print matching filter text instead of indexes")
 	stats := fs.Bool("stats", false, "print machine statistics after the stream")
 	statsFormat := fs.String("stats-format", "text", "stats report format: text, json, or prom (Prometheus text)")
+	tracePath := fs.String("trace", "", "record a span trace per document and write a Chrome trace_event file (view at ui.perfetto.dev)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,9 +121,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintln(w)
 		}
 	}
-	if *maxDocBytes > 0 {
+	switch {
+	case *tracePath != "":
+		// Traced runs split the stream per document so each gets its own
+		// trace: a "document" root with the filter span, per-layer timings,
+		// and machine-telemetry attributes. Sampling 1/1 keeps everything
+		// (the recorder ring retains the most recent documents).
+		rec := xpushstream.NewTraceRecorder(1, 0)
+		err = sax.StreamDocumentsLimit(in, *maxDocBytes, func(doc []byte) error {
+			tc := rec.Begin("document")
+			ferr := engine.FilterBytesTraced(doc, tc, xpushstream.TraceRoot, onDocument)
+			tc.Finish()
+			return ferr
+		})
+		if err == nil {
+			err = writeTraceFile(rec, *tracePath)
+		}
+	case *maxDocBytes > 0:
 		err = engine.FilterStreamingLimit(in, *maxDocBytes, onDocument)
-	} else {
+	default:
 		err = engine.FilterStream(in, onDocument)
 	}
 	if err != nil {
@@ -129,6 +151,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeTraceFile dumps the recorder's retained traces in Chrome trace_event
+// format.
+func writeTraceFile(rec *xpushstream.TraceRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeStats renders the post-stream runtime report in one of the three

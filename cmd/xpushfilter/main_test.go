@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,6 +42,41 @@ func TestRunEndToEnd(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	queries := writeFile(t, "q.txt", "//order[total>100]\n")
+	xml := writeFile(t, "s.xml", `<order><total>250</total></order><order><total>5</total></order>`)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-queries", queries, "-xml", xml, "-trace", tracePath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Matching output is unchanged under tracing.
+	for _, want := range []string{"document 1: 1 match(es) [0]", "document 2: 0 match(es)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The trace file is a Chrome trace_event array with one "document" root
+	// per document and filter/layer child spans.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v\n%s", err, raw)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		if name, ok := ev["name"].(string); ok {
+			counts[name]++
+		}
+	}
+	if counts["document"] != 2 || counts["filter"] != 2 || counts["layer0"] == 0 {
+		t.Errorf("span counts = %v, want 2 document, 2 filter, >0 layer0", counts)
 	}
 }
 

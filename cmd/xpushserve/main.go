@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	xpushserve [-addr :9310] [-metrics-addr :9311]
+//	xpushserve [-addr :9310] [-metrics-addr :9311] [-debug-addr addr]
 //	           [-queries filters.txt] [-backend engine|pool|sharded]
 //	           [-workers n] [-policy drop-oldest|drop-newest|block|disconnect]
 //	           [-queue-depth 128] [-block-deadline 1s]
@@ -15,6 +15,7 @@
 //	           [-wal-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-wal-segment-bytes 67108864]
 //	           [-retention 0] [-retention-bytes 0]
+//	           [-trace-sample 0] [-trace-slow 0] [-trace-out trace.json]
 //	           [-topdown] [-order] [-early] [-train] [-dtd schema.dtd]
 //	           [-strict] [-maxstates 0] [-version]
 //
@@ -24,6 +25,16 @@
 // cursor on reconnect — at-least-once delivery. -fsync trades publish
 // latency against the crash-loss window; -retention / -retention-bytes bound
 // the log.
+//
+// -trace-sample 1000 traces one of every 1000 published documents end to end
+// (PUBLISH receive, WAL append and fsync wait, filtering with per-layer
+// timings and machine telemetry, per-subscriber queue wait, DELIVER write);
+// -trace-slow 50ms additionally captures every document slower than the
+// threshold regardless of sampling. Traces are served at -debug-addr's
+// /debug/traces (next to /debug/machine and /debug/pprof/*), and -trace-out
+// writes everything retained at shutdown as a Chrome trace_event file —
+// load it at ui.perfetto.dev or chrome://tracing. With both tracing flags
+// zero the publish hot path is unaffected.
 //
 // On SIGTERM or SIGINT the broker drains gracefully: it stops accepting,
 // rejects new publishes, flips /healthz to not-ready, flushes every
@@ -54,9 +65,10 @@ import (
 
 // options carries the non-Config outputs of flag parsing.
 type options struct {
-	drain   time.Duration
-	version bool
-	wal     *wal.Log
+	drain    time.Duration
+	version  bool
+	wal      *wal.Log
+	traceOut string
 }
 
 func main() {
@@ -81,6 +93,12 @@ func main() {
 	if srv.MetricsAddr() != "" {
 		logger.Printf("metrics on http://%s/metrics", srv.MetricsAddr())
 	}
+	if srv.DebugAddr() != "" {
+		logger.Printf("introspection on http://%s/debug/traces (+ /debug/machine, /debug/pprof)", srv.DebugAddr())
+	}
+	if r := srv.Tracer(); r.Enabled() {
+		logger.Printf("tracing: sample 1/%d, slow threshold %v", r.SampleEvery(), r.SlowThreshold())
+	}
 	if opts.wal != nil {
 		st := opts.wal.Stats()
 		logger.Printf("wal: %d segments, offsets [%d, %d)", st.Segments, st.FirstOffset, st.NextOffset)
@@ -93,6 +111,13 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	err = srv.Shutdown(ctx)
+	if opts.traceOut != "" {
+		if werr := writeTraceFile(srv, opts.traceOut); werr != nil {
+			logger.Printf("trace dump: %v", werr)
+		} else {
+			logger.Printf("traces written to %s", opts.traceOut)
+		}
+	}
 	if opts.wal != nil {
 		if werr := opts.wal.Close(); werr != nil {
 			logger.Printf("wal close: %v", werr)
@@ -103,6 +128,19 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Printf("drained cleanly")
+}
+
+// writeTraceFile dumps every retained trace as a Chrome trace_event file.
+func writeTraceFile(srv *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // versionString reports the module version (from build info, "(devel)" for
@@ -125,6 +163,10 @@ func buildConfig(args []string) (server.Config, options, error) {
 	fs := flag.NewFlagSet("xpushserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":9310", "data-plane listen address")
 	metricsAddr := fs.String("metrics-addr", ":9311", "metrics listen address (empty disables /metrics)")
+	debugAddr := fs.String("debug-addr", "", "introspection listen address: /debug/traces, /debug/machine, /debug/pprof (empty disables; pprof exposes heap contents — bind to loopback)")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 of every N published documents end to end (0 disables sampling)")
+	traceSlow := fs.Duration("trace-slow", 0, "capture every document slower than this end to end, regardless of sampling (0 disables)")
+	traceOut := fs.String("trace-out", "", "write retained traces as a Chrome trace_event file on shutdown (view at ui.perfetto.dev)")
 	queriesPath := fs.String("queries", "", "file with one initial XPath filter per line (warms the machine)")
 	backend := fs.String("backend", "engine", "filter backend: engine, pool, or sharded")
 	workers := fs.Int("workers", 0, "pool workers / shard count (0 = GOMAXPROCS)")
@@ -197,9 +239,15 @@ func buildConfig(args []string) (server.Config, options, error) {
 			return server.Config{}, options{}, err
 		}
 	}
+	if *traceSample < 0 {
+		return server.Config{}, options{}, fmt.Errorf("-trace-sample: must be >= 0, got %d", *traceSample)
+	}
 	cfg := server.Config{
 		Addr:             *addr,
 		MetricsAddr:      *metricsAddr,
+		DebugAddr:        *debugAddr,
+		TraceSample:      *traceSample,
+		TraceSlow:        *traceSlow,
 		Backend:          bk,
 		Workers:          *workers,
 		Engine:           ecfg,
@@ -214,7 +262,7 @@ func buildConfig(args []string) (server.Config, options, error) {
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapshotInterval,
 	}
-	opts := options{drain: *drainTimeout}
+	opts := options{drain: *drainTimeout, traceOut: *traceOut}
 	if *walDir != "" {
 		if err := validateDir(*walDir); err != nil {
 			return server.Config{}, options{}, fmt.Errorf("-wal-dir: %w", err)

@@ -80,6 +80,36 @@ func TestBuildConfigFull(t *testing.T) {
 	}
 }
 
+func TestBuildConfigTracing(t *testing.T) {
+	cfg, opts, err := buildConfig([]string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "",
+		"-debug-addr", "127.0.0.1:0",
+		"-trace-sample", "500",
+		"-trace-slow", "50ms",
+		"-trace-out", "trace.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DebugAddr != "127.0.0.1:0" {
+		t.Errorf("debug addr = %q", cfg.DebugAddr)
+	}
+	if cfg.TraceSample != 500 || cfg.TraceSlow != 50*time.Millisecond {
+		t.Errorf("tracing = 1/%d, slow %v", cfg.TraceSample, cfg.TraceSlow)
+	}
+	if opts.traceOut != "trace.json" {
+		t.Errorf("trace out = %q", opts.traceOut)
+	}
+	// Defaults: fully off.
+	cfg, opts, err = buildConfig([]string{"-addr", "127.0.0.1:0", "-metrics-addr", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DebugAddr != "" || cfg.TraceSample != 0 || cfg.TraceSlow != 0 || opts.traceOut != "" {
+		t.Errorf("tracing defaults not off: %q 1/%d %v %q", cfg.DebugAddr, cfg.TraceSample, cfg.TraceSlow, opts.traceOut)
+	}
+}
+
 func TestBuildConfigErrors(t *testing.T) {
 	if _, _, err := buildConfig([]string{"-policy", "bogus"}); err == nil {
 		t.Error("bogus policy accepted")
@@ -95,6 +125,9 @@ func TestBuildConfigErrors(t *testing.T) {
 	}
 	if _, _, err := buildConfig([]string{"-fsync", "sometimes"}); err == nil {
 		t.Error("bogus fsync policy accepted")
+	}
+	if _, _, err := buildConfig([]string{"-trace-sample", "-1"}); err == nil {
+		t.Error("negative trace sample accepted")
 	}
 }
 

@@ -320,6 +320,16 @@ func (m *Machine) reset() {
 	}
 }
 
+// Counters returns the four counters the tracing layer reads at document
+// boundaries to compute per-document deltas (span attributes): bottom-up
+// states, table flushes, matches, and events. It reads only atomics —
+// cheap enough to call twice per traced document — and unlike Stats never
+// touches the window lock.
+func (m *Machine) Counters() (bstates, flushes, matches, events int64) {
+	return m.ctr.bstates.Load(), m.ctr.flushes.Load(),
+		m.ctr.matches.Load(), m.ctr.events.Load()
+}
+
 // Stats returns a snapshot of the runtime counters. It is safe to call
 // concurrently with filtering (the snapshot is per-counter consistent, not
 // globally consistent — fine for monitoring).

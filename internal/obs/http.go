@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http"
+	"net/http/pprof"
 )
 
 // MetricsHandler returns an http.Handler that serves the registry in
@@ -40,4 +41,25 @@ func (r *Registry) NewMuxWithReadiness(ready func() bool) *http.ServeMux {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// NewDebugMux returns a mux for an opt-in debug listener: everything from
+// NewMux plus the net/http/pprof handlers under /debug/pprof/. The pprof
+// endpoints expose heap contents and CPU samples, so callers should bind
+// the mux to a loopback or otherwise trusted address.
+func (r *Registry) NewDebugMux() *http.ServeMux {
+	mux := r.NewMux()
+	RegisterPprof(mux)
+	return mux
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/, matching what importing net/http/pprof does to
+// http.DefaultServeMux — without touching the default mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

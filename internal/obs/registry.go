@@ -17,7 +17,15 @@ const (
 	kindGauge
 	kindHistogram
 	kindSummary
+	kindGaugeVec
 )
+
+// Labeled is one sample of a labeled gauge family: Labels is the rendered
+// label set without braces (`name="orders"`), Value the sample value.
+type Labeled struct {
+	Labels string
+	Value  float64
+}
 
 // metric is one registered time series family.
 type metric struct {
@@ -30,6 +38,7 @@ type metric struct {
 	gaugeFn   func() float64
 	counterFn func() int64
 	snapFn    func() Snapshot
+	vecFn     func() []Labeled
 	quantiles []float64
 }
 
@@ -81,6 +90,14 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.add(&metric{name: name, help: help, kind: kindGauge, gaugeFn: f})
 }
 
+// GaugeVecFunc registers a labeled gauge family pulled at encoding time:
+// f returns one Labeled sample per label set (e.g. one per durable
+// subscription). The family may be empty on a given scrape; only the TYPE
+// and HELP lines are emitted then.
+func (r *Registry) GaugeVecFunc(name, help string, f func() []Labeled) {
+	r.add(&metric{name: name, help: help, kind: kindGaugeVec, vecFn: f})
+}
+
 // Histogram registers an existing histogram, encoded with cumulative
 // le-labelled buckets plus _sum and _count.
 func (r *Registry) Histogram(name, help string, h *Histogram) {
@@ -120,7 +137,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func (m *metric) write(w io.Writer) error {
-	typ := [...]string{"counter", "gauge", "histogram", "summary"}[m.kind]
+	typ := [...]string{"counter", "gauge", "histogram", "summary", "gauge"}[m.kind]
 	if m.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
 			return err
@@ -148,6 +165,13 @@ func (m *metric) write(w io.Writer) error {
 		}
 		_, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(v))
 		return err
+	case kindGaugeVec:
+		for _, s := range m.vecFn() {
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", m.name, s.Labels, fmtFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
 	case kindHistogram:
 		s := m.snapFn()
 		bounds := BucketBounds()

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// jsonAttr, jsonSpan, jsonTrace shape the /debug/traces payload.
+type jsonSpan struct {
+	Name    string `json:"name"`
+	Parent  SpanID `json:"parent"`
+	Track   int32  `json:"track,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+type jsonTrace struct {
+	ID        uint64     `json:"id"`
+	Kind      string     `json:"kind"`
+	Wall      time.Time  `json:"wall"`
+	TotalNS   int64      `json:"total_ns"`
+	Slow      bool       `json:"slow"`
+	Sampled   bool       `json:"sampled"`
+	Truncated int32      `json:"truncated_spans,omitempty"`
+	Spans     []jsonSpan `json:"spans"`
+}
+
+func toJSONTrace(c *Ctx) jsonTrace {
+	spans := c.Spans()
+	js := make([]jsonSpan, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		js[i] = jsonSpan{
+			Name:    s.Name,
+			Parent:  s.Parent,
+			Track:   s.Track,
+			StartNS: s.Start,
+			DurNS:   s.Dur().Nanoseconds(),
+		}
+		if a := s.Attrs(); len(a) > 0 {
+			js[i].Attrs = append([]Attr(nil), a...)
+		}
+	}
+	return jsonTrace{
+		ID:        c.ID,
+		Kind:      c.Kind,
+		Wall:      c.Wall,
+		TotalNS:   c.Total.Nanoseconds(),
+		Slow:      c.Slow,
+		Sampled:   c.Sampled,
+		Truncated: c.Truncated(),
+		Spans:     js,
+	}
+}
+
+// Handler returns the /debug/traces HTTP handler: a JSON document with the
+// recorder config, counters, the last N head-sampled traces, and the
+// retained slow traces. Safe on a nil recorder (reports enabled=false).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type payload struct {
+			Enabled     bool          `json:"enabled"`
+			SampleEvery int           `json:"sample_every"`
+			SlowNS      int64         `json:"slow_threshold_ns"`
+			Stats       RecorderStats `json:"stats"`
+			Traces      []jsonTrace   `json:"traces"`
+			SlowTraces  []jsonTrace   `json:"slow_traces"`
+		}
+		p := payload{
+			Enabled:     r.Enabled(),
+			SampleEvery: r.SampleEvery(),
+			SlowNS:      r.SlowThreshold().Nanoseconds(),
+			Stats:       r.Stats(),
+			Traces:      []jsonTrace{},
+			SlowTraces:  []jsonTrace{},
+		}
+		for _, c := range r.Traces() {
+			p.Traces = append(p.Traces, toJSONTrace(c))
+		}
+		for _, c := range r.SlowTraces() {
+			p.SlowTraces = append(p.SlowTraces, toJSONTrace(c))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p)
+	})
+}
+
+// WriteChrome renders traces in the Chrome trace_event JSON array format
+// ("X" complete events, microsecond timestamps), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Each trace becomes one
+// process (pid = trace id) and each span track one thread, so concurrent
+// delivery/shard spans render as parallel rows.
+func WriteChrome(w io.Writer, traces []*Ctx) error {
+	var base time.Time
+	for _, c := range traces {
+		if base.IsZero() || c.Wall.Before(base) {
+			base = c.Wall
+		}
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, c := range traces {
+		off := c.Wall.Sub(base).Nanoseconds()
+		spans := c.Spans()
+		for i := range spans {
+			s := &spans[i]
+			if !first {
+				if _, err := io.WriteString(w, ",\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			ts := float64(off+s.Start) / 1e3
+			dur := float64(s.Dur().Nanoseconds()) / 1e3
+			args := map[string]any{"trace_id": c.ID}
+			for _, a := range s.Attrs() {
+				args[a.Key] = a.Val
+			}
+			ev := map[string]any{
+				"name": s.Name,
+				"ph":   "X",
+				"ts":   ts,
+				"dur":  dur,
+				"pid":  c.ID,
+				"tid":  s.Track + 1,
+				"args": args,
+			}
+			if s.Name == c.Kind && s.Parent == NoSpan {
+				ev["cat"] = "root"
+			} else {
+				ev["cat"] = "span"
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+		// Thread-name metadata so Perfetto labels each trace's rows.
+		if len(spans) > 0 {
+			meta := map[string]any{
+				"name": "process_name", "ph": "M", "pid": c.ID,
+				"args": map[string]any{"name": fmt.Sprintf("%s trace %d", c.Kind, c.ID)},
+			}
+			b, err := json.Marshal(meta)
+			if err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// WriteChrome dumps every retained trace in Chrome trace_event format.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, r.Collect())
+}

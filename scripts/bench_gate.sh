@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_gate.sh — fail if tracing-disabled broker throughput regresses more
+# than BUDGET_PCT versus the recorded baseline in a BENCH_*.json file.
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [budget-pct] [benchtime]
+#
+# The gate runs BenchmarkServeLoopback (tracing compiled in but disabled) and
+# compares its docs/sec against the baseline file's BenchmarkServeLoopback
+# entry. Benchmarks on shared CI runners are noisy, so the default budget is
+# deliberately loose (25%); locally, 5% with -benchtime=3s is realistic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_PR4.json}"
+BUDGET_PCT="${2:-25}"
+BENCHTIME="${3:-2s}"
+
+base=$(awk '
+  /"name": "BenchmarkServeLoopback"/ { found = 1 }
+  found && /"docs_per_sec"/ {
+    gsub(/[^0-9.]/, "", $2); print $2; exit
+  }' "$BASELINE")
+if [ -z "$base" ]; then
+  echo "bench_gate: no BenchmarkServeLoopback docs_per_sec in $BASELINE" >&2
+  exit 2
+fi
+
+out=$(go test -run=NONE -bench='BenchmarkServeLoopback$' -benchtime="$BENCHTIME" -count=3 ./server/)
+echo "$out"
+best=$(echo "$out" | awk '/docs\/sec/ { for (i = 1; i < NF; i++) if ($(i+1) == "docs/sec" && $i > m) m = $i } END { print m }')
+if [ -z "$best" ] || [ "$best" = "0" ]; then
+  echo "bench_gate: benchmark produced no docs/sec metric" >&2
+  exit 2
+fi
+
+awk -v base="$base" -v best="$best" -v budget="$BUDGET_PCT" 'BEGIN {
+  floor = base * (1 - budget / 100)
+  printf "bench_gate: baseline %.0f docs/sec, best of 3 runs %.0f, floor %.0f (-%s%%)\n",
+    base, best, floor, budget
+  if (best < floor) {
+    print "bench_gate: FAIL — tracing-disabled loopback throughput regressed past the budget" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Tracer returns the server's trace recorder (nil when tracing is disabled)
+// so embedders can serve or export traces themselves.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
+
+// DebugAddr returns the introspection listen address ("" when disabled).
+func (s *Server) DebugAddr() string {
+	if s.dln == nil {
+		return ""
+	}
+	return s.dln.Addr().String()
+}
+
+// WriteChromeTrace dumps every retained trace in Chrome trace_event format
+// (load the file at ui.perfetto.dev or chrome://tracing). cmd/xpushserve
+// calls this on shutdown for -trace-out.
+func (s *Server) WriteChromeTrace(w io.Writer) error {
+	return s.tracer.WriteChrome(w)
+}
+
+// debugMux assembles the introspection endpoints: /metrics and /healthz
+// (same handlers as the metrics listener), /debug/pprof/*, /debug/traces,
+// and /debug/machine.
+func (s *Server) debugMux() *http.ServeMux {
+	mux := s.reg.NewMuxWithReadiness(func() bool { return !s.draining.Load() })
+	obs.RegisterPprof(mux)
+	mux.Handle("/debug/traces", s.tracer.Handler())
+	mux.HandleFunc("/debug/machine", s.handleMachine)
+	return mux
+}
+
+// machineSnapshot is the /debug/machine payload: one consistent look at the
+// live filter machine, the workload, and the delivery plane.
+type machineSnapshot struct {
+	Backend       Backend `json:"backend"`
+	Queries       int     `json:"queries"`
+	Subscriptions int     `json:"subscriptions"`
+	Connections   int     `json:"connections"`
+	QueueDepth    int     `json:"queue_depth"`
+
+	States        int     `json:"states"`
+	TopDownStates int     `json:"top_down_states"`
+	AvgStateSize  float64 `json:"avg_state_size"`
+	Lookups       int64   `json:"lookups"`
+	Hits          int64   `json:"hits"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Flushes       int64   `json:"flushes"`
+	Documents     int64   `json:"documents"`
+	Events        int64   `json:"events"`
+	Matches       int64   `json:"matches"`
+
+	PoolSize int             `json:"pool_size,omitempty"`
+	Shards   []shardSnapshot `json:"shards,omitempty"`
+
+	DurablePumps int `json:"durable_pumps"`
+
+	Trace traceSnapshot `json:"trace"`
+}
+
+// shardSnapshot is one shard's slice of the sharded backend.
+type shardSnapshot struct {
+	Shard    int     `json:"shard"`
+	Queries  int     `json:"queries"`
+	States   int     `json:"states"`
+	HitRatio float64 `json:"hit_ratio"`
+	Flushes  int64   `json:"flushes"`
+	Matches  int64   `json:"matches"`
+}
+
+type traceSnapshot struct {
+	Enabled     bool                `json:"enabled"`
+	SampleEvery int                 `json:"sample_every"`
+	SlowNS      int64               `json:"slow_threshold_ns"`
+	Stats       trace.RecorderStats `json:"stats"`
+}
+
+func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
+	c := s.cur.Load()
+	st := c.stats()
+	snap := machineSnapshot{
+		Backend:       s.cfg.Backend,
+		Queries:       len(c.queries),
+		Subscriptions: c.subscriptions(),
+
+		States:        st.States,
+		TopDownStates: st.TopDownStates,
+		AvgStateSize:  st.AvgStateSize,
+		Lookups:       st.Lookups,
+		Hits:          st.Hits,
+		HitRatio:      st.HitRatio,
+		Flushes:       st.Flushes,
+		Documents:     st.Documents,
+		Events:        st.Events,
+		Matches:       st.Matches,
+
+		DurablePumps: int(s.pumpsActive.Load()),
+		Trace: traceSnapshot{
+			Enabled:     s.tracer.Enabled(),
+			SampleEvery: s.tracer.SampleEvery(),
+			SlowNS:      s.tracer.SlowThreshold().Nanoseconds(),
+			Stats:       s.tracer.Stats(),
+		},
+	}
+	s.connMu.Lock()
+	snap.Connections = len(s.conns)
+	for cn := range s.conns {
+		snap.QueueDepth += cn.queueDepth()
+	}
+	s.connMu.Unlock()
+	if c.pool != nil {
+		snap.PoolSize = c.pool.Size()
+	}
+	if c.sharded != nil {
+		for i, ss := range c.sharded.ShardStats() {
+			snap.Shards = append(snap.Shards, shardSnapshot{
+				Shard:    i,
+				Queries:  c.sharded.ShardQueries(i),
+				States:   ss.States,
+				HitRatio: ss.HitRatio,
+				Flushes:  ss.Flushes,
+				Matches:  ss.Matches,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -4,7 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"time"
 
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/wal"
 )
 
@@ -35,12 +39,24 @@ type CursorStore interface {
 	Store(name string, offset uint64) error
 }
 
+// docLogTraced is the optional tracing seam on DocLog: a log implementing
+// it records the fsync wait of a traced append as a child span. The server
+// type-asserts at publish time, so injected test logs without the method
+// still work.
+type docLogTraced interface {
+	AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error)
+}
+
 type walDocLog struct{ l *wal.Log }
 
 func (w walDocLog) Append(doc []byte) (uint64, error)        { return w.l.Append(doc) }
 func (w walDocLog) OpenReader(off uint64) (DocReader, error) { return w.l.OpenReader(off) }
 func (w walDocLog) FirstOffset() uint64                      { return w.l.FirstOffset() }
 func (w walDocLog) NextOffset() uint64                       { return w.l.NextOffset() }
+
+func (w walDocLog) AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error) {
+	return w.l.AppendTraced(doc, tc, parent)
+}
 
 // WrapWAL adapts a *wal.Log to the DocLog seam for Config.WAL.
 func WrapWAL(l *wal.Log) DocLog {
@@ -142,10 +158,14 @@ func (s *Server) subscribeDurable(cn *conn, name, xpath string) (id, resume uint
 }
 
 // pump is the durable delivery loop: replay from start, then follow the live
-// tail.
+// tail. Each replayed document gets its own "replay" trace (under the same
+// sampling rules as publishes) covering the log read, the re-filter, and the
+// frame write, with the cursor's distance from the log head as replay_lag.
 func (cn *conn) pump(name string, start uint64) {
 	defer cn.pumpWG.Done()
 	s := cn.s
+	s.pumpsActive.Add(1)
+	defer s.pumpsActive.Add(-1)
 	r, err := s.wal.OpenReader(start)
 	if err != nil {
 		s.logf("durable %q: open reader: %v", name, err)
@@ -155,6 +175,7 @@ func (cn *conn) pump(name string, start uint64) {
 	defer r.Close()
 	for {
 		ch := s.walChan() // before Next: see walChan
+		t0 := time.Now()
 		off, doc, err := r.Next()
 		switch {
 		case err == io.EOF:
@@ -181,7 +202,17 @@ func (cn *conn) pump(name string, start uint64) {
 			cn.close()
 			return
 		}
-		ids, err := s.matchDurable(cn, doc)
+		// BeginAt backdates the trace to before Next so the log read is
+		// covered; the tail-parked EOF path above never reaches here, so t0
+		// measures an actual read, not a wait.
+		tc := s.tracer.BeginAt("replay", t0)
+		tc.AddSpan("log_read", trace.Root, 0, tc.Offset(time.Now()))
+		tc.SetAttr(trace.Root, "offset", int64(off))
+		tc.SetAttr(trace.Root, "doc_bytes", int64(len(doc)))
+		if next := s.wal.NextOffset(); next > off {
+			tc.SetAttr(trace.Root, "replay_lag", int64(next-(off+1)))
+		}
+		ids, err := s.matchDurable(cn, doc, tc, trace.Root)
 		if err != nil {
 			// The document is already accepted into the log; a filter error
 			// here (e.g. malformed XML vs a stricter engine config) must not
@@ -189,25 +220,30 @@ func (cn *conn) pump(name string, start uint64) {
 			s.logf("durable %q: filter error at offset %d: %v", name, off, err)
 		}
 		if len(ids) > 0 {
-			payload := AppendDeliverAtPayload(make([]byte, 0, 12+8*len(ids)+len(doc)), off, ids, doc)
-			if werr := cn.writeFrame(FrameDeliverAt, payload); werr != nil {
+			payload := AppendDeliverAtPayloadTrace(make([]byte, 0, 20+8*len(ids)+len(doc)), off, ids, doc, tc.TraceID())
+			wspan := tc.StartSpan("deliver_write", trace.Root)
+			werr := cn.writeFrame(FrameDeliverAt, payload)
+			tc.EndSpan(wspan)
+			if werr != nil {
 				// A failed frame write (e.g. a write-deadline expiry mid-frame)
 				// leaves the stream unusable; tear the connection down so the
 				// serve loop releases the durable name and the client can
 				// reconnect, instead of silently stopping deliveries.
 				s.logf("durable %q: write at offset %d: %v", name, off, werr)
+				tc.Finish()
 				cn.close()
 				return
 			}
 			s.mDurDeliver.Inc()
 		}
+		tc.Finish()
 		cn.pumpOff.Store(off + 1)
 	}
 }
 
 // matchDurable filters one replayed document and returns the matched filter
 // ids that belong to cn's durable subscriptions.
-func (s *Server) matchDurable(cn *conn, doc []byte) ([]uint64, error) {
+func (s *Server) matchDurable(cn *conn, doc []byte, tc *trace.Ctx, parent trace.SpanID) ([]uint64, error) {
 	var (
 		c       *core
 		matches []int
@@ -215,11 +251,11 @@ func (s *Server) matchDurable(cn *conn, doc []byte) ([]uint64, error) {
 	)
 	if cc := s.cur.Load(); cc.concurrent() {
 		c = cc
-		matches, err = cc.filterDocument(doc)
+		matches, err = cc.filterDocument(doc, tc, parent)
 	} else {
 		s.pubMu.Lock()
 		c = s.cur.Load()
-		matches, err = c.filterDocument(doc)
+		matches, err = c.filterDocument(doc, tc, parent)
 		s.pubMu.Unlock()
 	}
 	if err != nil {
@@ -316,6 +352,25 @@ func (s *Server) registerDurableMetrics() {
 		}
 		s.durMu.Unlock()
 		return float64(max)
+	})
+	s.reg.GaugeVecFunc("xpush_durable_replay_lag_offsets",
+		"log records between a durable subscriber's persisted cursor and the log head", func() []obs.Labeled {
+			next := s.wal.NextOffset()
+			s.durMu.Lock()
+			out := make([]obs.Labeled, 0, len(s.durables))
+			for name, cn := range s.durables {
+				var lag uint64
+				if a := cn.acked.Load(); a < next {
+					lag = next - a
+				}
+				out = append(out, obs.Labeled{Labels: fmt.Sprintf("name=%q", name), Value: float64(lag)})
+			}
+			s.durMu.Unlock()
+			sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+			return out
+		})
+	s.reg.GaugeFunc("xpush_durable_pump_active", "running durable replay pumps", func() float64 {
+		return float64(s.pumpsActive.Load())
 	})
 	s.reg.GaugeFunc("xpushserve_acked_offset_min", "lowest persisted cursor among connected durable subscribers", func() float64 {
 		s.durMu.Lock()

@@ -54,7 +54,11 @@ import (
 //	  Err          UTF-8 error message
 //	  Pong         empty
 //	  Deliver      u32 BE matched-filter count n, n 8-byte BE filter ids,
-//	               then the document bytes
+//	               then the document bytes. Bit 31 of the count marks a
+//	               traced delivery: an 8-byte BE trace id sits between the
+//	               ids and the document (the count itself is the low 31
+//	               bits), letting a client correlate a delivery with the
+//	               server's /debug/traces output.
 //	  DeliverAt    8-byte BE log offset, then a Deliver payload — the
 //	               durable delivery stream; the offset is what Ack echoes
 const (
@@ -146,34 +150,71 @@ func ParseUint64(p []byte) (uint64, error) {
 	return binary.BigEndian.Uint64(p), nil
 }
 
+// deliverTraceFlag is bit 31 of the Deliver count word: when set, an
+// 8-byte big-endian trace id follows the filter ids. The low 31 bits stay
+// the filter count, so untraced payloads are byte-identical to the pre-flag
+// encoding.
+const deliverTraceFlag = uint32(1) << 31
+
 // AppendDeliverPayload encodes a Deliver payload: the subscriber's matched
 // filter ids followed by the document.
 func AppendDeliverPayload(dst []byte, filters []uint64, doc []byte) []byte {
+	return AppendDeliverPayloadTrace(dst, filters, doc, 0)
+}
+
+// AppendDeliverPayloadTrace is AppendDeliverPayload with a trace id. A zero
+// traceID emits the plain (flag-free) encoding.
+func AppendDeliverPayloadTrace(dst []byte, filters []uint64, doc []byte, traceID uint64) []byte {
 	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], uint32(len(filters)))
+	n := uint32(len(filters))
+	if traceID != 0 {
+		n |= deliverTraceFlag
+	}
+	binary.BigEndian.PutUint32(b[:], n)
 	dst = append(dst, b[:]...)
 	for _, f := range filters {
 		dst = AppendUint64(dst, f)
 	}
+	if traceID != 0 {
+		dst = AppendUint64(dst, traceID)
+	}
 	return append(dst, doc...)
 }
 
-// ParseDeliverPayload decodes a Deliver payload. The returned slices alias
-// p.
+// ParseDeliverPayload decodes a Deliver payload, discarding a trace id if
+// present. The returned slices alias p.
 func ParseDeliverPayload(p []byte) (filters []uint64, doc []byte, err error) {
+	filters, doc, _, err = ParseDeliverPayloadTrace(p)
+	return filters, doc, err
+}
+
+// ParseDeliverPayloadTrace decodes a Deliver payload including its optional
+// trace id (0 when the delivery is untraced). The returned slices alias p.
+func ParseDeliverPayloadTrace(p []byte) (filters []uint64, doc []byte, traceID uint64, err error) {
 	if len(p) < 4 {
-		return nil, nil, fmt.Errorf("server: short deliver payload")
+		return nil, nil, 0, fmt.Errorf("server: short deliver payload")
 	}
 	n := binary.BigEndian.Uint32(p[:4])
 	p = p[4:]
-	if int64(len(p)) < int64(n)*8 {
-		return nil, nil, fmt.Errorf("server: deliver payload truncated (%d ids declared)", n)
+	traced := n&deliverTraceFlag != 0
+	n &^= deliverTraceFlag
+	need := int64(n) * 8
+	if traced {
+		need += 8
+	}
+	if int64(len(p)) < need {
+		return nil, nil, 0, fmt.Errorf("server: deliver payload truncated (%d ids declared)", n)
 	}
 	filters = make([]uint64, n)
 	for i := range filters {
 		filters[i] = binary.BigEndian.Uint64(p[i*8:])
 	}
-	return filters, p[n*8:], nil
+	p = p[n*8:]
+	if traced {
+		traceID = binary.BigEndian.Uint64(p[:8])
+		p = p[8:]
+	}
+	return filters, p, traceID, nil
 }
 
 // AppendSubscribeDurablePayload encodes a SubscribeDurable payload: the
@@ -206,13 +247,27 @@ func AppendDeliverAtPayload(dst []byte, offset uint64, filters []uint64, doc []b
 	return AppendDeliverPayload(dst, filters, doc)
 }
 
-// ParseDeliverAtPayload decodes a DeliverAt payload. The returned slices
-// alias p.
+// AppendDeliverAtPayloadTrace is AppendDeliverAtPayload with a trace id
+// (see AppendDeliverPayloadTrace).
+func AppendDeliverAtPayloadTrace(dst []byte, offset uint64, filters []uint64, doc []byte, traceID uint64) []byte {
+	dst = AppendUint64(dst, offset)
+	return AppendDeliverPayloadTrace(dst, filters, doc, traceID)
+}
+
+// ParseDeliverAtPayload decodes a DeliverAt payload, discarding a trace id
+// if present. The returned slices alias p.
 func ParseDeliverAtPayload(p []byte) (offset uint64, filters []uint64, doc []byte, err error) {
+	offset, filters, doc, _, err = ParseDeliverAtPayloadTrace(p)
+	return offset, filters, doc, err
+}
+
+// ParseDeliverAtPayloadTrace decodes a DeliverAt payload including its
+// optional trace id. The returned slices alias p.
+func ParseDeliverAtPayloadTrace(p []byte) (offset uint64, filters []uint64, doc []byte, traceID uint64, err error) {
 	if len(p) < 8 {
-		return 0, nil, nil, fmt.Errorf("server: short deliver-at payload")
+		return 0, nil, nil, 0, fmt.Errorf("server: short deliver-at payload")
 	}
 	offset = binary.BigEndian.Uint64(p[:8])
-	filters, doc, err = ParseDeliverPayload(p[8:])
-	return offset, filters, doc, err
+	filters, doc, traceID, err = ParseDeliverPayloadTrace(p[8:])
+	return offset, filters, doc, traceID, err
 }

@@ -106,6 +106,42 @@ func TestDeliverPayloadCodec(t *testing.T) {
 	}
 }
 
+func TestDeliverPayloadTraceCodec(t *testing.T) {
+	doc := []byte(`<m><v>7</v></m>`)
+	filters := []uint64{3, 17}
+
+	// A zero trace id is byte-identical to the plain encoding — old clients
+	// keep working against untraced deliveries.
+	if plain, traced := AppendDeliverPayload(nil, filters, doc), AppendDeliverPayloadTrace(nil, filters, doc, 0); !bytes.Equal(plain, traced) {
+		t.Errorf("zero-trace-id encoding differs from plain: %x vs %x", plain, traced)
+	}
+
+	p := AppendDeliverPayloadTrace(nil, filters, doc, 0xDEADBEEF)
+	gotFilters, gotDoc, traceID, err := ParseDeliverPayloadTrace(p)
+	if err != nil || traceID != 0xDEADBEEF {
+		t.Fatalf("traceID = %#x, %v", traceID, err)
+	}
+	if len(gotFilters) != 2 || gotFilters[0] != 3 || gotFilters[1] != 17 || !bytes.Equal(gotDoc, doc) {
+		t.Fatalf("round-trip = (%v, %q)", gotFilters, gotDoc)
+	}
+	// The flag is masked out of the filter count: the doc boundary is intact.
+	if fs, d2, err := ParseDeliverPayload(p); err != nil || len(fs) != 2 || !bytes.Equal(d2, doc) {
+		t.Fatalf("legacy parse of traced payload = (%v, %q, %v)", fs, d2, err)
+	}
+	// A traced payload too short for its trace id fails cleanly.
+	short := AppendDeliverPayloadTrace(nil, filters, nil, 7)
+	if _, _, _, err := ParseDeliverPayloadTrace(short[:len(short)-4]); err == nil {
+		t.Error("truncated traced payload parsed")
+	}
+
+	// DeliverAt carries the same optional trace id after its offset.
+	ap := AppendDeliverAtPayloadTrace(nil, 99, filters, doc, 7)
+	off, fs, d2, tid, err := ParseDeliverAtPayloadTrace(ap)
+	if err != nil || off != 99 || tid != 7 || len(fs) != 2 || !bytes.Equal(d2, doc) {
+		t.Fatalf("deliver-at round-trip = (%d, %v, %q, %d, %v)", off, fs, d2, tid, err)
+	}
+}
+
 func TestSubscribeDurablePayloadCodec(t *testing.T) {
 	p := AppendSubscribeDurablePayload(nil, "billing-1", `//order[total > 1000]`)
 	name, xpath, err := ParseSubscribeDurablePayload(p)

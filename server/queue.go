@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Policy selects what happens when a subscriber's bounded delivery queue is
@@ -46,6 +47,14 @@ type delivery struct {
 	doc     []byte   // shared, read-only
 	filters []uint64 // the subscriber's filter ids that matched
 	enq     time.Time
+	tc      *trace.Ctx // nil unless the document is traced
+}
+
+// release drops a delivery that will never be written (queue overflow,
+// closed queue, aborted consumer), returning its trace reference so the
+// trace still completes. A nil tc makes this free.
+func (d *delivery) release() {
+	d.tc.Finish()
 }
 
 // queue is a bounded per-subscriber delivery queue. Producers (publish
@@ -84,6 +93,7 @@ func (q *queue) push(d delivery) (disconnect bool) {
 	case q.ch <- d:
 		return false
 	case <-q.done:
+		d.release()
 		return false
 	default:
 	}
@@ -94,11 +104,13 @@ func (q *queue) push(d delivery) (disconnect bool) {
 			case q.ch <- d:
 				return false
 			case <-q.done:
+				d.release()
 				return false
 			default:
 			}
 			select {
-			case <-q.ch: // evict the oldest, then retry
+			case old := <-q.ch: // evict the oldest, then retry
+				old.release()
 				q.dropped.Inc()
 			default:
 			}
@@ -110,16 +122,20 @@ func (q *queue) push(d delivery) (disconnect bool) {
 		case q.ch <- d:
 			return false
 		case <-q.done:
+			d.release()
 			return false
 		case <-t.C:
 			q.dropped.Inc()
+			d.release()
 			return false
 		}
 	case Disconnect:
 		q.dropped.Inc()
+		d.release()
 		return true
 	default: // DropNewest
 		q.dropped.Inc()
+		d.release()
 		return false
 	}
 }
@@ -132,12 +148,14 @@ func (q *queue) close() {
 
 // consume runs the consumer loop: deliver is called for each queued item
 // until close(), then the remaining items are flushed. deliver returns
-// false to abort (e.g. the connection broke).
+// false to abort (e.g. the connection broke); queued deliveries are then
+// released so their traces still complete.
 func (q *queue) consume(deliver func(delivery) bool) {
 	for {
 		select {
 		case d := <-q.ch:
 			if !deliver(d) {
+				q.drainRelease()
 				return
 			}
 		case <-q.done:
@@ -145,12 +163,28 @@ func (q *queue) consume(deliver func(delivery) bool) {
 				select {
 				case d := <-q.ch:
 					if !deliver(d) {
+						q.drainRelease()
 						return
 					}
 				default:
 					return
 				}
 			}
+		}
+	}
+}
+
+// drainRelease empties the queue after an aborted consumer, releasing each
+// delivery's trace reference. A push racing with the drain may land after
+// it and hold its trace open until the queue's done channel closes at
+// teardown — a bounded accounting delay, not a leak of ring memory.
+func (q *queue) drainRelease() {
+	for {
+		select {
+		case d := <-q.ch:
+			d.release()
+		default:
+			return
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	xpushstream "repro"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Backend selects the filtering deployment behind the broker.
@@ -59,6 +60,23 @@ type Config struct {
 	Addr string
 	// MetricsAddr serves GET /metrics and /healthz ("" = disabled).
 	MetricsAddr string
+	// DebugAddr serves the introspection endpoints ("" = disabled):
+	// /debug/traces (recorded document traces), /debug/machine (live
+	// filter-machine snapshot), /debug/pprof/* (Go profiling), plus
+	// /metrics and /healthz. pprof exposes heap contents — bind it to
+	// loopback or a trusted network.
+	DebugAddr string
+
+	// TraceSample enables head sampling: one of every TraceSample published
+	// documents is traced end to end (PUBLISH receive through the last
+	// DELIVER write, including WAL fsync and queue wait). 0 disables.
+	TraceSample int
+	// TraceSlow enables tail capture: every document is measured and any
+	// whose end-to-end latency exceeds the threshold is kept in a separate
+	// slow-trace ring regardless of sampling. 0 disables. With both
+	// TraceSample and TraceSlow zero, tracing is compiled in but fully
+	// disabled and the publish hot path stays zero-allocation.
+	TraceSlow time.Duration
 
 	// Backend selects the filtering deployment ("" = BackendEngine).
 	Backend Backend
@@ -149,15 +167,16 @@ type core struct {
 // filterDocument runs one document through the core's backend. For the
 // engine and sharded backends the caller must hold the server's publish
 // lock (they process one stream at a time); the pool backend is internally
-// concurrent.
-func (c *core) filterDocument(doc []byte) ([]int, error) {
+// concurrent. tc is nil for untraced documents (the common case) and
+// selects the backend's plain filtering path.
+func (c *core) filterDocument(doc []byte, tc *trace.Ctx, parent trace.SpanID) ([]int, error) {
 	switch {
 	case c.pool != nil:
-		return c.pool.FilterDocument(doc)
+		return c.pool.FilterDocumentTraced(doc, tc, parent)
 	case c.sharded != nil:
-		return c.sharded.FilterDocument(doc)
+		return c.sharded.FilterDocumentTraced(doc, tc, parent)
 	default:
-		return c.engine.FilterDocument(doc)
+		return c.engine.FilterDocumentTraced(doc, tc, parent)
 	}
 }
 
@@ -192,10 +211,13 @@ func (c *core) subscriptions() int {
 type Server struct {
 	cfg Config
 
-	ln      net.Listener
-	mln     net.Listener
-	httpSrv *http.Server
-	reg     *obs.Registry
+	ln       net.Listener
+	mln      net.Listener
+	dln      net.Listener
+	httpSrv  *http.Server
+	debugSrv *http.Server
+	reg      *obs.Registry
+	tracer   *trace.Recorder // nil when tracing is disabled
 
 	// ctl serializes control-plane changes (subscribe/unsubscribe/
 	// checkpoint); pubMu serializes filtering for the single-stream
@@ -224,6 +246,7 @@ type Server struct {
 	closeOne sync.Once
 
 	// Metrics.
+	pumpsActive  atomic.Int64 // running durable pump goroutines
 	mPublishes   *obs.Counter
 	mPublishErrs *obs.Counter
 	mDeliveries  *obs.Counter
@@ -253,6 +276,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		conns:    map[*conn]struct{}{},
 		reg:      obs.NewRegistry(),
+		tracer:   trace.New(cfg.TraceSample, cfg.TraceSlow),
 		ckStop:   make(chan struct{}),
 		wal:      cfg.WAL,
 		cursors:  cfg.Cursors,
@@ -284,6 +308,18 @@ func New(cfg Config) (*Server, error) {
 			return !s.draining.Load()
 		})}
 		go s.httpSrv.Serve(s.mln)
+	}
+	if cfg.DebugAddr != "" {
+		s.dln, err = net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			s.ln.Close()
+			if s.mln != nil {
+				s.mln.Close()
+			}
+			return nil, err
+		}
+		s.debugSrv = &http.Server{Handler: s.debugMux()}
+		go s.debugSrv.Serve(s.dln)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -435,6 +471,17 @@ func (s *Server) registerMetrics() {
 		s.deliverLat.Snapshot)
 	s.reg.HistogramFunc("xpushserve_delivery_latency_histogram_seconds",
 		"publish-to-DELIVER-write latency (log buckets)", s.deliverLat.Snapshot)
+	if s.tracer.Enabled() {
+		s.reg.CounterFunc("xpushserve_traces_started_total", "document traces begun (sampled or slow-candidate)", func() int64 {
+			return s.tracer.Stats().Started
+		})
+		s.reg.CounterFunc("xpushserve_traces_kept_total", "document traces retained in a ring", func() int64 {
+			return s.tracer.Stats().Kept
+		})
+		s.reg.CounterFunc("xpushserve_traces_slow_total", "document traces kept by the slow-outlier tail capture", func() int64 {
+			return s.tracer.Stats().Slow
+		})
+	}
 	obs.RegisterProcessMetrics(s.reg)
 	if s.wal != nil {
 		s.registerDurableMetrics()
@@ -553,8 +600,25 @@ func (s *Server) publish(doc []byte) (int, error) {
 		s.mPublishErrs.Inc()
 		return 0, errDraining
 	}
+	// tc is nil for untraced documents — the common case, and the one the
+	// zero-allocation guarantee covers; every span call below is a nil
+	// no-op then. The publish path holds one trace reference, released by
+	// the deferred Finish; each enqueued delivery takes another, so the
+	// trace completes (and its total latency is measured) at the last
+	// DELIVER write, not when publish returns.
+	tc := s.tracer.Begin("publish")
+	defer tc.Finish()
+	tc.SetAttr(trace.Root, "doc_bytes", int64(len(doc)))
 	if s.wal != nil {
-		if _, err := s.wal.Append(doc); err != nil {
+		wspan := tc.StartSpan("wal_append", trace.Root)
+		var err error
+		if tl, ok := s.wal.(docLogTraced); ok {
+			_, err = tl.AppendTraced(doc, tc, wspan)
+		} else {
+			_, err = s.wal.Append(doc)
+		}
+		tc.EndSpan(wspan)
+		if err != nil {
 			s.mPublishErrs.Inc()
 			return 0, fmt.Errorf("server: wal append: %w", err)
 		}
@@ -569,11 +633,13 @@ func (s *Server) publish(doc []byte) (int, error) {
 	)
 	if cc := s.cur.Load(); cc.concurrent() {
 		c = cc
-		matches, err = c.filterDocument(doc)
+		matches, err = c.filterDocument(doc, tc, trace.Root)
 	} else {
+		lspan := tc.StartSpan("publish_lock", trace.Root)
 		s.pubMu.Lock()
+		tc.EndSpan(lspan)
 		c = s.cur.Load() // reload under the lock: always the freshest generation
-		matches, err = c.filterDocument(doc)
+		matches, err = c.filterDocument(doc, tc, trace.Root)
 		s.pubMu.Unlock()
 	}
 	if err != nil {
@@ -611,10 +677,10 @@ func (s *Server) publish(doc []byte) (int, error) {
 		}
 	}
 	if single != nil {
-		s.enqueue(single, delivery{doc: doc, filters: singleIDs, enq: now})
+		s.enqueue(single, delivery{doc: doc, filters: singleIDs, enq: now, tc: tc})
 	}
 	for owner, ids := range perConn {
-		s.enqueue(owner, delivery{doc: doc, filters: ids, enq: now})
+		s.enqueue(owner, delivery{doc: doc, filters: ids, enq: now, tc: tc})
 	}
 	return len(matches), nil
 }
@@ -624,6 +690,10 @@ func (s *Server) enqueue(cn *conn, d delivery) {
 	if q == nil {
 		return // subscriber is already tearing down
 	}
+	// The delivery holds a trace reference until the DELIVER write (or the
+	// drop point that discards it — every queue.push exit path accounts for
+	// it, see delivery.release).
+	d.tc.Ref()
 	if q.push(d) {
 		s.logf("disconnecting slow subscriber %s (policy=%s)", cn.nc.RemoteAddr(), s.cfg.Policy)
 		cn.close()
@@ -839,9 +909,27 @@ func (cn *conn) ensureQueue() *queue {
 }
 
 // deliver writes one DELIVER frame; returning false aborts the consumer.
+// For a traced delivery it records the queue wait and the frame write as
+// spans on the subscriber's own render track, stamps the trace id into the
+// payload, and releases the delivery's trace reference.
 func (cn *conn) deliver(d delivery) bool {
-	payload := AppendDeliverPayload(make([]byte, 0, 4+8*len(d.filters)+len(d.doc)), d.filters, d.doc)
-	if cn.writeFrame(FrameDeliver, payload) != nil {
+	tc := d.tc
+	var traceID uint64
+	var wspan trace.SpanID = trace.NoSpan
+	if tc != nil {
+		traceID = tc.ID
+		track := tc.NextTrack()
+		qw := tc.AddSpan("queue_wait", trace.Root, tc.Offset(d.enq), tc.Offset(time.Now()))
+		tc.SetTrack(qw, track)
+		wspan = tc.StartSpan("deliver_write", trace.Root)
+		tc.SetTrack(wspan, track)
+		tc.SetAttr(wspan, "filters", int64(len(d.filters)))
+	}
+	payload := AppendDeliverPayloadTrace(make([]byte, 0, 12+8*len(d.filters)+len(d.doc)), d.filters, d.doc, traceID)
+	werr := cn.writeFrame(FrameDeliver, payload)
+	tc.EndSpan(wspan)
+	tc.Finish()
+	if werr != nil {
 		return false
 	}
 	cn.s.mDeliveries.Inc()
@@ -872,6 +960,9 @@ func (cn *conn) teardown() {
 	if q := cn.queue(); q != nil {
 		q.close()
 		cn.deliverWG.Wait()
+		// A push racing with close can land in the buffered channel after
+		// the consumer exits; release those so their traces complete.
+		q.drainRelease()
 	}
 	cn.close()
 	cn.stopPump()
@@ -965,6 +1056,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
+	}
+	if s.debugSrv != nil {
+		s.debugSrv.Close()
 	}
 	return drainErr
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sax"
+	"repro/internal/trace"
 )
 
 // ShardedEngine partitions one workload across several engines that filter
@@ -87,11 +88,20 @@ func (s *ShardedEngine) NumShards() int { return len(s.shards) }
 // is reused across calls, so FilterDocument is not safe for concurrent use
 // (matching Engine.FilterDocument).
 func (s *ShardedEngine) FilterDocument(doc []byte) ([]int, error) {
+	return s.filterDocument(doc, nil, trace.NoSpan)
+}
+
+// filterDocument is the shared body of FilterDocument and
+// FilterDocumentTraced; tc is nil for untraced documents.
+func (s *ShardedEngine) filterDocument(doc []byte, tc *trace.Ctx, parent trace.SpanID) ([]int, error) {
 	start := time.Now()
+	parseSpan := tc.StartSpan("parse", parent)
 	s.col.Reset()
 	if err := sax.Parse(doc, &s.col); err != nil {
 		return nil, err
 	}
+	tc.SetAttr(parseSpan, "events", int64(len(s.col.Events)))
+	tc.EndSpan(parseSpan)
 	s.bytes.Add(int64(len(doc)))
 	if s.results == nil {
 		s.results = make([][]int, len(s.shards))
@@ -99,7 +109,7 @@ func (s *ShardedEngine) FilterDocument(doc []byte) ([]int, error) {
 	}
 	if len(s.shards) == 1 {
 		// No fan-out needed; filter on the calling goroutine.
-		local, err := s.shards[0].filterParsedDocument(s.col.Events)
+		local, err := s.traceShard(0, tc, parent, s.col.Events)
 		if err != nil {
 			return nil, fmt.Errorf("shard 0: %w", err)
 		}
@@ -117,7 +127,7 @@ func (s *ShardedEngine) FilterDocument(doc []byte) ([]int, error) {
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			local, err := s.shards[sh].filterParsedDocument(s.col.Events)
+			local, err := s.traceShard(sh, tc, parent, s.col.Events)
 			if err != nil {
 				s.errs[sh] = err
 				return

@@ -1,0 +1,205 @@
+package xpushstream
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sax"
+	"repro/internal/trace"
+)
+
+// Re-exported tracing types, mirroring the obs re-exports in metrics.go so
+// applications embedding the engine can trace documents without importing
+// the internal package. A nil *TraceRecorder / *TraceCtx is the disabled
+// state: every method is a no-op and the filtering hot path stays
+// zero-allocation.
+type (
+	// TraceRecorder samples and retains per-document traces.
+	TraceRecorder = trace.Recorder
+	// TraceCtx is one in-flight document trace.
+	TraceCtx = trace.Ctx
+	// TraceSpanID identifies a span within its trace.
+	TraceSpanID = trace.SpanID
+)
+
+// TraceRoot is the id of a trace's root span.
+const TraceRoot = trace.Root
+
+// NewTraceRecorder builds a recorder: sampleEvery picks head sampling
+// (trace 1 of every N documents, <= 0 off), slow picks tail capture (keep
+// any document slower than the threshold, 0 off). Both off returns nil —
+// fully disabled tracing.
+func NewTraceRecorder(sampleEvery int, slow time.Duration) *TraceRecorder {
+	return trace.New(sampleEvery, slow)
+}
+
+// layerSpanNames gives small layer counts a constant span name without a
+// per-document allocation; deeper layer stacks share the last name and are
+// distinguished by their `layer` attribute.
+var layerSpanNames = [...]string{
+	"layer0", "layer1", "layer2", "layer3", "layer4", "layer5", "layer6", "layer7",
+}
+
+func layerSpanName(li int) string {
+	if li < len(layerSpanNames) {
+		return layerSpanNames[li]
+	}
+	return "layerN"
+}
+
+// sumCounters adds up the machine-telemetry counters across layers.
+func sumCounters(layers []*core.Machine) (c [4]int64) {
+	for _, m := range layers {
+		b, f, mt, ev := m.Counters()
+		c[0] += b
+		c[1] += f
+		c[2] += mt
+		c[3] += ev
+	}
+	return c
+}
+
+// traceStartDocument opens the per-document filter span and captures the
+// machine-counter baselines for the end-of-document deltas.
+func (d *byteDriver) traceStartDocument() {
+	d.tcSpan = d.tc.StartSpan("filter", d.tcParent)
+	if cap(d.layerNS) < len(d.e.layers) {
+		d.layerNS = make([]int64, len(d.e.layers))
+	}
+	d.layerNS = d.layerNS[:len(d.e.layers)]
+	for i := range d.layerNS {
+		d.layerNS[i] = 0
+	}
+	d.ctrBase = sumCounters(d.e.layers)
+}
+
+// traceEndDocument closes the filter span: machine telemetry deltas become
+// span attributes, and each layer's accumulated event time becomes a child
+// span (stacked sequentially — layers run in lockstep per event, so the
+// per-layer times are exclusive and sum to the machine portion of the
+// filter span).
+func (d *byteDriver) traceEndDocument(matches int) {
+	tc, sp := d.tc, d.tcSpan
+	now := sumCounters(d.e.layers)
+	tc.SetAttr(sp, "states_created", now[0]-d.ctrBase[0])
+	tc.SetAttr(sp, "table_flushes", now[1]-d.ctrBase[1])
+	tc.SetAttr(sp, "matches", int64(matches))
+	tc.SetAttr(sp, "events", now[3]-d.ctrBase[3])
+	cur := tc.Offset(d.docStart)
+	for li, ns := range d.layerNS {
+		id := tc.AddSpan(layerSpanName(li), sp, cur, cur+ns)
+		tc.SetAttr(id, "layer", int64(li))
+		cur += ns
+	}
+	tc.EndSpan(sp)
+}
+
+// FilterBytesTraced is FilterBytes with span recording: each document in
+// data gets a "filter" child span of parent on tc, carrying machine
+// telemetry attributes (states created, table flushes, match count, event
+// count) and per-layer child spans. A nil tc selects the plain path — call
+// sites thread the context unconditionally.
+func (e *Engine) FilterBytesTraced(data []byte, tc *TraceCtx, parent TraceSpanID, onDocument func(matches []int)) error {
+	if tc == nil {
+		return e.FilterBytes(data, onDocument)
+	}
+	e.bytes.Add(int64(len(data)))
+	e.drv.e = e
+	e.drv.onDocument = onDocument
+	e.drv.tc = tc
+	e.drv.tcParent = parent
+	err := e.bscan.Parse(data, &e.drv)
+	e.drv.onDocument = nil
+	e.drv.tc = nil
+	if err != nil {
+		return err
+	}
+	for _, m := range e.layers {
+		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FilterDocumentTraced is FilterDocument with span recording (see
+// FilterBytesTraced). A nil tc selects the plain path.
+func (e *Engine) FilterDocumentTraced(doc []byte, tc *TraceCtx, parent TraceSpanID) ([]int, error) {
+	if tc == nil {
+		return e.FilterDocument(doc)
+	}
+	var out []int
+	var n int
+	err := e.FilterBytesTraced(doc, tc, parent, func(matches []int) {
+		n++
+		out = append(out[:0], matches...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != 1 {
+		return nil, errExpectOneDocument(n)
+	}
+	return out, nil
+}
+
+// FilterDocumentTraced filters on an idle worker, recording the wait for a
+// free engine as a "pool_wait" span and the filtering itself through the
+// worker's traced path. A nil tc selects the plain path.
+func (p *Pool) FilterDocumentTraced(doc []byte, tc *TraceCtx, parent TraceSpanID) ([]int, error) {
+	if tc == nil {
+		return p.FilterDocument(doc)
+	}
+	wait := tc.StartSpan("pool_wait", parent)
+	e := <-p.free
+	tc.EndSpan(wait)
+	matches, err := e.FilterDocumentTraced(doc, tc, parent)
+	p.free <- e
+	return matches, err
+}
+
+// FilterDocumentTraced is ShardedEngine.FilterDocument with span recording:
+// the single parse gets a "parse" span and each shard's filtering a
+// per-shard span on its own render track (shards run concurrently). A nil
+// tc selects the plain path.
+func (s *ShardedEngine) FilterDocumentTraced(doc []byte, tc *TraceCtx, parent TraceSpanID) ([]int, error) {
+	return s.filterDocument(doc, tc, parent)
+}
+
+// shardSpanNames mirrors layerSpanNames for shard spans.
+var shardSpanNames = [...]string{
+	"shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7",
+}
+
+func shardSpanName(sh int) string {
+	if sh < len(shardSpanNames) {
+		return shardSpanNames[sh]
+	}
+	return "shardN"
+}
+
+// traceShard wraps one shard's filtering in a span on its own track.
+func (s *ShardedEngine) traceShard(sh int, tc *TraceCtx, parent TraceSpanID, events []sax.Event) ([]int, error) {
+	sp := tc.StartSpan(shardSpanName(sh), parent)
+	if tc != nil && len(s.shards) > 1 {
+		tc.SetTrack(sp, tc.NextTrack())
+	}
+	local, err := s.shards[sh].filterParsedDocument(events)
+	tc.SetAttr(sp, "shard", int64(sh))
+	tc.SetAttr(sp, "matches", int64(len(local)))
+	tc.EndSpan(sp)
+	return local, err
+}
+
+// ShardStats returns each shard's engine statistics, for live machine
+// introspection (/debug/machine reports per-shard state counts and sizes).
+func (s *ShardedEngine) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// ShardQueries returns the number of queries assigned to shard sh.
+func (s *ShardedEngine) ShardQueries(sh int) int { return len(s.mapping[sh]) }

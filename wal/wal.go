@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 const (
@@ -393,6 +394,15 @@ func (l *Log) createSegment(base uint64) error {
 // error is still returned: the caller sees a rejected append that may
 // nevertheless be replayed, the at-least-once-safe direction.
 func (l *Log) Append(doc []byte) (uint64, error) {
+	return l.AppendTraced(doc, nil, trace.NoSpan)
+}
+
+// AppendTraced is Append with span recording: when tc is non-nil and the
+// fsync policy is FsyncAlways, the wait for stable storage is recorded as
+// an "fsync_wait" child span of parent (under the other policies the
+// append returns before any sync, so there is no wait to record). A nil tc
+// selects the plain path.
+func (l *Log) AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error) {
 	if len(doc) == 0 {
 		return 0, errors.New("wal: empty document")
 	}
@@ -440,7 +450,10 @@ func (l *Log) Append(doc []byte) (uint64, error) {
 	l.appends++
 	switch l.opt.Fsync {
 	case FsyncAlways:
-		if serr := l.syncLocked(true); serr != nil {
+		fsSpan := tc.StartSpan("fsync_wait", parent)
+		serr := l.syncLocked(true)
+		tc.EndSpan(fsSpan)
+		if serr != nil {
 			// The record reached the file but not stable storage. Undo it so
 			// the failed append assigns no offset: the server rejects the
 			// publish, and a surviving record would be replayed to durable

@@ -45,6 +45,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/obs"
 	"repro/internal/sax"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xpath"
 )
@@ -347,9 +348,13 @@ func (e *Engine) FilterDocument(doc []byte) ([]int, error) {
 		return nil, err
 	}
 	if n != 1 {
-		return nil, fmt.Errorf("xpushstream: FilterDocument expects exactly one document, got %d", n)
+		return nil, errExpectOneDocument(n)
 	}
 	return out, nil
+}
+
+func errExpectOneDocument(n int) error {
+	return fmt.Errorf("xpushstream: FilterDocument expects exactly one document, got %d", n)
 }
 
 // FilterStream processes a stream of concatenated XML documents, invoking
@@ -392,30 +397,68 @@ type byteDriver struct {
 	onDocument func(matches []int)
 	scratch    []int
 	docStart   time.Time
+
+	// Tracing state, set only by FilterBytesTraced for sampled documents.
+	// The common untraced case pays exactly one nil check per event method;
+	// the traced path times each layer's event handling into layerNS and
+	// synthesizes per-layer child spans at the document boundary (see
+	// tracing.go).
+	tc       *trace.Ctx
+	tcParent trace.SpanID
+	tcSpan   trace.SpanID
+	layerNS  []int64
+	ctrBase  [4]int64 // bstates, flushes, matches, events at doc start
 }
 
 func (d *byteDriver) StartDocument() {
 	d.docStart = time.Now()
+	if d.tc != nil {
+		d.traceStartDocument()
+	}
 	for _, m := range d.e.layers {
 		m.StartDocument()
 	}
 }
 
 func (d *byteDriver) StartElementBytes(name []byte) {
-	for _, m := range d.e.layers {
+	if d.tc == nil {
+		for _, m := range d.e.layers {
+			m.StartElementBytes(name)
+		}
+		return
+	}
+	for li, m := range d.e.layers {
+		t0 := time.Now()
 		m.StartElementBytes(name)
+		d.layerNS[li] += time.Since(t0).Nanoseconds()
 	}
 }
 
 func (d *byteDriver) TextBytes(data []byte) {
-	for _, m := range d.e.layers {
+	if d.tc == nil {
+		for _, m := range d.e.layers {
+			m.TextBytes(data)
+		}
+		return
+	}
+	for li, m := range d.e.layers {
+		t0 := time.Now()
 		m.TextBytes(data)
+		d.layerNS[li] += time.Since(t0).Nanoseconds()
 	}
 }
 
 func (d *byteDriver) EndElementBytes(name []byte) {
-	for _, m := range d.e.layers {
+	if d.tc == nil {
+		for _, m := range d.e.layers {
+			m.EndElementBytes(name)
+		}
+		return
+	}
+	for li, m := range d.e.layers {
+		t0 := time.Now()
 		m.EndElementBytes(name)
+		d.layerNS[li] += time.Since(t0).Nanoseconds()
 	}
 }
 
@@ -435,6 +478,9 @@ func (d *byteDriver) EndDocument() {
 		}
 	}
 	sort.Ints(d.scratch)
+	if d.tc != nil {
+		d.traceEndDocument(len(d.scratch))
+	}
 	d.onDocument(d.scratch)
 }
 
@@ -444,6 +490,7 @@ func (e *Engine) FilterBytes(data []byte, onDocument func(matches []int)) error 
 	e.bytes.Add(int64(len(data)))
 	e.drv.e = e
 	e.drv.onDocument = onDocument
+	e.drv.tc = nil
 	err := e.bscan.Parse(data, &e.drv)
 	e.drv.onDocument = nil
 	if err != nil {
