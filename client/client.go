@@ -75,6 +75,9 @@ type Client struct {
 	errMu   sync.Mutex
 	readErr error
 
+	pipeMu sync.Mutex
+	pipe   *Pipeline // active pipelined publisher, if any
+
 	closeOnce sync.Once
 }
 
@@ -127,6 +130,17 @@ func (c *Client) readLoop() {
 				off, filters, doc, traceID, err := server.ParseDeliverAtPayloadTrace(f.Payload)
 				if err == nil {
 					c.opt.OnDeliver(Delivery{Filters: filters, Doc: doc, Durable: true, Offset: off, TraceID: traceID})
+				}
+			}
+			continue
+		}
+		if f.Type == server.FramePubAcks {
+			c.pipeMu.Lock()
+			p := c.pipe
+			c.pipeMu.Unlock()
+			if p != nil {
+				if acks, err := server.ParsePubAcksPayload(f.Payload); err == nil {
+					p.handleAcks(acks)
 				}
 			}
 			continue
@@ -281,4 +295,215 @@ func (c *Client) Close() error {
 	c.closeOnce.Do(func() { c.nc.Close() })
 	<-c.done
 	return nil
+}
+
+// PublishResult is the broker's acknowledgement of one pipelined publish.
+type PublishResult struct {
+	// Seq is the sequence number Pipeline.Publish assigned to the document
+	// (starting at 1, in submission order).
+	Seq uint64
+	// Matches is how many filters matched, when Err is nil.
+	Matches int
+	// Err is the broker-side failure for this document (e.g. the WAL
+	// rejected the append). The pipeline keeps running; use Close's return
+	// to learn whether any publish in the stream failed.
+	Err error
+}
+
+// Pipeline streams publishes without a per-document round trip: Publish
+// writes a PUBLISH_ASYNC frame and returns as soon as the in-flight window
+// has room, while the broker's batched acks flow back on the read loop.
+// Against a fsync=always WAL broker this lets many documents share one
+// group-committed fsync instead of paying one each.
+//
+// A Pipeline is safe for concurrent use, but documents are sequenced in the
+// order Publish acquires the window. Close drains the window and reports the
+// first failed publish.
+type Pipeline struct {
+	c        *Client
+	onResult func(PublishResult) // optional, called from the read loop
+
+	tokens chan struct{} // in-flight window; one token per outstanding doc
+
+	mu       sync.Mutex
+	seq      uint64
+	inflight int
+	firstErr error
+	closed   bool
+	signal   chan struct{} // buffered(1): kicked when inflight hits 0
+}
+
+// PublishPipelined starts a pipelined publish stream with the given
+// in-flight window (documents written but not yet acked; <=0 means 64).
+// onResult, if non-nil, receives every acknowledgement in order from the
+// read loop — it must not block, or deliveries stall. Only one Pipeline may
+// be active per client; Close it before starting another.
+func (c *Client) PublishPipelined(window int, onResult func(PublishResult)) (*Pipeline, error) {
+	if window <= 0 {
+		window = 64
+	}
+	p := &Pipeline{
+		c:        c,
+		onResult: onResult,
+		tokens:   make(chan struct{}, window),
+		signal:   make(chan struct{}, 1),
+	}
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.pipe != nil {
+		return nil, errors.New("client: a pipeline is already active; Close it first")
+	}
+	select {
+	case <-c.done:
+		return nil, fmt.Errorf("client: connection closed: %w", c.err())
+	default:
+	}
+	c.pipe = p
+	return p, nil
+}
+
+// Publish submits one document, blocking only while the in-flight window is
+// full. The returned sequence number matches the eventual PublishResult. A
+// write error tears the pipeline's usefulness down (the connection is
+// broken); it is also latched for Close.
+func (p *Pipeline) Publish(doc []byte) (uint64, error) {
+	select {
+	case p.tokens <- struct{}{}:
+	case <-p.c.done:
+		return 0, fmt.Errorf("client: connection closed: %w", p.c.err())
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.tokens
+		return 0, errors.New("client: pipeline closed")
+	}
+	p.seq++
+	seq := p.seq
+	p.inflight++
+	p.mu.Unlock()
+
+	payload := server.AppendPublishAsyncPayload(nil, seq, doc)
+	p.c.wmu.Lock()
+	err := server.WriteFrame(p.c.nc, server.FramePublishAsync, payload)
+	p.c.wmu.Unlock()
+	if err != nil {
+		p.settle(PublishResult{Seq: seq, Err: err}, false)
+		return seq, err
+	}
+	return seq, nil
+}
+
+// handleAcks runs on the read loop for every PUBACKS frame.
+func (p *Pipeline) handleAcks(acks []server.PubAck) {
+	for _, a := range acks {
+		r := PublishResult{Seq: a.Seq, Matches: int(a.Matches)}
+		if a.Err != "" {
+			r.Err = fmt.Errorf("client: server error: %s", a.Err)
+		}
+		p.settle(r, true)
+	}
+}
+
+// settle records one document's outcome: releases its window slot, latches
+// the first error, and wakes Close when the window drains. notify gates the
+// onResult callback (write failures already returned the error to the
+// caller directly).
+func (p *Pipeline) settle(r PublishResult, notify bool) {
+	p.mu.Lock()
+	if p.inflight > 0 {
+		p.inflight--
+	}
+	if r.Err != nil && p.firstErr == nil {
+		p.firstErr = r.Err
+	}
+	drained := p.inflight == 0
+	p.mu.Unlock()
+	select {
+	case <-p.tokens:
+	default:
+	}
+	if drained {
+		select {
+		case p.signal <- struct{}{}:
+		default:
+		}
+	}
+	if notify && p.onResult != nil {
+		p.onResult(r)
+	}
+}
+
+// Close waits (bounded by Options.Timeout, if set) for every in-flight
+// publish to be acknowledged, detaches the pipeline from the client, and
+// returns the first error any publish in the stream hit. A timeout or a
+// broken connection surfaces as an error even if no individual publish
+// failed, since un-acked documents have unknown fates.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if d := p.c.opt.Timeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var waitErr error
+wait:
+	for {
+		p.mu.Lock()
+		drained := p.inflight == 0
+		p.mu.Unlock()
+		if drained {
+			break
+		}
+		select {
+		case <-p.signal:
+		case <-p.c.done:
+			waitErr = fmt.Errorf("client: connection closed with publishes in flight: %w", p.c.err())
+			break wait
+		case <-timeout:
+			waitErr = fmt.Errorf("client: pipeline close timed out after %v with publishes in flight", p.c.opt.Timeout)
+			break wait
+		}
+	}
+
+	p.c.pipeMu.Lock()
+	if p.c.pipe == p {
+		p.c.pipe = nil
+	}
+	p.c.pipeMu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.firstErr != nil {
+		return p.firstErr
+	}
+	return waitErr
+}
+
+// PublishStreamPipelined splits a stream of concatenated XML documents and
+// publishes each through a pipeline with the given window, returning the
+// number of documents submitted and the first error (parse, write, or
+// broker-side reject).
+func (c *Client) PublishStreamPipelined(r io.Reader, window int) (int, error) {
+	p, err := c.PublishPipelined(window, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	streamErr := sax.StreamDocumentsLimit(r, c.opt.MaxDocBytes, func(doc []byte) error {
+		if _, err := p.Publish(doc); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	closeErr := p.Close()
+	if streamErr != nil {
+		return n, streamErr
+	}
+	return n, closeErr
 }

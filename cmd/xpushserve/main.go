@@ -14,7 +14,8 @@
 //	           [-drain-timeout 10s]
 //	           [-wal-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-wal-segment-bytes 67108864]
-//	           [-retention 0] [-retention-bytes 0]
+//	           [-wal-batch-records 0] [-wal-batch-wait 0]
+//	           [-publish-window 0] [-retention 0] [-retention-bytes 0]
 //	           [-trace-sample 0] [-trace-slow 0] [-trace-out trace.json]
 //	           [-topdown] [-order] [-early] [-train] [-dtd schema.dtd]
 //	           [-strict] [-maxstates 0] [-version]
@@ -186,6 +187,9 @@ func buildConfig(args []string) (server.Config, options, error) {
 	segmentBytes := fs.Int64("wal-segment-bytes", 64<<20, "wal segment rotation size")
 	retention := fs.Duration("retention", 0, "delete sealed wal segments older than this (0 = keep)")
 	retentionBytes := fs.Int64("retention-bytes", 0, "delete oldest sealed wal segments past this total size (0 = keep)")
+	batchRecords := fs.Int("wal-batch-records", 0, "max appends coalesced into one group-committed wal batch (0 = 1024)")
+	batchWait := fs.Duration("wal-batch-wait", 0, "extra commit delay to grow wal batches (0 = commit immediately)")
+	publishWindow := fs.Int("publish-window", 0, "per-connection PUBLISH_ASYNC in-flight window (0 = 256)")
 	topdown := fs.Bool("topdown", false, "enable top-down pruning")
 	order := fs.Bool("order", false, "enable the order optimization (needs -dtd)")
 	early := fs.Bool("early", false, "enable early notification (implies -topdown)")
@@ -243,24 +247,25 @@ func buildConfig(args []string) (server.Config, options, error) {
 		return server.Config{}, options{}, fmt.Errorf("-trace-sample: must be >= 0, got %d", *traceSample)
 	}
 	cfg := server.Config{
-		Addr:             *addr,
-		MetricsAddr:      *metricsAddr,
-		DebugAddr:        *debugAddr,
-		TraceSample:      *traceSample,
-		TraceSlow:        *traceSlow,
-		Backend:          bk,
-		Workers:          *workers,
-		Engine:           ecfg,
-		InitialQueries:   initial,
-		Policy:           pol,
-		QueueDepth:       *queueDepth,
-		BlockDeadline:    *blockDeadline,
-		MaxConns:         *maxConns,
-		MaxDocBytes:      *maxDocBytes,
-		ReadTimeout:      *readTimeout,
-		WriteTimeout:     *writeTimeout,
-		SnapshotPath:     *snapshot,
-		SnapshotInterval: *snapshotInterval,
+		Addr:               *addr,
+		MetricsAddr:        *metricsAddr,
+		DebugAddr:          *debugAddr,
+		TraceSample:        *traceSample,
+		TraceSlow:          *traceSlow,
+		Backend:            bk,
+		Workers:            *workers,
+		Engine:             ecfg,
+		InitialQueries:     initial,
+		Policy:             pol,
+		QueueDepth:         *queueDepth,
+		BlockDeadline:      *blockDeadline,
+		MaxConns:           *maxConns,
+		MaxDocBytes:        *maxDocBytes,
+		ReadTimeout:        *readTimeout,
+		WriteTimeout:       *writeTimeout,
+		SnapshotPath:       *snapshot,
+		SnapshotInterval:   *snapshotInterval,
+		AsyncPublishWindow: *publishWindow,
 	}
 	opts := options{drain: *drainTimeout, traceOut: *traceOut}
 	if *walDir != "" {
@@ -268,13 +273,15 @@ func buildConfig(args []string) (server.Config, options, error) {
 			return server.Config{}, options{}, fmt.Errorf("-wal-dir: %w", err)
 		}
 		l, err := wal.Open(wal.Options{
-			Dir:            *walDir,
-			SegmentBytes:   *segmentBytes,
-			Fsync:          fpol,
-			FsyncEvery:     *fsyncInterval,
-			RetentionBytes: *retentionBytes,
-			RetentionAge:   *retention,
-			MaxRecordBytes: cfg.MaxDocBytes,
+			Dir:             *walDir,
+			SegmentBytes:    *segmentBytes,
+			Fsync:           fpol,
+			FsyncEvery:      *fsyncInterval,
+			RetentionBytes:  *retentionBytes,
+			RetentionAge:    *retention,
+			MaxRecordBytes:  cfg.MaxDocBytes,
+			BatchMaxRecords: *batchRecords,
+			BatchMaxWait:    *batchWait,
 		})
 		if err != nil {
 			return server.Config{}, options{}, err

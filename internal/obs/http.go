@@ -29,14 +29,32 @@ func (r *Registry) NewMux() *http.ServeMux {
 // to an instance that is shutting down, while /metrics stays scrapeable for
 // the final flush. A nil ready means always ready.
 func (r *Registry) NewMuxWithReadiness(ready func() bool) *http.ServeMux {
+	if ready == nil {
+		return r.NewMuxWithStatus(nil)
+	}
+	return r.NewMuxWithStatus(func() (bool, string) {
+		if !ready() {
+			return false, "draining"
+		}
+		return true, "ok"
+	})
+}
+
+// NewMuxWithStatus is NewMux with a full health probe: when status reports
+// not-ok, GET /healthz answers 503 with the status message as the body (e.g.
+// "draining", "degraded: ..."), while /metrics stays scrapeable. A nil
+// status means always healthy.
+func (r *Registry) NewMuxWithStatus(status func() (ok bool, msg string)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if ready != nil && !ready() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("draining\n"))
-			return
+		if status != nil {
+			if ok, msg := status(); !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(msg + "\n"))
+				return
+			}
 		}
 		w.Write([]byte("ok\n"))
 	})

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
-# bench_gate.sh — fail if tracing-disabled broker throughput regresses more
-# than BUDGET_PCT versus the recorded baseline in a BENCH_*.json file.
+# bench_gate.sh — performance gates for the broker's hot paths.
 #
-# Usage: scripts/bench_gate.sh [baseline.json] [budget-pct] [benchtime]
+# Usage: scripts/bench_gate.sh [baseline.json] [budget-pct] [benchtime] [ratio-budget]
 #
-# The gate runs BenchmarkServeLoopback (tracing compiled in but disabled) and
-# compares its docs/sec against the baseline file's BenchmarkServeLoopback
-# entry. Benchmarks on shared CI runners are noisy, so the default budget is
-# deliberately loose (25%); locally, 5% with -benchtime=3s is realistic.
+# Gate 1 (regression vs baseline): runs BenchmarkServeLoopback (tracing
+# compiled in but disabled) and fails if docs/sec drops more than BUDGET_PCT
+# versus the baseline file's BenchmarkServeLoopback entry. Benchmarks on
+# shared CI runners are noisy, so the default budget is deliberately loose
+# (25%); locally, 5% with -benchtime=3s is realistic.
+#
+# Gate 2 (durability-cost ratio): runs the pipelined durable loopback
+# benchmark under fsync=always and fsync=interval and fails if always is
+# more than RATIO_BUDGET times slower. Group commit is what holds this
+# ratio down (it was ~16x with one fsync per publish); the gate is relative
+# to the same machine and run, so it is robust to slow CI disks.
+#
+# Gate 3 (WAL append batching ratio): same ratio check one layer down, on
+# BenchmarkWALAppendBatched's concurrent appenders, pinning the group-commit
+# mechanism itself independent of the network stack.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="${1:-BENCH_PR4.json}"
 BUDGET_PCT="${2:-25}"
 BENCHTIME="${3:-2s}"
+RATIO_BUDGET="${4:-4}"
 
 base=$(awk '
   /"name": "BenchmarkServeLoopback"/ { found = 1 }
@@ -39,6 +50,49 @@ awk -v base="$base" -v best="$best" -v budget="$BUDGET_PCT" 'BEGIN {
     base, best, floor, budget
   if (best < floor) {
     print "bench_gate: FAIL — tracing-disabled loopback throughput regressed past the budget" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'
+
+# Gate 2: pipelined durable loopback, fsync=always within RATIO_BUDGET of
+# fsync=interval.
+dur=$(go test -run=NONE -bench='BenchmarkServeDurableLoopbackPipelined/fsync=(always|interval)$' \
+  -benchtime="$BENCHTIME" ./server/)
+echo "$dur"
+always=$(echo "$dur" | awk '/fsync=always/ { for (i = 1; i < NF; i++) if ($(i+1) == "docs/sec") print $i }' | tail -1)
+interval=$(echo "$dur" | awk '/fsync=interval/ { for (i = 1; i < NF; i++) if ($(i+1) == "docs/sec") print $i }' | tail -1)
+if [ -z "$always" ] || [ -z "$interval" ]; then
+  echo "bench_gate: durable pipelined benchmark produced no docs/sec metric" >&2
+  exit 2
+fi
+awk -v a="$always" -v i="$interval" -v budget="$RATIO_BUDGET" 'BEGIN {
+  ratio = i / a
+  printf "bench_gate: durable pipelined fsync=interval %.0f docs/sec, fsync=always %.0f (%.2fx slower, budget %sx)\n",
+    i, a, ratio, budget
+  if (ratio > budget) {
+    print "bench_gate: FAIL — fsync=always durable throughput fell out of budget vs interval (group commit regressed?)" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'
+
+# Gate 3: concurrent WAL appends, fsync=always within RATIO_BUDGET of
+# fsync=interval (MB/s; same doc size, so ratio is ratio).
+walout=$(go test -run=NONE -bench='BenchmarkWALAppendBatched' -benchtime="$BENCHTIME" ./wal/)
+echo "$walout"
+walways=$(echo "$walout" | awk '/WALAppendBatched\/always/ { for (i = 1; i < NF; i++) if ($(i+1) == "MB/s") print $i }' | tail -1)
+winterval=$(echo "$walout" | awk '/WALAppendBatched\/interval/ { for (i = 1; i < NF; i++) if ($(i+1) == "MB/s") print $i }' | tail -1)
+if [ -z "$walways" ] || [ -z "$winterval" ]; then
+  echo "bench_gate: WAL batched benchmark produced no MB/s metric" >&2
+  exit 2
+fi
+awk -v a="$walways" -v i="$winterval" -v budget="$RATIO_BUDGET" 'BEGIN {
+  ratio = i / a
+  printf "bench_gate: wal batched append fsync=interval %.1f MB/s, fsync=always %.1f (%.2fx slower, budget %sx)\n",
+    i, a, ratio, budget
+  if (ratio > budget) {
+    print "bench_gate: FAIL — group-committed fsync=always append fell out of budget vs interval" > "/dev/stderr"
     exit 1
   }
   print "bench_gate: OK"

@@ -32,7 +32,7 @@ func (s *Server) WriteChromeTrace(w io.Writer) error {
 // (same handlers as the metrics listener), /debug/pprof/*, /debug/traces,
 // and /debug/machine.
 func (s *Server) debugMux() *http.ServeMux {
-	mux := s.reg.NewMuxWithReadiness(func() bool { return !s.draining.Load() })
+	mux := s.reg.NewMuxWithStatus(s.healthStatus)
 	obs.RegisterPprof(mux)
 	mux.Handle("/debug/traces", s.tracer.Handler())
 	mux.HandleFunc("/debug/machine", s.handleMachine)

@@ -47,6 +47,26 @@ type docLogTraced interface {
 	AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error)
 }
 
+// PendingAppend is an append staged into a group-commit batch but not yet
+// committed; Wait blocks for the batch outcome (see wal.Pending).
+type PendingAppend interface {
+	Wait() (uint64, error)
+}
+
+// docLogAsync is the optional group-commit seam on DocLog: AppendAsync
+// stages the document and returns immediately, letting the publish path
+// overlap filtering with the batch fsync. Asserted at publish time, so
+// injected test logs without the method fall back to the blocking Append.
+type docLogAsync interface {
+	AppendAsync(doc []byte) PendingAppend
+}
+
+// docLogHealth is the optional health seam on DocLog: Failed reports a
+// latched persistent storage failure (the /healthz degraded state).
+type docLogHealth interface {
+	Failed() error
+}
+
 type walDocLog struct{ l *wal.Log }
 
 func (w walDocLog) Append(doc []byte) (uint64, error)        { return w.l.Append(doc) }
@@ -57,6 +77,9 @@ func (w walDocLog) NextOffset() uint64                       { return w.l.NextOf
 func (w walDocLog) AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error) {
 	return w.l.AppendTraced(doc, tc, parent)
 }
+
+func (w walDocLog) AppendAsync(doc []byte) PendingAppend { return w.l.AppendAsync(doc) }
+func (w walDocLog) Failed() error                        { return w.l.Failed() }
 
 // WrapWAL adapts a *wal.Log to the DocLog seam for Config.WAL.
 func WrapWAL(l *wal.Log) DocLog {
@@ -173,12 +196,24 @@ func (cn *conn) pump(name string, start uint64) {
 		return
 	}
 	defer r.Close()
+	// Frames are buffered and flushed when the pump catches up with the log
+	// tail (or every pumpFlushEvery frames mid-replay), so a burst of
+	// replayed documents shares one flush instead of paying one per frame.
+	unflushed := 0
 	for {
 		ch := s.walChan() // before Next: see walChan
 		t0 := time.Now()
 		off, doc, err := r.Next()
 		switch {
 		case err == io.EOF:
+			if unflushed > 0 {
+				unflushed = 0
+				if werr := cn.flushFrames(); werr != nil {
+					s.logf("durable %q: flush: %v", name, werr)
+					cn.close()
+					return
+				}
+			}
 			select {
 			case <-ch:
 				continue
@@ -222,7 +257,11 @@ func (cn *conn) pump(name string, start uint64) {
 		if len(ids) > 0 {
 			payload := AppendDeliverAtPayloadTrace(make([]byte, 0, 20+8*len(ids)+len(doc)), off, ids, doc, tc.TraceID())
 			wspan := tc.StartSpan("deliver_write", trace.Root)
-			werr := cn.writeFrame(FrameDeliverAt, payload)
+			werr := cn.writeFrameBuffered(FrameDeliverAt, payload)
+			if unflushed++; werr == nil && unflushed >= pumpFlushEvery {
+				unflushed = 0
+				werr = cn.flushFrames()
+			}
 			tc.EndSpan(wspan)
 			if werr != nil {
 				// A failed frame write (e.g. a write-deadline expiry mid-frame)
@@ -288,18 +327,23 @@ func (cn *conn) handleAck(off uint64) {
 	}
 	// Only the connection currently owning the name may advance its cursor:
 	// a late ack from a taken-over session must not move the new session's
-	// replay point.
+	// replay point. durMu stays held across the Store — releasing it between
+	// the ownership check and the write would let a takeover slip in and the
+	// old session's stale cursor overwrite the new session's.
 	s.durMu.Lock()
-	owns := s.durables[name] == cn
-	s.durMu.Unlock()
-	if !owns {
+	if s.durables[name] != cn {
+		s.durMu.Unlock()
 		return
 	}
-	if err := s.cursors.Store(name, next); err != nil {
+	err := s.cursors.Store(name, next)
+	if err == nil {
+		cn.acked.Store(next)
+	}
+	s.durMu.Unlock()
+	if err != nil {
 		s.logf("durable %q: persisting cursor %d: %v", name, next, err)
 		return
 	}
-	cn.acked.Store(next)
 	s.mAcks.Inc()
 }
 
@@ -412,6 +456,11 @@ func (s *Server) registerDurableMetrics() {
 	s.reg.CounterFunc("xpushserve_wal_syncs_total", "fsyncs of the active log segment", func() int64 {
 		return l.Stats().Syncs
 	})
+	s.reg.CounterFunc("xpush_wal_fsync_errors_total", "failed fsyncs of the active log segment", func() int64 {
+		return l.Stats().FsyncErrors
+	})
+	s.reg.HistogramFunc("xpushserve_wal_batch_size_records",
+		"documents per group-commit batch (log buckets)", l.BatchSizes)
 	s.reg.SummaryFunc("xpushserve_wal_fsync_latency_seconds",
 		"log fsync latency quantiles", []float64{0.5, 0.9, 0.99}, l.FsyncLatency)
 	s.reg.HistogramFunc("xpushserve_wal_fsync_latency_histogram_seconds",

@@ -45,6 +45,11 @@ import (
 //	                    to offset+1. No response frame is sent (acks are
 //	                    fire-and-forget so they can interleave with the
 //	                    client's request/response round-trips).
+//	  PublishAsync      8-byte big-endian client-chosen sequence number,
+//	                    then one XML document. No per-frame response: the
+//	                    server answers with batched PubAcks frames, so a
+//	                    client can stream documents windowed by sequence
+//	                    instead of paying a round trip each.
 //	server -> client
 //	  OK           8-byte big-endian value: the assigned filter id
 //	               (Subscribe), the echoed id (Unsubscribe), or the
@@ -61,6 +66,12 @@ import (
 //	               server's /debug/traces output.
 //	  DeliverAt    8-byte BE log offset, then a Deliver payload — the
 //	               durable delivery stream; the offset is what Ack echoes
+//	  PubAcks      u32 BE entry count, then per entry: 8-byte BE sequence
+//	               (echoed from PublishAsync), one status byte, and — for
+//	               status 0 — an 8-byte BE matched-filter count, or — for
+//	               status 1 — a u32 BE length and that many bytes of UTF-8
+//	               error message. Entries for consecutive publishes are
+//	               coalesced into one frame.
 const (
 	FrameSubscribe        byte = 0x01
 	FrameUnsubscribe      byte = 0x02
@@ -68,12 +79,14 @@ const (
 	FramePublish          byte = 0x04
 	FrameSubscribeDurable byte = 0x05
 	FrameAck              byte = 0x06
+	FramePublishAsync     byte = 0x07
 
 	FrameOK        byte = 0x81
 	FrameErr       byte = 0x82
 	FramePong      byte = 0x83
 	FrameDeliver   byte = 0x84
 	FrameDeliverAt byte = 0x85
+	FramePubAcks   byte = 0x86
 )
 
 // Frame is one decoded protocol frame.
@@ -270,4 +283,93 @@ func ParseDeliverAtPayloadTrace(p []byte) (offset uint64, filters []uint64, doc 
 	offset = binary.BigEndian.Uint64(p[:8])
 	filters, doc, traceID, err = ParseDeliverPayloadTrace(p[8:])
 	return offset, filters, doc, traceID, err
+}
+
+// AppendPublishAsyncPayload encodes a PublishAsync payload: the client's
+// sequence number followed by the document.
+func AppendPublishAsyncPayload(dst []byte, seq uint64, doc []byte) []byte {
+	dst = AppendUint64(dst, seq)
+	return append(dst, doc...)
+}
+
+// ParsePublishAsyncPayload decodes a PublishAsync payload. The returned doc
+// aliases p.
+func ParsePublishAsyncPayload(p []byte) (seq uint64, doc []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("server: short publish-async payload")
+	}
+	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
+}
+
+// PubAck is one entry of a PubAcks frame: the outcome of the PublishAsync
+// carrying Seq. Err == "" means the publish was accepted and matched
+// Matches filters.
+type PubAck struct {
+	Seq     uint64
+	Matches uint64
+	Err     string
+}
+
+// AppendPubAcksPayload encodes a PubAcks payload.
+func AppendPubAcksPayload(dst []byte, acks []PubAck) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(acks)))
+	dst = append(dst, b[:]...)
+	for _, a := range acks {
+		dst = AppendUint64(dst, a.Seq)
+		if a.Err == "" {
+			dst = append(dst, 0)
+			dst = AppendUint64(dst, a.Matches)
+		} else {
+			dst = append(dst, 1)
+			binary.BigEndian.PutUint32(b[:], uint32(len(a.Err)))
+			dst = append(dst, b[:]...)
+			dst = append(dst, a.Err...)
+		}
+	}
+	return dst
+}
+
+// ParsePubAcksPayload decodes a PubAcks payload.
+func ParsePubAcksPayload(p []byte) ([]PubAck, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("server: short pub-acks payload")
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	acks := make([]PubAck, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 9 {
+			return nil, fmt.Errorf("server: pub-acks payload truncated (entry %d)", i)
+		}
+		a := PubAck{Seq: binary.BigEndian.Uint64(p[:8])}
+		status := p[8]
+		p = p[9:]
+		switch status {
+		case 0:
+			if len(p) < 8 {
+				return nil, fmt.Errorf("server: pub-acks payload truncated (entry %d)", i)
+			}
+			a.Matches = binary.BigEndian.Uint64(p[:8])
+			p = p[8:]
+		case 1:
+			if len(p) < 4 {
+				return nil, fmt.Errorf("server: pub-acks payload truncated (entry %d)", i)
+			}
+			m := binary.BigEndian.Uint32(p[:4])
+			p = p[4:]
+			if int64(len(p)) < int64(m) {
+				return nil, fmt.Errorf("server: pub-acks payload truncated (entry %d)", i)
+			}
+			a.Err = string(p[:m])
+			p = p[m:]
+		default:
+			return nil, fmt.Errorf("server: pub-acks entry %d has unknown status %d", i, status)
+		}
+		acks = append(acks, a)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("server: pub-acks payload has %d trailing bytes", len(p))
+	}
+	return acks, nil
 }

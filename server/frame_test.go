@@ -176,3 +176,59 @@ func TestDeliverAtPayloadCodec(t *testing.T) {
 		}
 	}
 }
+
+func TestPublishAsyncPayloadCodec(t *testing.T) {
+	doc := []byte(`<order total="2000"/>`)
+	p := AppendPublishAsyncPayload(nil, 1<<50|7, doc)
+	seq, got, err := ParsePublishAsyncPayload(p)
+	if err != nil || seq != 1<<50|7 || !bytes.Equal(got, doc) {
+		t.Fatalf("round-trip = (%d, %q, %v)", seq, got, err)
+	}
+	// An empty document is representable (the server rejects it, but at the
+	// protocol layer it parses).
+	if seq, got, err = ParsePublishAsyncPayload(AppendPublishAsyncPayload(nil, 3, nil)); err != nil || seq != 3 || len(got) != 0 {
+		t.Fatalf("empty-doc round-trip = (%d, %q, %v)", seq, got, err)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}} {
+		if _, _, err := ParsePublishAsyncPayload(bad); err == nil {
+			t.Errorf("ParsePublishAsyncPayload(%x) succeeded", bad)
+		}
+	}
+}
+
+func TestPubAcksPayloadCodec(t *testing.T) {
+	acks := []PubAck{
+		{Seq: 1, Matches: 0},
+		{Seq: 2, Matches: 1 << 33},
+		{Seq: 9, Err: "server: wal append: disk on fire"},
+	}
+	p := AppendPubAcksPayload(nil, acks)
+	got, err := ParsePubAcksPayload(p)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("round-trip = (%v, %v)", got, err)
+	}
+	for i := range acks {
+		if got[i] != acks[i] {
+			t.Fatalf("ack %d = %+v, want %+v", i, got[i], acks[i])
+		}
+	}
+	if got, err = ParsePubAcksPayload(AppendPubAcksPayload(nil, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty round-trip = (%v, %v)", got, err)
+	}
+	bads := [][]byte{
+		nil,
+		{0, 0, 0},                      // short header
+		{0, 0, 0, 1},                   // count promises an entry that is absent
+		p[:len(p)-1],                   // truncated error message
+		append(p[:len(p):len(p)], 'x'), // trailing garbage
+	}
+	// Unknown status byte.
+	unk := AppendPubAcksPayload(nil, []PubAck{{Seq: 1}})
+	unk[len(unk)-9] = 0xff
+	bads = append(bads, unk)
+	for _, bad := range bads {
+		if _, err := ParsePubAcksPayload(bad); err == nil {
+			t.Errorf("ParsePubAcksPayload(%x) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package server_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/server"
+	"repro/wal"
+)
+
+// alwaysWalServer is walServer with fsync=always: the configuration the
+// pipelined-publish path exists for, where naive one-publish-one-fsync is
+// slowest and group commit matters most.
+func alwaysWalServer(t testing.TB, dir string, cfg server.Config) (*server.Server, *wal.Log) {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cs, err := wal.OpenCursorStore(filepath.Join(filepath.Dir(dir), "cursors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WAL = server.WrapWAL(l)
+	cfg.Cursors = cs
+	return startServer(t, cfg), l
+}
+
+// TestPublishPipelinedE2E drives the full pipelined path against a
+// fsync=always broker: every publish is acked with its match count, acks
+// arrive in submission order, and the documents reach a durable subscriber
+// in log order.
+func TestPublishPipelinedE2E(t *testing.T) {
+	base := t.TempDir()
+	srv, l := alwaysWalServer(t, filepath.Join(base, "wal"), server.Config{})
+
+	col := &durCollector{}
+	sub := dialDur(t, srv.Addr(), col)
+	if _, _, err := sub.SubscribeDurable("pipe", `//order[total > 1000]`); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := dialDur(t, srv.Addr(), nil)
+	var mu sync.Mutex
+	var results []client.PublishResult
+	p, err := pub.PublishPipelined(8, func(r client.PublishResult) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		seq, err := p.Publish(matchDoc(i))
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("publish %d assigned seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("pipeline close: %v", err)
+	}
+
+	// Acks are matched by sequence, not guaranteed in submission order (the
+	// broker's per-document workers complete independently): every sequence
+	// must be acked exactly once, cleanly.
+	mu.Lock()
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range results {
+		if seen[r.Seq] {
+			t.Fatalf("seq %d acked twice", r.Seq)
+		}
+		seen[r.Seq] = true
+		if r.Seq < 1 || r.Seq > n || r.Err != nil || r.Matches != 1 {
+			t.Fatalf("result %+v, want seq in [1,%d], 1 match, no error", r, n)
+		}
+	}
+	mu.Unlock()
+
+	if got := l.NextOffset(); got != n {
+		t.Fatalf("log holds %d records, want %d", got, n)
+	}
+	waitFor(t, "all pipelined docs delivered", func() bool { return col.count() >= n })
+	for i := 0; i < n; i++ {
+		doc, off := col.at(i)
+		if off != uint64(i) || doc != string(matchDoc(i)) {
+			t.Fatalf("delivery %d = (%d, %q), want offset %d doc %q", i, off, doc, i, matchDoc(i))
+		}
+	}
+
+	// The window is free again: a second pipeline on the same client works.
+	p2, err := pub.PublishPipelined(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Publish(matchDoc(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatalf("second pipeline close: %v", err)
+	}
+}
+
+// TestPublishPipelinedOnePerClient pins the one-active-pipeline contract.
+func TestPublishPipelinedOnePerClient(t *testing.T) {
+	base := t.TempDir()
+	srv, _ := alwaysWalServer(t, filepath.Join(base, "wal"), server.Config{})
+	c := dialDur(t, srv.Addr(), nil)
+	p, err := c.PublishPipelined(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PublishPipelined(4, nil); err == nil {
+		t.Fatal("second concurrent pipeline accepted")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishPipelinedErrorPropagation: a broker-side append failure comes
+// back as that document's PubAck error — the pipeline keeps running, Close
+// reports the first failure, and publishes recover with the disk.
+func TestPublishPipelinedErrorPropagation(t *testing.T) {
+	base := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: filepath.Join(base, "wal"), Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cs, err := wal.OpenCursorStore(filepath.Join(base, "cursors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyLog{DocLog: server.WrapWAL(l)}
+	srv := startServer(t, server.Config{WAL: flaky, Cursors: cs})
+
+	c := dialDur(t, srv.Addr(), nil)
+	var mu sync.Mutex
+	byseq := map[uint64]client.PublishResult{}
+	p, err := c.PublishPipelined(4, func(r client.PublishResult) {
+		mu.Lock()
+		byseq[r.Seq] = r
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish(matchDoc(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Publishes are processed asynchronously: wait for the first ack before
+	// breaking the disk so the failure hits exactly the second document.
+	waitFor(t, "first publish acked", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		_, ok := byseq[1]
+		return ok
+	})
+	flaky.fail.Store(true)
+	seqBad, err := p.Publish(matchDoc(1))
+	if err != nil {
+		t.Fatalf("pipelined publish write failed: %v", err)
+	}
+	waitFor(t, "failed publish acked", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		_, ok := byseq[seqBad]
+		return ok
+	})
+	flaky.fail.Store(false)
+	if _, err := p.Publish(matchDoc(2)); err != nil {
+		t.Fatal(err)
+	}
+	closeErr := p.Close()
+	if closeErr == nil || !strings.Contains(closeErr.Error(), "wal append") {
+		t.Fatalf("pipeline close = %v, want the wal append error", closeErr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if r := byseq[seqBad]; r.Err == nil || !strings.Contains(r.Err.Error(), "wal append") {
+		t.Fatalf("failed publish result = %+v, want a wal append error", r)
+	}
+	if r := byseq[seqBad-1]; r.Err != nil {
+		t.Fatalf("publish before failure errored: %+v", r)
+	}
+	if r := byseq[seqBad+1]; r.Err != nil {
+		t.Fatalf("publish after recovery errored: %+v", r)
+	}
+	// Only the two successful documents are in the log.
+	if n := l.NextOffset(); n != 2 {
+		t.Fatalf("log holds %d records, want 2", n)
+	}
+}
+
+// blockingCursors gates one Store call: after arm(), the next Store parks on
+// entered/release so a test can hold an ack's cursor write open while racing
+// a takeover against it.
+type blockingCursors struct {
+	server.CursorStore
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingCursors) Store(name string, off uint64) error {
+	b.mu.Lock()
+	hold := b.armed
+	b.armed = false
+	b.mu.Unlock()
+	if hold {
+		close(b.entered)
+		<-b.release
+	}
+	return b.CursorStore.Store(name, off)
+}
+
+func (b *blockingCursors) arm() {
+	b.mu.Lock()
+	b.armed = true
+	b.mu.Unlock()
+}
+
+// TestAckTakeoverRace is the regression test for the handleAck TOCTOU: the
+// ownership check and the cursor write must happen under one durMu critical
+// section. With the old code (durMu released in between), a takeover slips
+// in while the old session's Store is in flight and the old session's stale
+// cursor lands last, moving the new session's replay point backwards.
+func TestAckTakeoverRace(t *testing.T) {
+	base := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: filepath.Join(base, "wal"), Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	real, err := wal.OpenCursorStore(filepath.Join(base, "cursors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := &blockingCursors{
+		CursorStore: real,
+		entered:     make(chan struct{}),
+		release:     make(chan struct{}),
+	}
+	srv := startServer(t, server.Config{WAL: server.WrapWAL(l), Cursors: bc})
+
+	col1 := &durCollector{}
+	old := dialDur(t, srv.Addr(), col1)
+	if _, _, err := old.SubscribeDurable("race", `//order[total > 1000]`); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialDur(t, srv.Addr(), nil)
+	for i := 0; i < 5; i++ {
+		if _, err := pub.Publish(matchDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "old session caught up", func() bool { return col1.count() >= 5 })
+
+	// Park the old session's ack inside cursors.Store.
+	bc.arm()
+	if err := old.Ack(1); err != nil { // would persist cursor 2
+		t.Fatal(err)
+	}
+	select {
+	case <-bc.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("old session's ack never reached the cursor store")
+	}
+
+	// While it is parked, take the name over and advance the cursor from the
+	// new session. Under the fix these block behind the held durMu until the
+	// old Store completes, so the new session's cursor always lands last.
+	done := make(chan error, 1)
+	go func() {
+		col2 := &durCollector{}
+		fresh := dialDur(t, srv.Addr(), col2)
+		if _, _, err := fresh.SubscribeDurable("race", `//order[total > 1000]`); err != nil {
+			done <- err
+			return
+		}
+		if err := fresh.Ack(4); err != nil { // persists cursor 5
+			done <- err
+			return
+		}
+		// Wait until the new session's ack is persisted.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if got, ok, err := real.Load("race"); err == nil && ok && got == 5 {
+				done <- nil
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		done <- fmt.Errorf("new session's cursor never persisted")
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the takeover queue up behind durMu
+	close(bc.release)                 // old session's Store(2) proceeds
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The stale Store must not have overwritten the new session's cursor.
+	// Give any late write a moment to land before the final check.
+	time.Sleep(50 * time.Millisecond)
+	if got, ok, err := real.Load("race"); err != nil || !ok || got != 5 {
+		t.Fatalf("final cursor = (%d, %v, %v), want 5 — stale ack won the race", got, ok, err)
+	}
+}
+
+// TestCrashMidBatchPipelined: a pipelined publisher against fsync=always is
+// killed mid-stream and the broker crashes with a torn record on disk. The
+// durability contract under group commit is exactly the old one: every
+// publish that was ACKED survives recovery; un-acked publishes may or may
+// not (they are the at-least-once redelivery window).
+func TestCrashMidBatchPipelined(t *testing.T) {
+	base := t.TempDir()
+	walDir := filepath.Join(base, "wal")
+	srv, _ := alwaysWalServer(t, walDir, server.Config{})
+
+	pub := dialDur(t, srv.Addr(), nil)
+	var mu sync.Mutex
+	acked := map[uint64]bool{}
+	p, err := pub.PublishPipelined(8, func(r client.PublishResult) {
+		if r.Err == nil {
+			mu.Lock()
+			acked[r.Seq] = true
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	docs := map[uint64][]byte{}
+	for i := 0; i < n; i++ {
+		doc := matchDoc(i)
+		seq, err := p.Publish(doc)
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		docs[seq] = doc
+	}
+	// Crash the publisher without draining the pipeline: in-flight acks are
+	// lost, whatever was acked so far is the durability obligation.
+	pub.Close()
+	mu.Lock()
+	ackedSeqs := make(map[uint64]bool, len(acked))
+	for s := range acked {
+		ackedSeqs[s] = true
+	}
+	mu.Unlock()
+	if len(ackedSeqs) == 0 {
+		t.Skip("no acks arrived before the crash; nothing to verify")
+	}
+
+	// Crash the broker and tear the log tail as an interrupted batch write
+	// would: a record header promising more payload than is present.
+	srv.Close()
+	segs, err := filepath.Glob(filepath.Join(walDir, "*.wseg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{0, 0, 0, 100, 0xde, 0xad, 0xbe, 0xef}, []byte("tornbatch")...)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	v, err := wal.Verify(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Torn {
+		t.Fatalf("pre-recovery Verify = %+v, want a torn tail", v)
+	}
+
+	// Recover and index every surviving document.
+	l2, err := wal.Open(wal.Options{Dir: walDir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if v, err = wal.Verify(walDir); err != nil || v.Torn {
+		t.Fatalf("post-recovery Verify = %+v, %v; want clean", v, err)
+	}
+	survived := map[string]bool{}
+	r, err := l2.OpenReader(l2.FirstOffset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for {
+		_, doc, err := r.Next()
+		if err != nil {
+			break // io.EOF at the committed tail
+		}
+		survived[string(doc)] = true
+	}
+	for seq := range ackedSeqs {
+		if !survived[string(docs[seq])] {
+			t.Errorf("acked publish seq %d missing after crash recovery", seq)
+		}
+	}
+	t.Logf("crash-mid-batch: %d/%d acked, all acked docs survived (%d records recovered)",
+		len(ackedSeqs), n, l2.NextOffset())
+}
+
+// TestPipelinedConcurrentPublishers exercises the whole group-commit +
+// async-ack machinery under -race: several pipelining connections publish
+// concurrently into one fsync=always log, every publish is acked exactly
+// once with no errors, and the log holds every document.
+func TestPipelinedConcurrentPublishers(t *testing.T) {
+	base := t.TempDir()
+	srv, l := alwaysWalServer(t, filepath.Join(base, "wal"), server.Config{})
+
+	const pubs, per = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, pubs)
+	for pi := 0; pi < pubs; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr(), client.Options{Timeout: 10 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			p, err := c.PublishPipelined(8, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < per; i++ {
+				if _, err := p.Publish(matchDoc(pi*per + i)); err != nil {
+					errs <- fmt.Errorf("publisher %d doc %d: %w", pi, i, err)
+					return
+				}
+			}
+			if err := p.Close(); err != nil {
+				errs <- fmt.Errorf("publisher %d close: %w", pi, err)
+			}
+		}(pi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := l.NextOffset(); got != pubs*per {
+		t.Fatalf("log holds %d records, want %d", got, pubs*per)
+	}
+	if st := l.Stats(); st.AppendErrors != 0 {
+		t.Fatalf("append errors: %d", st.AppendErrors)
+	}
+}
+
+// BenchmarkServeDurableLoopbackPipelined is the pipelined companion of
+// BenchmarkServeDurableLoopback: a windowed PUBLISH_ASYNC stream instead of
+// one round trip per document, so fsync=always publishes share group
+// commits. The bench gate holds fsync=always within a small ratio of
+// fsync=interval here — the headline number of this change.
+func BenchmarkServeDurableLoopbackPipelined(b *testing.B) {
+	for _, pol := range []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNever} {
+		b.Run("fsync="+string(pol), func(b *testing.B) {
+			base := b.TempDir()
+			l, err := wal.Open(wal.Options{Dir: filepath.Join(base, "wal"), Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			cs, err := wal.OpenCursorStore(filepath.Join(base, "cursors"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := startServer(b, server.Config{WAL: server.WrapWAL(l), Cursors: cs})
+
+			got := make(chan uint64, 4096)
+			sub, err := client.Dial(srv.Addr(), client.Options{
+				Timeout:   10 * time.Second,
+				OnDeliver: func(d client.Delivery) { got <- d.Offset },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sub.Close()
+			if _, _, err := sub.SubscribeDurable("bench", `//order[total > 1000]`); err != nil {
+				b.Fatal(err)
+			}
+			pub := dialDur(b, srv.Addr(), nil)
+			p, err := pub.PublishPipelined(64, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc := []byte(`<order id="7" priority="high"><customer><country>DE</country></customer><total>2500</total></order>`)
+			b.SetBytes(int64(len(doc)))
+			b.ResetTimer()
+			received := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+				// Drain deliveries opportunistically, acking every 64th so the
+				// cursor advances without a sync round trip per document.
+				for {
+					select {
+					case off := <-got:
+						received++
+						if received%64 == 0 {
+							if err := sub.Ack(off); err != nil {
+								b.Fatal(err)
+							}
+						}
+						continue
+					default:
+					}
+					break
+				}
+			}
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+			for received < b.N {
+				select {
+				case <-got:
+					received++
+				case <-time.After(30 * time.Second):
+					b.Fatalf("only %d/%d deliveries arrived", received, b.N)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/sec")
+		})
+	}
+}

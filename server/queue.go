@@ -146,15 +146,38 @@ func (q *queue) close() {
 	q.closeOnce.Do(func() { close(q.done) })
 }
 
-// consume runs the consumer loop: deliver is called for each queued item
-// until close(), then the remaining items are flushed. deliver returns
-// false to abort (e.g. the connection broke); queued deliveries are then
-// released so their traces still complete.
-func (q *queue) consume(deliver func(delivery) bool) {
+// maxConsumeBatch bounds how many deliveries one consume wakeup hands to
+// the deliver callback (and so how many DELIVER frames share one flush).
+const maxConsumeBatch = 128
+
+// fillBatch collects first plus everything else immediately available, in
+// FIFO order, up to maxConsumeBatch.
+func (q *queue) fillBatch(batch []delivery, first delivery) []delivery {
+	batch = append(batch[:0], first)
+	for len(batch) < maxConsumeBatch {
+		select {
+		case d := <-q.ch:
+			batch = append(batch, d)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// consume runs the consumer loop: deliver is called with every queued item
+// available at each wakeup (in FIFO order) until close(), then the
+// remaining items are flushed. Handing the whole ready batch to one call
+// lets the subscriber connection write all those DELIVER frames under a
+// single flush. deliver returns false to abort (e.g. the connection broke);
+// queued deliveries are then released so their traces still complete.
+func (q *queue) consume(deliver func([]delivery) bool) {
+	var batch []delivery
 	for {
 		select {
 		case d := <-q.ch:
-			if !deliver(d) {
+			batch = q.fillBatch(batch, d)
+			if !deliver(batch) {
 				q.drainRelease()
 				return
 			}
@@ -162,7 +185,8 @@ func (q *queue) consume(deliver func(delivery) bool) {
 			for {
 				select {
 				case d := <-q.ch:
-					if !deliver(d) {
+					batch = q.fillBatch(batch, d)
+					if !deliver(batch) {
 						q.drainRelease()
 						return
 					}

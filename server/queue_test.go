@@ -116,8 +116,10 @@ func TestQueueConsumeFlushesOnClose(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		q.consume(func(d delivery) bool {
-			got = append(got, d.doc[0])
+		q.consume(func(ds []delivery) bool {
+			for _, d := range ds {
+				got = append(got, d.doc[0])
+			}
 			return true
 		})
 	}()
@@ -128,6 +130,44 @@ func TestQueueConsumeFlushesOnClose(t *testing.T) {
 	}
 	if len(got) != 5 {
 		t.Errorf("flushed %d deliveries, want 5", len(got))
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Errorf("delivery %d out of order: got tag %d", i, b)
+		}
+	}
+}
+
+// TestQueueConsumeBatchesReadyItems pins the delivery-coalescing contract:
+// everything queued at one wakeup reaches the deliver callback as a single
+// batch (one flush on the wire), in FIFO order.
+func TestQueueConsumeBatchesReadyItems(t *testing.T) {
+	var dropped obs.Counter
+	q := newQueue(8, DropNewest, 0, &dropped)
+	for i := 0; i < 5; i++ {
+		q.push(mkDelivery(i))
+	}
+	q.close()
+	var sizes []int
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		q.consume(func(ds []delivery) bool {
+			sizes = append(sizes, len(ds))
+			for _, d := range ds {
+				got = append(got, d.doc[0])
+			}
+			return true
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consume did not exit after close")
+	}
+	if len(sizes) != 1 || sizes[0] != 5 {
+		t.Fatalf("batch sizes = %v, want one batch of 5", sizes)
 	}
 	for i, b := range got {
 		if int(b) != i {

@@ -98,6 +98,12 @@ type Config struct {
 	// (<= 0 = 1s).
 	BlockDeadline time.Duration
 
+	// AsyncPublishWindow bounds how many PublishAsync frames one connection
+	// may have in flight before its read loop stops consuming new frames
+	// (<= 0 = 256). The window is the server-side backstop; clients window
+	// themselves via Client.PublishPipelined.
+	AsyncPublishWindow int
+
 	// MaxConns bounds concurrent connections (0 = unlimited).
 	MaxConns int
 	// MaxDocBytes bounds a published document, mirroring
@@ -143,6 +149,13 @@ func (c *Config) blockDeadline() time.Duration {
 		return c.BlockDeadline
 	}
 	return time.Second
+}
+
+func (c *Config) asyncPublishWindow() int {
+	if c.AsyncPublishWindow > 0 {
+		return c.AsyncPublishWindow
+	}
+	return 256
 }
 
 // errDraining rejects work arriving during graceful shutdown.
@@ -304,9 +317,7 @@ func New(cfg Config) (*Server, error) {
 			s.ln.Close()
 			return nil, err
 		}
-		s.httpSrv = &http.Server{Handler: s.reg.NewMuxWithReadiness(func() bool {
-			return !s.draining.Load()
-		})}
+		s.httpSrv = &http.Server{Handler: s.reg.NewMuxWithStatus(s.healthStatus)}
 		go s.httpSrv.Serve(s.mln)
 	}
 	if cfg.DebugAddr != "" {
@@ -626,29 +637,37 @@ func (s *Server) publish(doc []byte) (int, error) {
 		// below has run (they deliver independently of the queues).
 		defer s.walBroadcast()
 	}
-	var (
-		c       *core
-		matches []int
-		err     error
-	)
-	if cc := s.cur.Load(); cc.concurrent() {
-		c = cc
-		matches, err = c.filterDocument(doc, tc, trace.Root)
-	} else {
-		lspan := tc.StartSpan("publish_lock", trace.Root)
-		s.pubMu.Lock()
-		tc.EndSpan(lspan)
-		c = s.cur.Load() // reload under the lock: always the freshest generation
-		matches, err = c.filterDocument(doc, tc, trace.Root)
-		s.pubMu.Unlock()
-	}
+	c, matches, err := s.filter(doc, tc)
 	if err != nil {
 		s.mPublishErrs.Inc()
 		return 0, err
 	}
 	s.mPublishes.Inc()
+	s.fanout(c, matches, doc, tc)
+	return len(matches), nil
+}
+
+// filter runs one document through the current workload generation and
+// returns that generation plus the matched filter ids.
+func (s *Server) filter(doc []byte, tc *trace.Ctx) (*core, []int, error) {
+	if cc := s.cur.Load(); cc.concurrent() {
+		matches, err := cc.filterDocument(doc, tc, trace.Root)
+		return cc, matches, err
+	}
+	lspan := tc.StartSpan("publish_lock", trace.Root)
+	s.pubMu.Lock()
+	tc.EndSpan(lspan)
+	c := s.cur.Load() // reload under the lock: always the freshest generation
+	matches, err := c.filterDocument(doc, tc, trace.Root)
+	s.pubMu.Unlock()
+	return c, matches, err
+}
+
+// fanout enqueues one delivery per matched subscriber. c must be the
+// generation the matches were computed on.
+func (s *Server) fanout(c *core, matches []int, doc []byte, tc *trace.Ctx) {
 	if len(matches) == 0 {
-		return 0, nil
+		return
 	}
 	// Group the matched filter ids by owning subscriber; each subscriber
 	// gets one delivery per document regardless of how many of its filters
@@ -682,6 +701,56 @@ func (s *Server) publish(doc []byte) (int, error) {
 	for owner, ids := range perConn {
 		s.enqueue(owner, delivery{doc: doc, filters: ids, enq: now, tc: tc})
 	}
+}
+
+// publishAsyncStaged completes one pipelined publish whose WAL append was
+// already staged into a group-commit batch (pend; nil on a non-WAL server
+// or when the log has no async seam — then the append runs here). The
+// document is filtered FIRST and the batch outcome awaited after, so the
+// filter work of consecutive pipelined publishes overlaps the shared batch
+// fsync instead of serializing behind it.
+func (s *Server) publishAsyncStaged(doc []byte, pend PendingAppend) (int, error) {
+	tc := s.tracer.Begin("publish")
+	defer tc.Finish()
+	tc.SetAttr(trace.Root, "doc_bytes", int64(len(doc)))
+	if s.wal != nil && pend == nil {
+		wspan := tc.StartSpan("wal_append", trace.Root)
+		var err error
+		if tl, ok := s.wal.(docLogTraced); ok {
+			_, err = tl.AppendTraced(doc, tc, wspan)
+		} else {
+			_, err = s.wal.Append(doc)
+		}
+		tc.EndSpan(wspan)
+		if err != nil {
+			s.mPublishErrs.Inc()
+			return 0, fmt.Errorf("server: wal append: %w", err)
+		}
+		defer s.walBroadcast()
+	}
+	c, matches, ferr := s.filter(doc, tc)
+	if pend != nil {
+		wspan := tc.StartSpan("wal_append", trace.Root)
+		_, aerr := pend.Wait()
+		tc.EndSpan(wspan)
+		if bs, ok := pend.(interface{ BatchSize() int }); ok {
+			tc.SetAttr(wspan, "batch_size", int64(bs.BatchSize()))
+		}
+		if aerr != nil {
+			// The publish is rejected even though it was filtered: the
+			// document is not durable, so fanning it out would deliver a
+			// document that a crash could un-accept.
+			s.mPublishErrs.Inc()
+			return 0, fmt.Errorf("server: wal append: %w", aerr)
+		}
+		defer s.walBroadcast()
+	}
+	if ferr != nil {
+		s.mPublishErrs.Inc()
+		return 0, ferr
+	}
+	s.mPublishes.Inc()
+	s.fanout(c, matches, doc, tc)
 	return len(matches), nil
 }
 
@@ -715,6 +784,8 @@ type conn struct {
 	q         *queue
 	nsubs     int
 	deliverWG sync.WaitGroup
+
+	async *asyncPub // guarded by mu; lazily created on first PublishAsync
 
 	// Durable state (zero unless the client sent SubscribeDurable).
 	durName  string // guarded by mu; the cursor identity this conn owns
@@ -760,6 +831,21 @@ func (s *Server) acceptLoop() {
 
 // serve runs one connection's frame loop until error or close.
 func (s *Server) maxPayload() int { return s.cfg.maxDocBytes() }
+
+// healthStatus backs /healthz: not-ok while draining, and degraded when the
+// WAL has latched a persistent storage failure (appends fail fast then —
+// the broker answers but cannot accept durable publishes).
+func (s *Server) healthStatus() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if h, ok := s.wal.(docLogHealth); ok {
+		if err := h.Failed(); err != nil {
+			return false, "degraded: " + err.Error()
+		}
+	}
+	return true, "ok"
+}
 
 func (cn *conn) serve() {
 	defer cn.teardown()
@@ -844,6 +930,15 @@ func (cn *conn) serve() {
 			if cn.reply(uint64(n), err) != nil {
 				return
 			}
+		case FramePublishAsync:
+			seq, doc, err := ParsePublishAsyncPayload(f.Payload)
+			if err != nil {
+				// A malformed pipelined publish desynchronizes the ack
+				// sequence; report and drop the connection.
+				cn.writeFrame(FrameErr, []byte(err.Error()))
+				return
+			}
+			cn.publishAsync(seq, doc)
 		default:
 			if cn.writeFrame(FrameErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", f.Type))) != nil {
 				return
@@ -870,6 +965,150 @@ func (cn *conn) writeFrame(typ byte, payload []byte) error {
 		return err
 	}
 	return cn.bw.Flush()
+}
+
+// writeFrameBuffered writes a frame into the connection's buffered writer
+// without flushing; the caller coalesces a burst of frames under one
+// flushFrames. Used by the durable pump — the bufio layer still flushes on
+// its own when the 64KB buffer fills.
+func (cn *conn) writeFrameBuffered(typ byte, payload []byte) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if t := cn.s.cfg.WriteTimeout; t > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	return WriteFrame(cn.bw, typ, payload)
+}
+
+// flushFrames flushes frames staged by writeFrameBuffered.
+func (cn *conn) flushFrames() error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if t := cn.s.cfg.WriteTimeout; t > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	return cn.bw.Flush()
+}
+
+// pumpFlushEvery bounds how many DeliverAt frames the durable pump stages
+// between explicit flushes while replaying a backlog.
+const pumpFlushEvery = 64
+
+// maxPubAckBatch bounds how many publish outcomes one PubAcks frame
+// coalesces.
+const maxPubAckBatch = 512
+
+// asyncPub is one connection's pipelined-publish state: sem is the in-flight
+// window (acquired by the read loop, so a client overrunning the window is
+// paced by TCP backpressure), acks carries publish outcomes to the single
+// ack-writer goroutine, which coalesces everything immediately available
+// into one PubAcks frame.
+type asyncPub struct {
+	sem   chan struct{}
+	acks  chan PubAck
+	wg    sync.WaitGroup // in-flight publish workers
+	ackWG sync.WaitGroup // the ack-writer goroutine
+}
+
+// ensureAsync lazily creates the pipelined-publish state and its ack writer.
+func (cn *conn) ensureAsync() *asyncPub {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.async == nil {
+		a := &asyncPub{
+			sem:  make(chan struct{}, cn.s.cfg.asyncPublishWindow()),
+			acks: make(chan PubAck, cn.s.cfg.asyncPublishWindow()),
+		}
+		cn.async = a
+		a.ackWG.Add(1)
+		go cn.ackLoop(a)
+	}
+	return cn.async
+}
+
+// publishAsync runs on the read loop: it stages the document's WAL append
+// into the open group-commit batch (keeping the log in frame order for this
+// connection) and hands the rest of the publish — filtering, the batch
+// wait, fan-out, ack — to a worker, so the read loop is already parsing the
+// next frame while this document's batch accumulates. That decoupling is
+// what feeds multi-record batches: without it each publish would seal a
+// batch of one.
+func (cn *conn) publishAsync(seq uint64, doc []byte) {
+	s := cn.s
+	a := cn.ensureAsync()
+	a.sem <- struct{}{} // in-flight window: blocks the read loop when full
+	if s.draining.Load() {
+		s.mPublishErrs.Inc()
+		<-a.sem
+		a.acks <- PubAck{Seq: seq, Err: errDraining.Error()}
+		return
+	}
+	var pend PendingAppend
+	if s.wal != nil {
+		if al, ok := s.wal.(docLogAsync); ok {
+			pend = al.AppendAsync(doc)
+		}
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		defer func() { <-a.sem }()
+		n, err := s.publishAsyncStaged(doc, pend)
+		ack := PubAck{Seq: seq, Matches: uint64(n)}
+		if err != nil {
+			ack.Err = err.Error()
+		}
+		a.acks <- ack
+	}()
+}
+
+// ackLoop is the per-connection ack writer: it blocks for one outcome, then
+// drains everything else already queued and writes a single PubAcks frame.
+// On a write error the connection is closed but the loop keeps draining so
+// publish workers never block on the acks channel.
+func (cn *conn) ackLoop(a *asyncPub) {
+	defer a.ackWG.Done()
+	var batch []PubAck
+	var buf []byte
+	dead := false
+	for ack := range a.acks {
+		batch = append(batch[:0], ack)
+	fill:
+		for len(batch) < maxPubAckBatch {
+			select {
+			case more, ok := <-a.acks:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, more)
+			default:
+				break fill
+			}
+		}
+		if dead {
+			continue
+		}
+		buf = AppendPubAcksPayload(buf[:0], batch)
+		if cn.writeFrame(FramePubAcks, buf) != nil {
+			dead = true
+			cn.close()
+		}
+	}
+}
+
+// stopAsync waits out in-flight pipelined publishes and stops the ack
+// writer. Called from teardown after the read loop has exited, so no new
+// publishes can arrive.
+func (cn *conn) stopAsync() {
+	cn.mu.Lock()
+	a := cn.async
+	cn.mu.Unlock()
+	if a == nil {
+		return
+	}
+	a.wg.Wait()
+	close(a.acks)
+	a.ackWG.Wait()
 }
 
 func (cn *conn) hasSubs() bool {
@@ -902,38 +1141,60 @@ func (cn *conn) ensureQueue() *queue {
 		cn.deliverWG.Add(1)
 		go func() {
 			defer cn.deliverWG.Done()
-			cn.q.consume(cn.deliver)
+			cn.q.consume(cn.deliverBatch)
 		}()
 	}
 	return cn.q
 }
 
-// deliver writes one DELIVER frame; returning false aborts the consumer.
-// For a traced delivery it records the queue wait and the frame write as
-// spans on the subscriber's own render track, stamps the trace id into the
-// payload, and releases the delivery's trace reference.
-func (cn *conn) deliver(d delivery) bool {
-	tc := d.tc
-	var traceID uint64
-	var wspan trace.SpanID = trace.NoSpan
-	if tc != nil {
-		traceID = tc.ID
-		track := tc.NextTrack()
-		qw := tc.AddSpan("queue_wait", trace.Root, tc.Offset(d.enq), tc.Offset(time.Now()))
-		tc.SetTrack(qw, track)
-		wspan = tc.StartSpan("deliver_write", trace.Root)
-		tc.SetTrack(wspan, track)
-		tc.SetAttr(wspan, "filters", int64(len(d.filters)))
+// deliverBatch writes one DELIVER frame per delivery, all under a single
+// writer-lock acquisition and a single flush — every frame ready for this
+// subscriber in one queue wakeup shares the syscall instead of paying a
+// 64KB-buffer flush each. Returning false aborts the consumer. For a traced
+// delivery it records the queue wait and the frame write as spans on the
+// subscriber's own render track, stamps the trace id into the payload, and
+// releases the delivery's trace reference.
+func (cn *conn) deliverBatch(ds []delivery) bool {
+	cn.wmu.Lock()
+	if t := cn.s.cfg.WriteTimeout; t > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(t))
 	}
-	payload := AppendDeliverPayloadTrace(make([]byte, 0, 12+8*len(d.filters)+len(d.doc)), d.filters, d.doc, traceID)
-	werr := cn.writeFrame(FrameDeliver, payload)
-	tc.EndSpan(wspan)
-	tc.Finish()
+	var werr error
+	for i := range ds {
+		d := &ds[i]
+		tc := d.tc
+		var traceID uint64
+		var wspan trace.SpanID = trace.NoSpan
+		if tc != nil {
+			traceID = tc.ID
+			track := tc.NextTrack()
+			qw := tc.AddSpan("queue_wait", trace.Root, tc.Offset(d.enq), tc.Offset(time.Now()))
+			tc.SetTrack(qw, track)
+			wspan = tc.StartSpan("deliver_write", trace.Root)
+			tc.SetTrack(wspan, track)
+			tc.SetAttr(wspan, "filters", int64(len(d.filters)))
+		}
+		if werr == nil {
+			payload := AppendDeliverPayloadTrace(make([]byte, 0, 12+8*len(d.filters)+len(d.doc)), d.filters, d.doc, traceID)
+			werr = WriteFrame(cn.bw, FrameDeliver, payload)
+		}
+		tc.EndSpan(wspan)
+	}
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	now := time.Now()
+	for i := range ds {
+		ds[i].tc.Finish()
+		if werr == nil {
+			cn.s.deliverLat.Observe(now.Sub(ds[i].enq).Seconds())
+		}
+	}
 	if werr != nil {
 		return false
 	}
-	cn.s.mDeliveries.Inc()
-	cn.s.deliverLat.Observe(time.Since(d.enq).Seconds())
+	cn.s.mDeliveries.Add(int64(len(ds)))
 	return true
 }
 
@@ -951,11 +1212,12 @@ func (cn *conn) close() {
 	cn.closeOnce.Do(func() { cn.nc.Close() })
 }
 
-// teardown runs when the frame loop exits: unbind filters, flush and stop
-// the delivery consumer, close the socket, stop the WAL pump (the closed
-// socket unsticks a pump blocked in a frame write), release the durable
-// name.
+// teardown runs when the frame loop exits: settle in-flight pipelined
+// publishes, unbind filters, flush and stop the delivery consumer, close
+// the socket, stop the WAL pump (the closed socket unsticks a pump blocked
+// in a frame write), release the durable name.
 func (cn *conn) teardown() {
+	cn.stopAsync()
 	cn.s.unsubscribeConn(cn)
 	if q := cn.queue(); q != nil {
 		q.close()

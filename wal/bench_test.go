@@ -37,6 +37,43 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAppendBatched measures group-commit throughput: concurrent
+// appenders coalesce into shared writes and fsyncs, so fsync=always should
+// land within a small factor of interval instead of the ~16x gap a private
+// fsync per append pays.
+func BenchmarkWALAppendBatched(b *testing.B) {
+	doc := make([]byte, 1024)
+	for i := range doc {
+		doc[i] = byte('a' + i%26)
+	}
+	copy(doc, "<doc>")
+	copy(doc[len(doc)-6:], "</doc>")
+	for _, pol := range []FsyncPolicy{FsyncInterval, FsyncAlways} {
+		b.Run(string(pol), func(b *testing.B) {
+			l, err := Open(Options{Dir: b.TempDir(), Fsync: pol, FsyncEvery: 100 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(doc)))
+			b.SetParallelism(16) // 16*GOMAXPROCS concurrent publishers
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := l.Stats()
+			if snap := l.BatchSizes(); snap.Count > 0 {
+				b.ReportMetric(float64(st.Appends)/float64(snap.Count), "records/batch")
+			}
+		})
+	}
+}
+
 // BenchmarkWALReplay measures sequential read throughput over a pre-built log.
 func BenchmarkWALReplay(b *testing.B) {
 	const n = 4096

@@ -36,10 +36,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -116,6 +118,16 @@ type Options struct {
 	// MaxRecordBytes bounds one record's payload (<= 0 = 64 MiB); larger
 	// lengths in a file are treated as corruption during recovery.
 	MaxRecordBytes int
+	// BatchMaxRecords caps how many appends one group-commit batch may
+	// coalesce (<= 0 = 1024). Concurrent appenders share a single file
+	// write and — under FsyncAlways — a single fsync per batch.
+	BatchMaxRecords int
+	// BatchMaxWait stretches the group-commit accumulation window: the
+	// batch leader holds the commit for up to this long (or until the
+	// batch is full) so more appenders can join. 0 commits as soon as the
+	// file lock is acquired — the previous batch's fsync is the natural
+	// accumulation window, so 0 adds no latency under contention.
+	BatchMaxWait time.Duration
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -141,6 +153,13 @@ func (o *Options) maxRecordBytes() int {
 	return 64 << 20
 }
 
+func (o *Options) batchMaxRecords() int {
+	if o.BatchMaxRecords > 0 {
+		return o.BatchMaxRecords
+	}
+	return 1024
+}
+
 // segment is one on-disk log file. base is the offset of its first record;
 // sealed segments are immutable, the last segment is the append target.
 type segment struct {
@@ -152,25 +171,81 @@ type segment struct {
 	lastAppend time.Time // newest record's write time (RetentionAge basis)
 }
 
+// segFile is the active segment's file handle. Production is always an
+// *os.File; the indirection is a seam so tests can inject write/fsync
+// failures without reaching for syscall tricks.
+type segFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// wrapSegFile wraps every newly opened active segment. Package tests swap it
+// to inject faults; it must be set before Open and not mutated while the log
+// is live.
+var wrapSegFile = func(f *os.File) segFile { return f }
+
+// batch is one group-commit unit: the framed records of every append that
+// joined it, committed with a single file write and (under FsyncAlways) a
+// single fsync. The first appender to join is the leader and performs the
+// commit; followers park on done.
+type batch struct {
+	buf   []byte
+	count int
+	full  chan struct{} // closed when count reaches the batch cap
+	done  chan struct{} // closed once the batch is committed or rejected
+	base  uint64        // offset of the batch's first record (valid when err == nil)
+	err   error
+	// offsetsStand marks the fsync-failed-and-cannot-truncate corner: the
+	// records are in the file and will be replayed after a crash, so their
+	// offsets are reported alongside err (see Append's contract).
+	offsetsStand bool
+}
+
+// failure is a latched permanent error (see Log.failed).
+type failure struct{ err error }
+
+// fsyncFailLimit is how many consecutive fsync failures latch the log as
+// failed: one failure can be a transient blip, a streak is a dying disk.
+const fsyncFailLimit = 3
+
 // Log is the append-only document log. Append/Sync/Close and the reader API
 // are safe for concurrent use; there is a single writer (the Log itself).
 type Log struct {
 	opt Options
 
+	// bmu guards the open batch that appenders join; mu guards the file
+	// and segment state. A batch leader takes bmu only briefly (join,
+	// seal) and mu for the whole commit — so while one batch is inside
+	// its fsync under mu, the next batch accumulates under bmu.
+	bmu     sync.Mutex
+	pending *batch
+
 	mu     sync.Mutex
 	segs   []*segment
-	f      *os.File // active segment, positioned at its end
-	wbuf   []byte
-	next   uint64 // next offset to assign
-	dirty  bool   // active segment has unsynced appends
+	f      segFile // active segment, positioned at its end
+	next   uint64  // next offset to assign
+	dirty  bool    // active segment has unsynced appends
 	closed bool
 
 	appends, appendErrs, syncs, rotations, retired int64
 
+	fsyncErrs      int64 // total failed fsyncs of the active segment
+	lastSyncErr    error
+	syncFailStreak int // consecutive failed fsyncs; reset on success
+
+	// failed latches a persistent fsync failure so appends fail fast
+	// instead of silently degrading durability (read lock-free on the
+	// append path).
+	failed atomic.Pointer[failure]
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	fsyncLat obs.Histogram
+	fsyncLat   obs.Histogram
+	batchSizes obs.Histogram // records per committed group-commit batch
 }
 
 // Stats is a point-in-time summary of the log.
@@ -184,6 +259,12 @@ type Stats struct {
 	Syncs           int64
 	Rotations       int64
 	RetiredSegments int64
+	// FsyncErrors counts failed fsyncs of the active segment;
+	// LastFsyncError is the most recent one ("" = none). Failed reports
+	// the log has latched a persistent fsync failure and rejects appends.
+	FsyncErrors    int64
+	LastFsyncError string
+	Failed         bool
 }
 
 func (l *Log) logf(format string, args ...any) {
@@ -225,7 +306,7 @@ func Open(opt Options) (*Log, error) {
 			f.Close()
 			return nil, err
 		}
-		l.f = f
+		l.f = wrapSegFile(f)
 	}
 	if pol == FsyncInterval {
 		l.wg.Add(1)
@@ -380,7 +461,7 @@ func (l *Log) createSegment(base uint64) error {
 		return err
 	}
 	syncDir(l.opt.Dir)
-	l.f = f
+	l.f = wrapSegFile(f)
 	now := time.Now()
 	l.segs = append(l.segs, &segment{base: base, size: headerSize, path: path, created: now, lastAppend: now})
 	return nil
@@ -393,89 +474,198 @@ func (l *Log) createSegment(base uint64) error {
 // itself fails, in which case the record (and its offset) stand and the
 // error is still returned: the caller sees a rejected append that may
 // nevertheless be replayed, the at-least-once-safe direction.
+//
+// Concurrent Appends group-commit: their records share one file write and
+// (under FsyncAlways) one fsync, so durable throughput scales with the
+// number of concurrent publishers instead of paying a private fsync each.
+// A batch commits or fails as a unit — a failed fsync rejects every append
+// in the batch.
 func (l *Log) Append(doc []byte) (uint64, error) {
-	return l.AppendTraced(doc, nil, trace.NoSpan)
+	return l.AppendAsync(doc).Wait()
 }
 
 // AppendTraced is Append with span recording: when tc is non-nil and the
 // fsync policy is FsyncAlways, the wait for stable storage is recorded as
-// an "fsync_wait" child span of parent (under the other policies the
-// append returns before any sync, so there is no wait to record). A nil tc
-// selects the plain path.
+// an "fsync_wait" child span of parent, and parent gains a "batch_size"
+// attribute with the number of records that shared the commit (under the
+// other policies the append returns before any sync, so there is no wait
+// to record). A nil tc selects the plain path.
 func (l *Log) AppendTraced(doc []byte, tc *trace.Ctx, parent trace.SpanID) (uint64, error) {
+	p := l.AppendAsync(doc)
+	if l.opt.Fsync != FsyncAlways {
+		return p.Wait()
+	}
+	fsSpan := tc.StartSpan("fsync_wait", parent)
+	off, err := p.Wait()
+	tc.EndSpan(fsSpan)
+	tc.SetAttr(parent, "batch_size", int64(p.BatchSize()))
+	return off, err
+}
+
+// Pending is an in-flight append handed out by AppendAsync: the document
+// has joined a group-commit batch but is not yet on disk. Wait blocks until
+// the batch commits (or is rejected) and returns the record's offset.
+type Pending struct {
+	l   *Log
+	b   *batch
+	idx int   // record index within the batch
+	err error // join-time rejection (b == nil)
+}
+
+// AppendAsync stages one document for the next group-commit batch and
+// returns without waiting for the commit. The caller may overlap other work
+// (e.g. filtering the document) with the batch's accumulation and fsync,
+// then call Wait to learn the outcome. Safe for concurrent use; records
+// within a batch are ordered by join time.
+func (l *Log) AppendAsync(doc []byte) *Pending {
 	if len(doc) == 0 {
-		return 0, errors.New("wal: empty document")
+		return &Pending{err: errors.New("wal: empty document")}
 	}
 	if len(doc) > l.opt.maxRecordBytes() {
-		return 0, fmt.Errorf("wal: document %d bytes exceeds record limit %d", len(doc), l.opt.maxRecordBytes())
+		return &Pending{err: fmt.Errorf("wal: document %d bytes exceeds record limit %d", len(doc), l.opt.maxRecordBytes())}
 	}
+	if f := l.failed.Load(); f != nil {
+		return &Pending{err: fmt.Errorf("wal: log failed: %w", f.err)}
+	}
+	l.bmu.Lock()
+	b := l.pending
+	if b == nil {
+		b = &batch{full: make(chan struct{}), done: make(chan struct{})}
+		l.pending = b
+	}
+	idx := b.count
+	b.count++
+	var rh [recHdrSize]byte
+	putU32(rh[:4], uint32(len(doc)))
+	putU32(rh[4:], crc32.Checksum(doc, castagnoli))
+	b.buf = append(append(b.buf, rh[:]...), doc...)
+	if b.count >= l.opt.batchMaxRecords() {
+		l.pending = nil // batch is full: stop accepting joiners
+		close(b.full)
+	}
+	l.bmu.Unlock()
+	return &Pending{l: l, b: b, idx: idx}
+}
+
+// Wait blocks until the append's batch has committed and returns the
+// record's offset. The first appender of a batch is the leader and performs
+// the commit inside its Wait; followers just park until the leader closes
+// the batch's done channel.
+func (p *Pending) Wait() (uint64, error) {
+	if p.b == nil {
+		return 0, p.err
+	}
+	if p.idx == 0 {
+		p.l.commit(p.b)
+	} else {
+		<-p.b.done
+	}
+	if p.b.err != nil && !p.b.offsetsStand {
+		return 0, p.b.err
+	}
+	return p.b.base + uint64(p.idx), p.b.err
+}
+
+// BatchSize returns how many records shared this append's batch. Only
+// meaningful after Wait returns (the batch is sealed by then).
+func (p *Pending) BatchSize() int {
+	if p.b == nil {
+		return 0
+	}
+	return p.b.count
+}
+
+// commit is run by the batch leader: it acquires the file lock — blocking
+// behind the previous batch's fsync, which is the accumulation window that
+// lets followers pile in — seals the batch, and commits it with one write
+// and one fsync.
+func (l *Log) commit(b *batch) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Deferred after Unlock so it runs first: followers wake while this
+	// leader still holds the file lock, giving them a head start joining
+	// the next batch before its leader can seal it.
+	defer close(b.done)
+	// Let the previous batch's just-woken followers run before sealing:
+	// without this, an idle disk lets the leader seal a near-empty batch
+	// while the rest of a closed loop of publishers is still waking up.
+	runtime.Gosched()
+	if w := l.opt.BatchMaxWait; w > 0 {
+		t := time.NewTimer(w)
+		select {
+		case <-b.full:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	// Seal: late arrivals start a new batch with their own leader.
+	l.bmu.Lock()
+	if l.pending == b {
+		l.pending = nil
+	}
+	n := b.count
+	l.bmu.Unlock()
+
 	if l.closed {
-		return 0, ErrClosed
+		b.err = ErrClosed
+		return
 	}
 	active := l.segs[len(l.segs)-1]
 	if active.size >= l.opt.segmentBytes() ||
 		(l.opt.SegmentAge > 0 && active.records > 0 && time.Since(active.created) >= l.opt.SegmentAge) {
 		if err := l.rotateLocked(); err != nil {
-			l.appendErrs++
-			return 0, err
+			l.appendErrs += int64(n)
+			b.err = err
+			return
 		}
 		active = l.segs[len(l.segs)-1]
 	}
-	l.wbuf = l.wbuf[:0]
-	var rh [recHdrSize]byte
-	putU32(rh[:4], uint32(len(doc)))
-	putU32(rh[4:], crc32.Checksum(doc, castagnoli))
-	l.wbuf = append(append(l.wbuf, rh[:]...), doc...)
-	n, err := l.f.Write(l.wbuf)
+	wn, err := l.f.Write(b.buf)
 	if err != nil {
-		l.appendErrs++
-		if n > 0 {
+		l.appendErrs += int64(n)
+		if wn > 0 {
 			// Undo the partial write so the on-disk tail stays valid.
 			if terr := l.f.Truncate(active.size); terr == nil {
 				l.f.Seek(active.size, io.SeekStart)
 			} else {
-				l.logf("wal: cannot undo partial append (%v); recovery will truncate it", terr)
+				l.logf("wal: cannot undo partial batch write (%v); recovery will truncate it", terr)
 			}
 		}
-		return 0, err
+		b.err = err
+		return
 	}
-	lastAppend := active.lastAppend
-	active.size += int64(n)
-	active.records++
-	active.lastAppend = time.Now()
-	off := l.next
-	l.next++
-	l.appends++
-	switch l.opt.Fsync {
-	case FsyncAlways:
-		fsSpan := tc.StartSpan("fsync_wait", parent)
-		serr := l.syncLocked(true)
-		tc.EndSpan(fsSpan)
-		if serr != nil {
-			// The record reached the file but not stable storage. Undo it so
-			// the failed append assigns no offset: the server rejects the
-			// publish, and a surviving record would be replayed to durable
-			// subscribers as a document nobody accepted.
-			l.appendErrs++
-			if terr := l.f.Truncate(active.size - int64(n)); terr != nil {
-				l.logf("wal: cannot undo append after failed fsync (%v); offset %d stands and may be redelivered", terr, off)
-				return off, serr
+	if l.opt.Fsync == FsyncAlways {
+		if serr := l.syncLocked(true); serr != nil {
+			// The batch reached the file but not stable storage. Undo it so
+			// the failed appends assign no offsets: the server rejects the
+			// publishes, and surviving records would be replayed to durable
+			// subscribers as documents nobody accepted. The whole batch is
+			// rejected — offsets are assigned contiguously at commit, so a
+			// partial accept would leave holes.
+			l.appendErrs += int64(n)
+			b.err = serr
+			if terr := l.f.Truncate(active.size); terr != nil {
+				l.logf("wal: cannot undo batch after failed fsync (%v); offsets %d-%d stand and may be redelivered",
+					terr, l.next, l.next+uint64(n)-1)
+				b.offsetsStand = true
+				// Fall through: the records are in the file, so the offsets
+				// must advance or the next batch would overwrite them.
+			} else {
+				l.f.Seek(active.size, io.SeekStart)
+				return
 			}
-			l.f.Seek(active.size-int64(n), io.SeekStart)
-			active.size -= int64(n)
-			active.records--
-			active.lastAppend = lastAppend
-			l.next--
-			l.appends--
-			return 0, serr
 		}
-	case FsyncNever:
-	default: // FsyncInterval
+	}
+	active.size += int64(len(b.buf))
+	active.records += uint64(n)
+	active.lastAppend = time.Now()
+	b.base = l.next
+	l.next += uint64(n)
+	l.appends += int64(n)
+	l.batchSizes.Observe(float64(n))
+	if l.opt.Fsync == FsyncInterval {
 		l.dirty = true
 	}
-	return off, nil
 }
 
 // rotateLocked seals the active segment (fsync + close) and opens the next.
@@ -551,6 +741,18 @@ func (l *Log) syncLocked(force bool) error {
 	l.syncs++
 	if err == nil {
 		l.dirty = false
+		l.syncFailStreak = 0
+		return nil
+	}
+	l.fsyncErrs++
+	l.lastSyncErr = err
+	l.syncFailStreak++
+	if l.syncFailStreak >= fsyncFailLimit && l.failed.Load() == nil {
+		// A streak of failed fsyncs is a dying disk, not a blip. Latch the
+		// failure so appends fail fast: without this, FsyncInterval would
+		// silently degrade to FsyncNever while acking every publish.
+		l.failed.Store(&failure{err: err})
+		l.logf("wal: %d consecutive fsync failures; latching log as failed: %v", l.syncFailStreak, err)
 	}
 	return err
 }
@@ -631,6 +833,11 @@ func (l *Log) Stats() Stats {
 		Syncs:           l.syncs,
 		Rotations:       l.rotations,
 		RetiredSegments: l.retired,
+		FsyncErrors:     l.fsyncErrs,
+		Failed:          l.failed.Load() != nil,
+	}
+	if l.lastSyncErr != nil {
+		st.LastFsyncError = l.lastSyncErr.Error()
 	}
 	if len(l.segs) > 0 {
 		st.FirstOffset = l.segs[0].base
@@ -643,6 +850,20 @@ func (l *Log) Stats() Stats {
 
 // FsyncLatency returns the fsync latency histogram snapshot (seconds).
 func (l *Log) FsyncLatency() obs.Snapshot { return l.fsyncLat.Snapshot() }
+
+// BatchSizes returns the group-commit batch-size histogram snapshot
+// (records per committed batch).
+func (l *Log) BatchSizes() obs.Snapshot { return l.batchSizes.Snapshot() }
+
+// Failed returns the latched persistent-fsync-failure error, or nil while
+// the log is healthy. A failed log rejects every append; the operator must
+// restart the broker (after fixing the disk) to recover.
+func (l *Log) Failed() error {
+	if f := l.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
 
 // VerifyResult summarizes a read-only integrity check of a log directory.
 type VerifyResult struct {
