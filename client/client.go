@@ -186,8 +186,12 @@ func (c *Client) roundTrip(typ byte, payload []byte) (server.Frame, error) {
 	}
 }
 
-// Subscribe registers an XPath filter and returns its server-assigned id.
-// Matching documents arrive via Options.OnDeliver.
+// Subscribe registers an XPath filter and returns its server-assigned
+// subscription id. Matching documents arrive via Options.OnDeliver. The id
+// identifies this subscription, not a machine query: the broker
+// deduplicates equivalent filters across subscribers behind the same
+// compiled query, so two clients subscribing to the same filter get
+// distinct ids riding on shared machine state.
 func (c *Client) Subscribe(xpath string) (uint64, error) {
 	f, err := c.roundTrip(server.FrameSubscribe, []byte(xpath))
 	if err != nil {
@@ -234,8 +238,8 @@ func (c *Client) Unsubscribe(id uint64) error {
 	return err
 }
 
-// Publish sends one XML document and returns how many filters (across all
-// subscribers) matched it.
+// Publish sends one XML document and returns how many subscriptions
+// (across all subscribers) matched it.
 func (c *Client) Publish(doc []byte) (int, error) {
 	f, err := c.roundTrip(server.FramePublish, doc)
 	if err != nil {

@@ -188,7 +188,7 @@ func buildConfig(args []string) (server.Config, options, error) {
 	retention := fs.Duration("retention", 0, "delete sealed wal segments older than this (0 = keep)")
 	retentionBytes := fs.Int64("retention-bytes", 0, "delete oldest sealed wal segments past this total size (0 = keep)")
 	batchRecords := fs.Int("wal-batch-records", 0, "max appends coalesced into one group-committed wal batch (0 = 1024)")
-	batchWait := fs.Duration("wal-batch-wait", 0, "extra commit delay to grow wal batches (0 = commit immediately)")
+	batchWait := fs.Duration("wal-batch-wait", 0, "wal batch accumulation window (0 = adaptive from the fsync-latency EWMA under -fsync always; negative = commit immediately)")
 	publishWindow := fs.Int("publish-window", 0, "per-connection PUBLISH_ASYNC in-flight window (0 = 256)")
 	topdown := fs.Bool("topdown", false, "enable top-down pruning")
 	order := fs.Bool("order", false, "enable the order optimization (needs -dtd)")
@@ -197,6 +197,9 @@ func buildConfig(args []string) (server.Config, options, error) {
 	dtdPath := fs.String("dtd", "", "DTD file (enables -order and -train)")
 	strict := fs.Bool("strict", false, "reject mixed element/text content")
 	maxStates := fs.Int("maxstates", 0, "flush lazily built state tables past this count (0 = unlimited)")
+	noDedup := fs.Bool("no-dedup", false, "disable workload deduplication: compile every subscription as its own machine query")
+	consolidateLayers := fs.Int("consolidate-layers", 0, "consolidate the engine past this many COW layers (0 = 32, negative disables)")
+	consolidateRemoved := fs.Int("consolidate-removed", 0, "consolidate the engine past this many removed query slots (0 = 256, negative disables)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, options{}, err
@@ -266,6 +269,9 @@ func buildConfig(args []string) (server.Config, options, error) {
 		SnapshotPath:       *snapshot,
 		SnapshotInterval:   *snapshotInterval,
 		AsyncPublishWindow: *publishWindow,
+		DedupDisabled:      *noDedup,
+		ConsolidateLayers:  *consolidateLayers,
+		ConsolidateRemoved: *consolidateRemoved,
 	}
 	opts := options{drain: *drainTimeout, traceOut: *traceOut}
 	if *walDir != "" {

@@ -81,6 +81,54 @@ func (e *Engine) derive(extra int) *Engine {
 	return n
 }
 
+// Consolidated returns a fresh engine with all layers recompiled into one
+// machine and removed filters physically dropped — Consolidate's "brute
+// force" rebuild, but copy-on-write: the receiver keeps serving its layered
+// workload untouched while the caller swaps in the compacted engine. The
+// returned mapping translates the receiver's filter indexes to the new
+// engine's (-1 for removed filters), so a broker can remap its fan-out
+// routing in the same swap.
+//
+// The consolidated machine starts cold (lazily built states are not
+// carried over); counters and latency history are.
+func (e *Engine) Consolidated() (*Engine, []int, error) {
+	mapping := make([]int, len(e.filters))
+	var queries []string
+	var filters []*xpath.Filter
+	for i := range e.filters {
+		if e.removed[i] {
+			mapping[i] = -1
+			continue
+		}
+		mapping[i] = len(filters)
+		queries = append(queries, e.queries[i])
+		filters = append(filters, e.filters[i])
+	}
+	n := &Engine{cfg: e.cfg, queries: queries, filters: filters}
+	m, err := n.buildMachine(filters)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.layers = []*core.Machine{m}
+	n.layerOff = []int{0}
+	n.removed = make([]bool, len(filters))
+	n.bytes.Store(e.bytes.Load())
+	n.lat.CopyFrom(&e.lat)
+	return n, mapping, nil
+}
+
+// ApproxMemoryBytes estimates the memory held by the engine's machine
+// layers (state arrays, transition tables, intern indexes). Layered
+// engines derived from a shared base double-count nothing: each layer is
+// one machine, counted once.
+func (e *Engine) ApproxMemoryBytes() int64 {
+	var b int64
+	for _, m := range e.layers {
+		b += m.ApproxMemoryBytes()
+	}
+	return b
+}
+
 // Queries returns a copy of the workload's filter texts (including removed
 // slots, which keep their index).
 func (e *Engine) Queries() []string {

@@ -82,6 +82,13 @@ func (a *AFA) NewAnalyzer() *Analyzer {
 
 // Relate classifies a state pair.
 func (an *Analyzer) Relate(s, t int32) Relation {
+	// Exact-equivalence fast path: structurally identical states (common
+	// subexpressions across filters, or duplicate filters in a workload)
+	// are equivalent without the two recursive subsumption walks. Sound:
+	// identical structure trivially implies mutual subsumption.
+	if an.sameShape(s, t) {
+		return Equivalent
+	}
 	if an.Inconsistent(s, t) {
 		return Inconsistent
 	}
@@ -436,6 +443,48 @@ func predsDisjoint(op1 xmlval.Op, c1 xmlval.Const, op2 xmlval.Op, c2 xmlval.Cons
 		return true
 	}
 	return false
+}
+
+// RelateQueries classifies two compiled filters by relating their initial
+// states: filter i subsumes filter j when every document matching i matches
+// j, etc. Conservative like Relate — it may report Independent for related
+// filters, never the converse.
+func (an *Analyzer) RelateQueries(i, j int) Relation {
+	return an.Relate(an.a.Queries[i].Initial, an.a.Queries[j].Initial)
+}
+
+// QueryReport summarises the pairwise filter-level analysis — the workload
+// dedup registry exposes these as metrics so operators can see how much
+// further subsumption-based sharing (beyond exact equality) could collapse
+// the workload.
+type QueryReport struct {
+	Queries           int
+	SubsumedPairs     int // ordered pairs i ⇒ j with i ≠ j
+	EquivalentPairs   int // unordered
+	InconsistentPairs int // unordered
+}
+
+// AnalyzeQueries computes the filter-level pairwise report. Quadratic in the
+// number of filters; each pair costs one Relate on the filters' initial
+// states (memoised within the analyzer).
+func (a *AFA) AnalyzeQueries() QueryReport {
+	an := a.NewAnalyzer()
+	n := len(a.Queries)
+	r := QueryReport{Queries: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch an.RelateQueries(i, j) {
+			case Equivalent:
+				r.EquivalentPairs++
+				r.SubsumedPairs += 2
+			case Subsumes, SubsumedBy:
+				r.SubsumedPairs++
+			case Inconsistent:
+				r.InconsistentPairs++
+			}
+		}
+	}
+	return r
 }
 
 // Analyze computes the pairwise report. Quadratic in the number of AFA

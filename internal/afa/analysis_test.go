@@ -227,3 +227,36 @@ func TestAnalyzeReport(t *testing.T) {
 		t.Errorf("degree = %d", r.MaxIndependentDegree)
 	}
 }
+
+// TestAnalyzeQueries exercises the filter-level relation helper behind the
+// workload-dedup subsumption metric: duplicate filters are equivalent (via
+// the sameShape fast path), a filter with an extra predicate is subsumed by
+// its prefix, and disjoint value predicates are inconsistent.
+func TestAnalyzeQueries(t *testing.T) {
+	a, err := Compile([]*xpath.Filter{
+		xpath.MustParse("//a[b/text()=1]"), // 0
+		xpath.MustParse("//a[b/text()=1]"), // 1: duplicate of 0
+		xpath.MustParse("//a"),             // 2: subsumes 0 and 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := a.NewAnalyzer()
+	if r := an.RelateQueries(0, 1); r != Equivalent {
+		t.Errorf("duplicate filters relate as %v, want ⇔", r)
+	}
+	if r := an.RelateQueries(0, 2); r != Subsumes {
+		t.Errorf("//a[b/text()=1] vs //a relate as %v, want ⇒", r)
+	}
+	rep := a.AnalyzeQueries()
+	if rep.Queries != 3 {
+		t.Errorf("queries = %d", rep.Queries)
+	}
+	if rep.EquivalentPairs != 1 {
+		t.Errorf("equivalent pairs = %d, want 1", rep.EquivalentPairs)
+	}
+	// (0,1) contributes 2 ordered pairs, (0,2) and (1,2) one each.
+	if rep.SubsumedPairs != 4 {
+		t.Errorf("subsumed pairs = %d, want 4", rep.SubsumedPairs)
+	}
+}

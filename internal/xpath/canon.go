@@ -1,0 +1,182 @@
+package xpath
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonical returns a canonical serialization of the filter: two filters that
+// are structurally identical up to whitespace, quoting, associativity and
+// operand order of and/or, duplicate conjuncts/disjuncts, and the
+// [p and q] vs [p][q] split of step predicates render to the same string.
+// The result re-parses to an equivalent filter, and canonicalization is
+// idempotent: Canonicalize(f.Canonical()) == f.Canonical().
+//
+// The broker keys its workload-dedup registry on this form, so every
+// normalization here directly translates into shared machine queries.
+func (f *Filter) Canonical() string {
+	cp := canonPath(f.Path)
+	var sb strings.Builder
+	writePath(&sb, cp, true)
+	return sb.String()
+}
+
+// Canonicalize parses query and returns its canonical form.
+func Canonicalize(query string) (string, error) {
+	f, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return f.Canonical(), nil
+}
+
+// canonPath rebuilds a path with canonicalized steps. Each step's predicate
+// list is normalized by splitting every top-level conjunction into separate
+// [..] predicates (they qualify the same node, so [p and q] ≡ [p][q]),
+// canonicalizing each conjunct, then sorting and deduplicating the set.
+func canonPath(p *Path) *Path {
+	out := &Path{Steps: make([]Step, 0, len(p.Steps))}
+	forceDesc := false
+	for i, s := range p.Steps {
+		if s.Test.Kind == Self && len(s.Preds) == 0 && len(p.Steps) > 1 {
+			// A predicate-less child-axis self step is a no-op (a/./b == a/b,
+			// a/b/. == a/b); drop it unless it is the whole path. A
+			// descendant-axis one folds into the following step (a//./b ==
+			// a//b) but must survive in trailing position, where it still
+			// selects descendants-or-self.
+			if s.Axis == Child {
+				continue
+			}
+			if i+1 < len(p.Steps) {
+				forceDesc = true
+				continue
+			}
+		}
+		cs := Step{Axis: s.Axis, Test: s.Test}
+		if forceDesc {
+			cs.Axis = Descendant
+			forceDesc = false
+		}
+		if len(s.Preds) > 0 {
+			var conjuncts []Expr
+			for _, q := range s.Preds {
+				conjuncts = appendConjuncts(conjuncts, canonExpr(q))
+			}
+			cs.Preds = sortDedupe(conjuncts)
+		}
+		out.Steps = append(out.Steps, cs)
+	}
+	return out
+}
+
+// appendConjuncts flattens a (possibly nested) conjunction into the list.
+func appendConjuncts(dst []Expr, e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		dst = appendConjuncts(dst, a.L)
+		return appendConjuncts(dst, a.R)
+	}
+	return append(dst, e)
+}
+
+// appendDisjuncts flattens a (possibly nested) disjunction into the list.
+func appendDisjuncts(dst []Expr, e Expr) []Expr {
+	if o, ok := e.(*Or); ok {
+		dst = appendDisjuncts(dst, o.L)
+		return appendDisjuncts(dst, o.R)
+	}
+	return append(dst, e)
+}
+
+// canonExpr canonicalizes a predicate expression: and/or chains are
+// flattened, their operands canonicalized, sorted by rendered form, and
+// deduplicated (both ops are commutative, associative, and idempotent);
+// nested paths are canonicalized recursively.
+func canonExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *And:
+		ops := sortDedupe(mapCanon(appendConjuncts(nil, x)))
+		return foldAnd(ops)
+	case *Or:
+		ops := sortDedupe(mapCanon(appendDisjuncts(nil, x)))
+		return foldOr(ops)
+	case *Not:
+		return &Not{X: canonExpr(x.X)}
+	case *Exists:
+		return &Exists{Path: canonPath(x.Path)}
+	case *Cmp:
+		return &Cmp{Path: canonPath(x.Path), Op: x.Op, Const: x.Const}
+	default:
+		return e
+	}
+}
+
+// mapCanon canonicalizes every element. The and/or callers flatten first and
+// canonicalize after, so operands that only become nested chains after
+// canonicalization are re-flattened by the fold helpers below.
+func mapCanon(ops []Expr) []Expr {
+	out := make([]Expr, 0, len(ops))
+	for _, e := range ops {
+		c := canonExpr(e)
+		out = append(out, c)
+	}
+	return out
+}
+
+func foldAnd(ops []Expr) Expr {
+	if len(ops) == 1 {
+		return ops[0]
+	}
+	acc := ops[0]
+	for _, e := range ops[1:] {
+		acc = &And{L: acc, R: e}
+	}
+	return acc
+}
+
+func foldOr(ops []Expr) Expr {
+	if len(ops) == 1 {
+		return ops[0]
+	}
+	acc := ops[0]
+	for _, e := range ops[1:] {
+		acc = &Or{L: acc, R: e}
+	}
+	return acc
+}
+
+// sortDedupe orders expressions by their rendered form and drops duplicates.
+func sortDedupe(ops []Expr) []Expr {
+	if len(ops) <= 1 {
+		return ops
+	}
+	keys := make([]string, len(ops))
+	for i, e := range ops {
+		keys[i] = exprKey(e)
+	}
+	sort.Sort(&exprSorter{ops: ops, keys: keys})
+	out := ops[:1]
+	for i := 1; i < len(ops); i++ {
+		if keys[i] != keys[i-1] {
+			out = append(out, ops[i])
+		}
+	}
+	return out
+}
+
+func exprKey(e Expr) string {
+	var sb strings.Builder
+	e.writeTo(&sb)
+	return sb.String()
+}
+
+type exprSorter struct {
+	ops  []Expr
+	keys []string
+}
+
+func (s *exprSorter) Len() int           { return len(s.ops) }
+func (s *exprSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *exprSorter) Swap(i, j int) {
+	s.ops[i], s.ops[j] = s.ops[j], s.ops[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,109 @@
+package xpath
+
+import "testing"
+
+func TestCanonicalEquivalences(t *testing.T) {
+	groups := [][]string{
+		// Whitespace and redundant self steps.
+		{"/a/b[c = \"x\"]", "/a/b[ c = \"x\" ]", "/ a / b [c=\"x\"]", "/a/./b[c=\"x\"]"},
+		// Commutative operand ordering for and.
+		{"/a[b and c]", "/a[c and b]", "/a[ c and b ]"},
+		// Commutative operand ordering for or.
+		{"/a[b or c]", "/a[c or b]"},
+		// Associativity: flattened chains order the same.
+		{"/a[(b and c) and d]", "/a[b and (c and d)]", "/a[d and c and b]"},
+		// Idempotence of and/or: duplicate operands collapse.
+		{"/a[b and b]", "/a[b]", "/a[b and b and b]"},
+		{"/a[b or b or c]", "/a[c or b]"},
+		// Step predicate split: [p and q] == [p][q] in either order.
+		{"/a[b and c = 1]", "/a[b][c = 1]", "/a[c = 1][b]", "/a[c=1 and b]"},
+		// Nested paths inside predicates canonicalize too.
+		{"/a[b[d and c]/e]", "/a[b[c and d]/e]"},
+		// Descendant axes and attributes survive.
+		{"//a[@k = \"v\"]", "// a [ @k = \"v\" ]"},
+		// A descendant self step folds into the following step.
+		{"//a//b", "//a//./b", "//a/.//b"},
+		// Trailing child-axis self step is a no-op.
+		{"/a/b", "/a/b/."},
+		// Mixed and/or keeps precedence but sorts within each level.
+		{"/a[(b or c) and d]", "/a[d and (c or b)]"},
+	}
+	for _, g := range groups {
+		want, err := Canonicalize(g[0])
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", g[0], err)
+		}
+		for _, q := range g[1:] {
+			got, err := Canonicalize(q)
+			if err != nil {
+				t.Fatalf("Canonicalize(%q): %v", q, err)
+			}
+			if got != want {
+				t.Errorf("Canonicalize(%q) = %q, want %q (from %q)", q, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"/a/b", "/a//b"},
+		{"/a[b]", "/a[c]"},
+		{"/a[b and c]", "/a[b or c]"},
+		{"/a[not(b and c)]", "/a[not(b) and not(c)]"},
+		{"/a[b = 1]", "/a[b = 2]"},
+		{"/a[b < 1]", "/a[b > 1]"},
+	}
+	for _, p := range pairs {
+		a, err := Canonicalize(p[0])
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", p[0], err)
+		}
+		b, err := Canonicalize(p[1])
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", p[1], err)
+		}
+		if a == b {
+			t.Errorf("Canonicalize(%q) == Canonicalize(%q) == %q; want distinct", p[0], p[1], a)
+		}
+	}
+}
+
+func TestCanonicalIdempotentAndReparses(t *testing.T) {
+	queries := []string{
+		"/a/b[c = \"x\"]",
+		"/a[c and b][d or e]",
+		"//doc//item[@k = \"v\" and text() = \"w\"]",
+		"/a[not(b or c/d[e])]",
+		"/a[contains(b, \"s\") and starts-with(c, \"t\")]",
+		"/a[.//b and c//d]",
+		"/*[@* and text()]",
+	}
+	for _, q := range queries {
+		c1, err := Canonicalize(q)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", q, err)
+		}
+		// Idempotent: canonical form is a fixed point.
+		c2, err := Canonicalize(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", c1, err)
+		}
+		if c1 != c2 {
+			t.Errorf("not idempotent: %q -> %q -> %q", q, c1, c2)
+		}
+		// Equivalent: canonical form parses to a filter that the
+		// structural walk agrees has the same shape measures.
+		f, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		g, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c1, err)
+		}
+		if f.HasDescendant() != g.HasDescendant() {
+			t.Errorf("%q vs %q: HasDescendant mismatch", q, c1)
+		}
+	}
+}

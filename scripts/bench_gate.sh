@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench_gate.sh — performance gates for the broker's hot paths.
 #
-# Usage: scripts/bench_gate.sh [baseline.json] [budget-pct] [benchtime] [ratio-budget]
+# Usage: scripts/bench_gate.sh [baseline.json] [budget-pct] [benchtime] [ratio-budget] [dedup-budget]
 #
 # Gate 1 (regression vs baseline): runs BenchmarkServeLoopback (tracing
 # compiled in but disabled) and fails if docs/sec drops more than BUDGET_PCT
@@ -18,6 +18,11 @@
 # Gate 3 (WAL append batching ratio): same ratio check one layer down, on
 # BenchmarkWALAppendBatched's concurrent appenders, pinning the group-commit
 # mechanism itself independent of the network stack.
+#
+# Gate 4 (workload deduplication ratio): runs BenchmarkZipfianSubscribers
+# and fails if the deduplicated workload is not at least DEDUP_BUDGET (5th
+# arg, default 5) times faster than the naive one-query-per-subscription
+# path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -93,6 +98,32 @@ awk -v a="$walways" -v i="$winterval" -v budget="$RATIO_BUDGET" 'BEGIN {
     i, a, ratio, budget
   if (ratio > budget) {
     print "bench_gate: FAIL — group-committed fsync=always append fell out of budget vs interval" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'
+
+# Gate 4 (workload deduplication ratio): 50k zipfian subscriptions over 1k
+# distinct filters, deduped vs naive (one machine query per subscription,
+# the pre-dedup broker's subscribe path). Sharing must buy at least
+# DEDUP_BUDGET x docs/sec; in practice the ratio tracks the ~50x sharing
+# factor, so 5x leaves ample noise headroom while still catching a dedup
+# layer that silently stops coalescing.
+DEDUP_BUDGET="${5:-5}"
+zipf=$(go test -run=NONE -bench='BenchmarkZipfianSubscribers/(naive|dedup)$' -benchtime=1s .)
+echo "$zipf"
+zn=$(echo "$zipf" | awk '/ZipfianSubscribers\/naive/ { for (i = 1; i < NF; i++) if ($(i+1) == "docs/sec") print $i }' | tail -1)
+zd=$(echo "$zipf" | awk '/ZipfianSubscribers\/dedup/ { for (i = 1; i < NF; i++) if ($(i+1) == "docs/sec") print $i }' | tail -1)
+if [ -z "$zn" ] || [ -z "$zd" ]; then
+  echo "bench_gate: zipfian subscriber benchmark produced no docs/sec metric" >&2
+  exit 2
+fi
+awk -v n="$zn" -v d="$zd" -v budget="$DEDUP_BUDGET" 'BEGIN {
+  ratio = d / n
+  printf "bench_gate: zipfian 50k-subscriber workload naive %.0f docs/sec, deduped %.0f (%.1fx faster, budget %sx)\n",
+    n, d, ratio, budget
+  if (ratio < budget) {
+    print "bench_gate: FAIL — workload deduplication no longer pays for itself on the zipfian workload" > "/dev/stderr"
     exit 1
   }
   print "bench_gate: OK"

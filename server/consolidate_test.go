@@ -1,0 +1,120 @@
+package server_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/server"
+)
+
+// stormSnapshot is the slice of /debug/machine this test cares about.
+type stormSnapshot struct {
+	Layers         int   `json:"layers"`
+	RemovedSlots   int   `json:"removed_slots"`
+	Consolidations int64 `json:"consolidations"`
+	MemoryBytes    int64 `json:"memory_bytes"`
+}
+
+// medianPublishLatency publishes the doc n times and returns the median
+// round-trip — median rather than mean so one scheduler hiccup cannot skew
+// the storm comparison.
+func medianPublishLatency(t *testing.T, pub interface {
+	Publish([]byte) (int, error)
+}, doc []byte, n int) time.Duration {
+	t.Helper()
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := pub.Publish(doc); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2]
+}
+
+// TestConsolidationStormKeepsMachineFlat is the regression test for layer
+// accumulation: a long subscribe/unsubscribe storm of unique filters would,
+// without consolidation, pile up one COW layer per subscribe and one removed
+// slot per unsubscribe, growing both memory and per-document latency without
+// bound. With the consolidation thresholds wired into the swap path, the
+// machine must stay flat: layers and removed slots bounded near the
+// thresholds, memory flat, and median publish latency in the same regime at
+// the end of the storm as at the start.
+func TestConsolidationStormKeepsMachineFlat(t *testing.T) {
+	srv := startServer(t, server.Config{
+		DebugAddr:          "127.0.0.1:0",
+		ConsolidateLayers:  8,
+		ConsolidateRemoved: 8,
+	})
+	base := "http://" + srv.DebugAddr()
+	cn := dialSub(t, srv.Addr(), newCollector())
+	pub := dialSub(t, srv.Addr(), nil)
+	doc := []byte("<storm><q>0</q></storm>")
+
+	// Warm up past the first few subscribes so both latency samples see a
+	// machine with some queries in it.
+	const window = 4
+	var active []uint64
+	subscribe := func(i int) {
+		id, err := cn.Subscribe(fmt.Sprintf("/storm[q=%d]", i))
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		active = append(active, id)
+		if len(active) > window {
+			if err := cn.Unsubscribe(active[0]); err != nil {
+				t.Fatalf("unsubscribe: %v", err)
+			}
+			active = active[1:]
+		}
+	}
+	for i := 0; i < 2*window; i++ {
+		subscribe(i)
+	}
+	early := medianPublishLatency(t, pub, doc, 30)
+	var earlySnap stormSnapshot
+	getJSON(t, base+"/debug/machine", &earlySnap)
+
+	// The storm: 300 unique-filter subscribe/unsubscribe cycles. Unshared
+	// filters defeat dedup on purpose — every cycle costs a real COW layer
+	// plus a removed slot, so only consolidation keeps the machine small.
+	const storm = 300
+	for i := 2 * window; i < 2*window+storm; i++ {
+		subscribe(i)
+	}
+	late := medianPublishLatency(t, pub, doc, 30)
+	var lateSnap stormSnapshot
+	getJSON(t, base+"/debug/machine", &lateSnap)
+
+	if lateSnap.Consolidations == 0 {
+		t.Fatal("storm never triggered a consolidation")
+	}
+	// The thresholds bound the machine: one consolidation window of slack on
+	// top of the configured limits.
+	if lateSnap.Layers > 2*8 {
+		t.Errorf("layers = %d after storm, want <= %d (threshold 8)", lateSnap.Layers, 2*8)
+	}
+	if lateSnap.RemovedSlots > 2*8 {
+		t.Errorf("removed slots = %d after storm, want <= %d (threshold 8)", lateSnap.RemovedSlots, 2*8)
+	}
+	// Memory flat: the live working set is `window` queries throughout, so
+	// post-storm memory must stay within a small factor of the early
+	// snapshot instead of growing with the 300 retired layers. The factor
+	// absorbs where each snapshot lands in the consolidation cycle (one cold
+	// layer right after a rebuild vs several warm ones right before); an
+	// unconsolidated 300-layer machine would sit ~40x above the early
+	// snapshot and keep growing with the storm.
+	if earlySnap.MemoryBytes > 0 && lateSnap.MemoryBytes > 12*earlySnap.MemoryBytes {
+		t.Errorf("memory grew %d -> %d bytes across the storm; not flat",
+			earlySnap.MemoryBytes, lateSnap.MemoryBytes)
+	}
+	// Latency flat: generous factor — loopback noise is real — but far below
+	// the ~40x a 300-layer machine would cost.
+	if late > 25*early {
+		t.Errorf("median publish latency grew %v -> %v across the storm; not flat", early, late)
+	}
+}

@@ -42,11 +42,22 @@ func (s *Server) debugMux() *http.ServeMux {
 // machineSnapshot is the /debug/machine payload: one consistent look at the
 // live filter machine, the workload, and the delivery plane.
 type machineSnapshot struct {
-	Backend       Backend `json:"backend"`
-	Queries       int     `json:"queries"`
-	Subscriptions int     `json:"subscriptions"`
-	Connections   int     `json:"connections"`
-	QueueDepth    int     `json:"queue_depth"`
+	Backend Backend `json:"backend"`
+	// Queries counts engine slots (including removed-but-unconsolidated
+	// ones); UniqueQueries the live compiled machine queries in the dedup
+	// registry; Subscriptions the subscriber fan-out riding on them. With
+	// deduplication, Subscriptions >> UniqueQueries on zipfian workloads.
+	Queries        int    `json:"queries"`
+	UniqueQueries  int    `json:"unique_queries"`
+	Subscriptions  int    `json:"subscriptions"`
+	DedupHits      uint64 `json:"dedup_hits"`
+	SubsumedPairs  int    `json:"subsumed_pairs"` // -1 = workload too large to analyze
+	Layers         int    `json:"layers,omitempty"`
+	RemovedSlots   int    `json:"removed_slots"`
+	Consolidations int64  `json:"consolidations"`
+	MemoryBytes    int64  `json:"memory_bytes,omitempty"`
+	Connections    int    `json:"connections"`
+	QueueDepth     int    `json:"queue_depth"`
 
 	States        int     `json:"states"`
 	TopDownStates int     `json:"top_down_states"`
@@ -88,9 +99,14 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 	c := s.cur.Load()
 	st := c.stats()
 	snap := machineSnapshot{
-		Backend:       s.cfg.Backend,
-		Queries:       len(c.queries),
-		Subscriptions: c.subscriptions(),
+		Backend:        s.cfg.Backend,
+		Queries:        len(c.canon),
+		UniqueQueries:  s.subs.UniqueQueries(),
+		Subscriptions:  s.subs.Subscriptions(),
+		DedupHits:      s.subs.Hits(),
+		SubsumedPairs:  int(s.subsumedPairs()),
+		RemovedSlots:   len(c.removed) - c.liveQueries(),
+		Consolidations: s.consolidations.Load(),
 
 		States:        st.States,
 		TopDownStates: st.TopDownStates,
@@ -117,6 +133,10 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 		snap.QueueDepth += cn.queueDepth()
 	}
 	s.connMu.Unlock()
+	if c.engine != nil {
+		snap.Layers = c.engine.NumLayers()
+		snap.MemoryBytes = c.engine.ApproxMemoryBytes()
+	}
 	if c.pool != nil {
 		snap.PoolSize = c.pool.Size()
 	}

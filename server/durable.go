@@ -300,13 +300,14 @@ func (s *Server) matchDurable(cn *conn, doc []byte, tc *trace.Ctx, parent trace.
 	if err != nil {
 		return nil, err
 	}
-	var ids []uint64
-	for _, m := range matches {
-		if c.subs[m] == cn && c.durable[m] {
-			ids = append(ids, uint64(m))
-		}
+	if len(matches) == 0 {
+		return nil, nil
 	}
-	return ids, nil
+	keys := make([]uint64, 0, len(matches))
+	for _, m := range matches {
+		keys = append(keys, c.keys[m])
+	}
+	return s.subs.OwnerSubs(keys, cn, true), nil
 }
 
 // handleAck persists an advanced cursor. Acks carry no response frame, so

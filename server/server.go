@@ -16,8 +16,11 @@ import (
 	"time"
 
 	xpushstream "repro"
+	"repro/internal/afa"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xpath"
 )
 
 // Backend selects the filtering deployment behind the broker.
@@ -125,6 +128,21 @@ type Config struct {
 	// subscriptions require it alongside WAL.
 	Cursors CursorStore
 
+	// DedupDisabled turns off workload-level query deduplication: every
+	// subscription compiles its own machine query as in pre-dedup
+	// brokers. Only for A/B benchmarking and debugging — zipfian
+	// workloads cost dramatically more this way.
+	DedupDisabled bool
+	// ConsolidateLayers triggers engine-layer consolidation on the swap
+	// path once the copy-on-write engine exceeds this many layers
+	// (0 = default 32, negative = never). Consolidation recompiles the
+	// workload into one machine, dropping removed filters; the rebuilt
+	// machine starts cold and re-warms lazily.
+	ConsolidateLayers int
+	// ConsolidateRemoved triggers consolidation once this many removed
+	// filter slots have accumulated (0 = default 256, negative = never).
+	ConsolidateRemoved int
+
 	// SnapshotPath enables warm-start: on boot, if the file exists, the
 	// workload and machine state are restored from it (engine backend
 	// only); Checkpoint and Shutdown write it.
@@ -158,19 +176,45 @@ func (c *Config) asyncPublishWindow() int {
 	return 256
 }
 
+func (c *Config) consolidateLayers() int {
+	if c.ConsolidateLayers != 0 {
+		return c.ConsolidateLayers
+	}
+	return 32
+}
+
+func (c *Config) consolidateRemoved() int {
+	if c.ConsolidateRemoved != 0 {
+		return c.ConsolidateRemoved
+	}
+	return 256
+}
+
 // errDraining rejects work arriving during graceful shutdown.
 var errDraining = errors.New("server: draining")
 
+// deadKey marks a removed engine slot in core.keys: it is never registered
+// in the dedup registry, so fan-out lookups skip it.
+const deadKey = ^uint64(0)
+
 // core is one immutable generation of the broker's workload: the compiled
-// backend plus the filter-id -> subscriber binding. Subscription changes
-// build the next core off to the side and atomically swap the pointer
-// (copy-on-write), so the publish path never observes a half-updated
-// workload — it either filters on the old generation or the new one.
+// backend plus the engine-index -> registry-key translation. Workload
+// changes (first compile of a canonical filter, last release, layer
+// consolidation) build the next core off to the side and atomically swap
+// the pointer (copy-on-write), so the publish path never observes a
+// half-updated workload — it either filters on the old generation or the
+// new one.
+//
+// Who subscribes to a filter lives in the server's dedup registry, not
+// here: subscriber fan-out changes on every subscribe/unsubscribe, while a
+// core only changes when the set of unique machine queries does. keys gives
+// each engine slot a stable identity across consolidations, so matches
+// computed on an older generation still resolve to the right subscribers.
 type core struct {
-	queries []string
-	removed []bool
-	subs    []*conn // filter id -> owning subscriber (nil = unbound)
-	durable []bool  // filter id -> delivered by the owner's WAL pump, not the queues
+	canon   []string       // engine index -> canonical filter text
+	keys    []uint64       // engine index -> stable registry key (deadKey when removed)
+	removed []bool         // engine index -> released (engine skips these)
+	keyIdx  map[uint64]int // live registry key -> engine index
 
 	engine  *xpushstream.Engine        // BackendEngine
 	pool    *xpushstream.Pool          // BackendPool
@@ -208,11 +252,11 @@ func (c *core) stats() xpushstream.Stats {
 	}
 }
 
-// subscriptions counts bound filters.
-func (c *core) subscriptions() int {
+// liveQueries counts engine slots that are still routable.
+func (c *core) liveQueries() int {
 	n := 0
-	for _, s := range c.subs {
-		if s != nil {
+	for _, r := range c.removed {
+		if !r {
 			n++
 		}
 	}
@@ -240,6 +284,19 @@ type Server struct {
 	pubMu sync.Mutex
 	cur   atomic.Pointer[core]
 
+	// subs is the workload dedup registry: canonical filter -> one
+	// compiled machine query + the fan-out set of subscriptions sharing
+	// it. Subscriptions to an already-compiled filter only touch the
+	// registry — no core swap, no engine derivation.
+	subs *workload.Dedup[*conn]
+
+	// Workload-analysis metric cache (Theorem 6.1 subsumption pairs over
+	// the unique queries): recomputed on scrape only after the unique
+	// workload changed.
+	anMu    sync.Mutex
+	anDirty bool
+	anPairs float64
+
 	draining atomic.Bool
 
 	// Durable delivery (nil / empty unless Config.WAL is set).
@@ -259,15 +316,16 @@ type Server struct {
 	closeOne sync.Once
 
 	// Metrics.
-	pumpsActive  atomic.Int64 // running durable pump goroutines
-	mPublishes   *obs.Counter
-	mPublishErrs *obs.Counter
-	mDeliveries  *obs.Counter
-	mConnReject  *obs.Counter
-	mDropped     map[Policy]*obs.Counter
-	mAcks        *obs.Counter
-	mDurDeliver  *obs.Counter
-	deliverLat   obs.Histogram
+	consolidations atomic.Int64 // engine-layer consolidations applied on the swap path
+	pumpsActive    atomic.Int64 // running durable pump goroutines
+	mPublishes     *obs.Counter
+	mPublishErrs   *obs.Counter
+	mDeliveries    *obs.Counter
+	mConnReject    *obs.Counter
+	mDropped       map[Policy]*obs.Counter
+	mAcks          *obs.Counter
+	mDurDeliver    *obs.Counter
+	deliverLat     obs.Histogram
 }
 
 // New compiles (or warm-starts) the workload, starts the listeners, and
@@ -295,6 +353,8 @@ func New(cfg Config) (*Server, error) {
 		cursors:  cfg.Cursors,
 		durables: map[string]*conn{},
 		walNote:  make(chan struct{}),
+		subs:     workload.NewDedup[*conn](),
+		anDirty:  true,
 	}
 	c, err := s.bootCore()
 	if err != nil {
@@ -342,7 +402,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // bootCore builds the boot workload: from the snapshot file when warm-start
-// is configured and the file exists, otherwise from InitialQueries.
+// is configured and the file exists, otherwise from InitialQueries. Every
+// boot filter is registered and pinned in the dedup registry: pinned
+// entries stay compiled (and keep counting as publish matches) with zero
+// subscribers, and a later subscriber to the same canonical filter rides
+// the already-warm machine query.
 func (s *Server) bootCore() (*core, error) {
 	if s.cfg.SnapshotPath != "" && s.cfg.Backend == BackendEngine {
 		if f, err := os.Open(s.cfg.SnapshotPath); err == nil {
@@ -354,23 +418,65 @@ func (s *Server) bootCore() (*core, error) {
 			q := e.Queries()
 			s.logf("warm-start: restored %d filters, %d machine states from %s",
 				len(q), e.Stats().States, s.cfg.SnapshotPath)
-			return &core{queries: q, removed: e.Removed(), subs: make([]*conn, len(q)),
-				durable: make([]bool, len(q)), engine: e}, nil
+			c := &core{canon: q, removed: e.Removed(), engine: e}
+			s.indexBootCore(c)
+			return c, nil
 		}
 	}
-	return s.buildCore(append([]string(nil), s.cfg.InitialQueries...),
-		make([]bool, len(s.cfg.InitialQueries)), make([]*conn, len(s.cfg.InitialQueries)),
-		make([]bool, len(s.cfg.InitialQueries)), nil)
+	// Collapse duplicate boot filters onto one engine slot (unless dedup
+	// is disabled), canonicalizing each.
+	var canon []string
+	seen := map[string]int{}
+	for _, q := range s.cfg.InitialQueries {
+		cq, err := xpath.Canonicalize(q)
+		if err != nil {
+			return nil, fmt.Errorf("server: initial query %q: %w", q, err)
+		}
+		if _, dup := seen[cq]; dup && !s.cfg.DedupDisabled {
+			continue
+		}
+		seen[cq] = len(canon)
+		canon = append(canon, cq)
+	}
+	c, err := s.buildCore(canon, make([]bool, len(canon)), nil)
+	if err != nil {
+		return nil, err
+	}
+	s.indexBootCore(c)
+	return c, nil
 }
 
-// buildCore compiles a full workload for the configured backend. For the
-// engine backend, derived is used when non-nil (the copy-on-write fast
-// path); the pool and sharded backends always recompile.
-func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, durable []bool, derived *xpushstream.Engine) (*core, error) {
-	c := &core{queries: queries, removed: removed, subs: subs, durable: durable}
+// indexBootCore assigns registry keys to a boot core's engine slots and
+// pins the live ones.
+func (s *Server) indexBootCore(c *core) {
+	c.keys = make([]uint64, len(c.canon))
+	c.keyIdx = make(map[uint64]int, len(c.canon))
+	for i, q := range c.canon {
+		if c.removed[i] {
+			c.keys[i] = deadKey
+			continue
+		}
+		// A snapshot written by a dedup-disabled broker can hold
+		// duplicate texts; only the first copy of each canonical form is
+		// shared, the rest stay private slots.
+		_, taken := s.subs.Resolve(q)
+		key := s.subs.Register(q, !taken && !s.cfg.DedupDisabled)
+		s.subs.Pin(key)
+		c.keys[i] = key
+		c.keyIdx[key] = i
+	}
+	s.markAnalysisDirty()
+}
+
+// buildCore compiles a workload of canonical filter texts for the
+// configured backend. For the engine backend, derived is used when non-nil
+// (the copy-on-write fast path); the pool and sharded backends always
+// recompile. keys/keyIdx are left for the caller to assign.
+func (s *Server) buildCore(canon []string, removed []bool, derived *xpushstream.Engine) (*core, error) {
+	c := &core{canon: canon, removed: removed}
 	switch s.cfg.Backend {
 	case BackendPool:
-		e, err := s.compileWithRemoved(queries, removed)
+		e, err := s.compileWithRemoved(canon, removed)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +486,7 @@ func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, durab
 		}
 	case BackendSharded:
 		var err error
-		c.sharded, err = xpushstream.CompileSharded(queries, s.cfg.Engine, s.cfg.Workers)
+		c.sharded, err = xpushstream.CompileSharded(canon, s.cfg.Engine, s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -389,7 +495,7 @@ func (s *Server) buildCore(queries []string, removed []bool, subs []*conn, durab
 			c.engine = derived
 			break
 		}
-		e, err := s.compileWithRemoved(queries, removed)
+		e, err := s.compileWithRemoved(canon, removed)
 		if err != nil {
 			return nil, err
 		}
@@ -431,8 +537,13 @@ func (s *Server) Stats() xpushstream.Stats { return s.cur.Load().stats() }
 // examples/netrouter) can add their own series next to the built-ins.
 func (s *Server) Registry() *xpushstream.Registry { return s.reg }
 
-// NumSubscriptions reports the number of bound filters.
-func (s *Server) NumSubscriptions() int { return s.cur.Load().subscriptions() }
+// NumSubscriptions reports the number of live subscriptions (across all
+// connections; several may share one compiled machine query).
+func (s *Server) NumSubscriptions() int { return s.subs.Subscriptions() }
+
+// NumUniqueQueries reports the number of distinct compiled machine queries
+// serving those subscriptions (plus pinned boot filters).
+func (s *Server) NumUniqueQueries() int { return s.subs.UniqueQueries() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -466,8 +577,19 @@ func (s *Server) registerMetrics() {
 		return float64(len(s.conns))
 	})
 	s.reg.GaugeFunc("xpushserve_subscriptions", "bound subscriber filters", func() float64 {
-		return float64(s.cur.Load().subscriptions())
+		return float64(s.subs.Subscriptions())
 	})
+	s.reg.GaugeFunc("xpush_workload_unique_queries", "distinct compiled machine queries in the dedup registry", func() float64 {
+		return float64(s.subs.UniqueQueries())
+	})
+	s.reg.GaugeFunc("xpush_workload_subscriptions", "live subscriptions across the dedup registry's fan-out sets", func() float64 {
+		return float64(s.subs.Subscriptions())
+	})
+	s.reg.CounterFunc("xpush_workload_dedup_hits_total", "subscriptions that reused an already-compiled machine query", func() int64 {
+		return int64(s.subs.Hits())
+	})
+	s.reg.GaugeFunc("xpush_workload_subsumed_pairs", "filter pairs the Theorem 6.1 analysis proves subsumed among unique queries (-1 = workload too large to analyze)", s.subsumedPairs)
+	s.reg.CounterFunc("xpushserve_consolidations_total", "engine-layer consolidations applied on the swap path", s.consolidations.Load)
 	s.reg.GaugeFunc("xpushserve_queue_depth", "queued deliveries summed over subscribers", func() float64 {
 		s.connMu.Lock()
 		defer s.connMu.Unlock()
@@ -500,112 +622,254 @@ func (s *Server) registerMetrics() {
 }
 
 // ---------------------------------------------------------------------------
-// Control plane: copy-on-write workload swaps.
+// Control plane: the dedup registry + copy-on-write workload swaps.
 
-// subscribe registers one filter for cn and returns its id. The id is the
-// filter's index in the engine workload; ids are never reused. Durable
-// filters are excluded from queue fan-out: the owner's WAL pump delivers
-// them (see subscribeDurable).
+// subscribe registers one filter for cn and returns its subscription id
+// (ids are never reused). The filter is canonicalized and looked up in the
+// dedup registry: when an equivalent filter is already compiled, the
+// subscription only joins its fan-out set — no engine derivation, no core
+// swap. Only the first subscription to a new canonical filter compiles a
+// machine query (and only the last release frees it). Durable filters are
+// excluded from queue fan-out: the owner's WAL pump delivers them (see
+// subscribeDurable).
 func (s *Server) subscribe(cn *conn, query string, durable bool) (uint64, error) {
+	canon, err := xpath.Canonicalize(query)
+	if err != nil {
+		return 0, fmt.Errorf("server: %w", err)
+	}
 	s.ctl.Lock()
 	defer s.ctl.Unlock()
 	if s.draining.Load() {
 		return 0, errDraining
 	}
+	if !s.cfg.DedupDisabled {
+		if key, ok := s.subs.Resolve(canon); ok {
+			// Dedup hit: the canonical filter is already a machine query.
+			subID, _ := s.subs.Subscribe(key, cn, durable)
+			return subID, nil
+		}
+	}
 	cur := s.cur.Load()
-	id := uint64(len(cur.queries))
-	queries := append(append(make([]string, 0, len(cur.queries)+1), cur.queries...), query)
-	removed := append(append(make([]bool, 0, len(queries)), cur.removed...), false)
-	subs := append(append(make([]*conn, 0, len(queries)), cur.subs...), cn)
-	dur := append(append(make([]bool, 0, len(queries)), cur.durable...), durable)
 	var derived *xpushstream.Engine
 	if s.cfg.Backend == BackendEngine {
-		var err error
-		derived, err = cur.engine.WithQueries([]string{query})
+		derived, err = cur.engine.WithQueries([]string{canon})
 		if err != nil {
 			return 0, err
 		}
 	}
-	next, err := s.buildCore(queries, removed, subs, dur, derived)
+	canons := append(append(make([]string, 0, len(cur.canon)+1), cur.canon...), canon)
+	removed := append(append(make([]bool, 0, len(canons)), cur.removed...), false)
+	next, err := s.buildCore(canons, removed, derived)
 	if err != nil {
 		return 0, err
 	}
-	s.cur.Store(next)
-	return id, nil
+	key := s.subs.Register(canon, !s.cfg.DedupDisabled)
+	idx := len(canons) - 1
+	next.keys = append(append(make([]uint64, 0, len(canons)), cur.keys...), key)
+	next.keyIdx = make(map[uint64]int, len(cur.keyIdx)+1)
+	for k, v := range cur.keyIdx {
+		next.keyIdx[k] = v
+	}
+	next.keyIdx[key] = idx
+	subID, _ := s.subs.Subscribe(key, cn, durable)
+	s.markAnalysisDirty()
+	s.cur.Store(s.maybeConsolidate(next))
+	return subID, nil
 }
 
-// unsubscribe removes one filter; only the owning connection may remove it.
+// unsubscribe detaches one subscription; only the owning connection may
+// remove it. The machine query is released (WithoutQuery + swap) only when
+// the last subscription sharing it is gone.
 func (s *Server) unsubscribe(cn *conn, id uint64) error {
 	s.ctl.Lock()
 	defer s.ctl.Unlock()
-	cur := s.cur.Load()
-	if id >= uint64(len(cur.subs)) || cur.subs[id] != cn {
-		return fmt.Errorf("server: filter %d is not subscribed on this connection", id)
-	}
-	next, err := s.coreWithout(cur, []uint64{id})
+	key, last, err := s.subs.Unsubscribe(id, cn)
 	if err != nil {
-		return err
+		return fmt.Errorf("server: %w", err)
 	}
-	s.cur.Store(next)
+	if last {
+		s.releaseKeys([]uint64{key})
+	}
 	return nil
 }
 
-// unsubscribeConn removes every filter bound to a departing connection.
+// unsubscribeConn detaches every subscription held by a departing
+// connection, releasing the machine queries that lost their last rider.
 func (s *Server) unsubscribeConn(cn *conn) {
 	s.ctl.Lock()
 	defer s.ctl.Unlock()
-	cur := s.cur.Load()
-	var ids []uint64
-	for i, owner := range cur.subs {
-		if owner == cn {
-			ids = append(ids, uint64(i))
-		}
+	if released := s.subs.UnsubscribeOwner(cn); len(released) > 0 {
+		s.releaseKeys(released)
 	}
-	if len(ids) == 0 {
-		return
-	}
-	next, err := s.coreWithout(cur, ids)
-	if err != nil {
-		s.logf("unsubscribe on disconnect: %v", err)
-		return
-	}
-	s.cur.Store(next)
 }
 
-// coreWithout builds the next core with the given filter ids removed.
-func (s *Server) coreWithout(cur *core, ids []uint64) (*core, error) {
-	queries := append([]string(nil), cur.queries...)
-	removed := append([]bool(nil), cur.removed...)
-	subs := append([]*conn(nil), cur.subs...)
-	durable := append([]bool(nil), cur.durable...)
-	for _, id := range ids {
-		removed[id] = true
-		subs[id] = nil
-		durable[id] = false
+// releaseKeys removes the machine queries behind fully-released registry
+// keys and swaps in the next core. Callers hold ctl; the registry entries
+// are already gone, so on a rebuild error the old core is kept — its extra
+// compiled filters still match, but fan-out finds no subscribers and skips
+// them (they are reaped by a later successful swap or consolidation).
+func (s *Server) releaseKeys(keys []uint64) {
+	cur := s.cur.Load()
+	next, err := s.coreWithoutKeys(cur, keys)
+	if err != nil {
+		s.logf("release queries: %v", err)
+		return
 	}
-	var derived *xpushstream.Engine
+	s.markAnalysisDirty()
+	s.cur.Store(s.maybeConsolidate(next))
+}
+
+// coreWithoutKeys builds the next core with the given registry keys'
+// filters removed. The engine backend masks them copy-on-write; the pool
+// and sharded backends recompile the compacted workload.
+func (s *Server) coreWithoutKeys(cur *core, keys []uint64) (*core, error) {
 	if s.cfg.Backend == BackendEngine {
-		derived = cur.engine
-		for _, id := range ids {
+		derived := cur.engine
+		removed := append([]bool(nil), cur.removed...)
+		ks := append([]uint64(nil), cur.keys...)
+		keyIdx := make(map[uint64]int, len(cur.keyIdx))
+		for k, v := range cur.keyIdx {
+			keyIdx[k] = v
+		}
+		for _, key := range keys {
+			idx, ok := keyIdx[key]
+			if !ok {
+				continue
+			}
 			var err error
-			derived, err = derived.WithoutQuery(int(id))
+			derived, err = derived.WithoutQuery(idx)
 			if err != nil {
 				return nil, err
 			}
+			removed[idx] = true
+			ks[idx] = deadKey
+			delete(keyIdx, key)
 		}
+		c := &core{canon: cur.canon, keys: ks, removed: removed, keyIdx: keyIdx, engine: derived}
+		return c, nil
 	}
-	return s.buildCore(queries, removed, subs, durable, derived)
+	// Recompiling backends: compact the workload instead of masking.
+	drop := make(map[uint64]bool, len(keys))
+	for _, key := range keys {
+		drop[key] = true
+	}
+	var canon []string
+	var ks []uint64
+	for i, key := range cur.keys {
+		if cur.removed[i] || drop[key] {
+			continue
+		}
+		canon = append(canon, cur.canon[i])
+		ks = append(ks, key)
+	}
+	next, err := s.buildCore(canon, make([]bool, len(canon)), nil)
+	if err != nil {
+		return nil, err
+	}
+	next.keys = ks
+	next.keyIdx = make(map[uint64]int, len(ks))
+	for i, key := range ks {
+		next.keyIdx[key] = i
+	}
+	return next, nil
+}
+
+// maybeConsolidate applies engine-layer consolidation on the swap path when
+// the copy-on-write derivation chain has accumulated enough layers or
+// removed slots: the whole live workload is recompiled into one machine and
+// the registry keys are remapped to the compacted indexes. Without this,
+// subscribe/unsubscribe churn grows the layer list and the removed mask
+// forever, and every published document pays for the dead weight.
+func (s *Server) maybeConsolidate(c *core) *core {
+	if c.engine == nil {
+		return c
+	}
+	maxLayers, maxRemoved := s.cfg.consolidateLayers(), s.cfg.consolidateRemoved()
+	nRemoved := len(c.removed) - c.liveQueries()
+	if (maxLayers <= 0 || c.engine.NumLayers() <= maxLayers) &&
+		(maxRemoved <= 0 || nRemoved <= maxRemoved) {
+		return c
+	}
+	e, mapping, err := c.engine.Consolidated()
+	if err != nil {
+		s.logf("consolidate: %v", err)
+		return c
+	}
+	n := &core{
+		canon:   make([]string, e.NumQueries()),
+		keys:    make([]uint64, e.NumQueries()),
+		removed: make([]bool, e.NumQueries()),
+		keyIdx:  make(map[uint64]int, e.NumQueries()),
+		engine:  e,
+	}
+	for old, idx := range mapping {
+		if idx < 0 {
+			continue
+		}
+		n.canon[idx] = c.canon[old]
+		n.keys[idx] = c.keys[old]
+		n.keyIdx[n.keys[idx]] = idx
+	}
+	s.consolidations.Add(1)
+	s.logf("consolidated workload: %d layers, %d removed slots -> 1 layer, %d filters",
+		c.engine.NumLayers(), nRemoved, e.NumQueries())
+	return n
+}
+
+// markAnalysisDirty invalidates the cached subsumption-pair metric after
+// the unique workload changed.
+func (s *Server) markAnalysisDirty() {
+	s.anMu.Lock()
+	s.anDirty = true
+	s.anMu.Unlock()
+}
+
+// analyzeMaxQueries bounds the quadratic subsumption analysis behind the
+// xpush_workload_subsumed_pairs gauge; larger unique workloads report -1.
+const analyzeMaxQueries = 512
+
+// subsumedPairs returns the number of ordered filter pairs (i ⇒ j) among
+// the unique queries where the Theorem 6.1 analysis proves subsumption —
+// the headroom a subsumption-aware sharing layer could still exploit beyond
+// exact equivalence. Cached until the unique workload changes.
+func (s *Server) subsumedPairs() float64 {
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	if !s.anDirty {
+		return s.anPairs
+	}
+	s.anDirty = false
+	canons := s.subs.Canons()
+	if len(canons) > analyzeMaxQueries {
+		s.anPairs = -1
+		return s.anPairs
+	}
+	filters := make([]*xpath.Filter, 0, len(canons))
+	for _, q := range canons {
+		f, err := xpath.Parse(q)
+		if err != nil {
+			continue
+		}
+		filters = append(filters, f)
+	}
+	a, err := afa.Compile(filters)
+	if err != nil {
+		s.anPairs = -1
+		return s.anPairs
+	}
+	s.anPairs = float64(a.AnalyzeQueries().SubsumedPairs)
+	return s.anPairs
 }
 
 // ---------------------------------------------------------------------------
 // Data plane.
 
 // publish filters one document on the current workload generation and fans
-// the matches out to subscriber queues. It returns the matched-filter
-// count. On a WAL-backed server the document is appended to the log (and
-// the append is durable per the fsync policy) before anything else — a
-// failed append rejects the publish, so every accepted document is
-// replayable.
+// the matches out to subscriber queues. It returns the matched-subscription
+// count (a boot-pinned filter with no subscribers counts once). On a
+// WAL-backed server the document is appended to the log (and the append is
+// durable per the fsync policy) before anything else — a failed append
+// rejects the publish, so every accepted document is replayable.
 func (s *Server) publish(doc []byte) (int, error) {
 	if s.draining.Load() {
 		s.mPublishErrs.Inc()
@@ -643,8 +907,7 @@ func (s *Server) publish(doc []byte) (int, error) {
 		return 0, err
 	}
 	s.mPublishes.Inc()
-	s.fanout(c, matches, doc, tc)
-	return len(matches), nil
+	return s.fanout(c, matches, doc, tc), nil
 }
 
 // filter runs one document through the current workload generation and
@@ -663,44 +926,58 @@ func (s *Server) filter(doc []byte, tc *trace.Ctx) (*core, []int, error) {
 	return c, matches, err
 }
 
-// fanout enqueues one delivery per matched subscriber. c must be the
-// generation the matches were computed on.
-func (s *Server) fanout(c *core, matches []int, doc []byte, tc *trace.Ctx) {
+// fanout resolves matched engine indexes through the dedup registry's
+// fan-out sets and enqueues one delivery per matched subscriber. c must be
+// the generation the matches were computed on: its keys column translates
+// that generation's engine indexes to stable registry keys, so a match
+// computed on an older core still routes correctly after consolidation.
+// The returned count is the number of matched subscriptions (pinned boot
+// filters with no subscribers count once each — the pre-dedup publish
+// contract).
+func (s *Server) fanout(c *core, matches []int, doc []byte, tc *trace.Ctx) int {
 	if len(matches) == 0 {
-		return
+		return 0
 	}
-	// Group the matched filter ids by owning subscriber; each subscriber
-	// gets one delivery per document regardless of how many of its filters
-	// matched.
 	now := time.Now()
+	keys := make([]uint64, 0, len(matches))
+	for _, m := range matches {
+		keys = append(keys, c.keys[m])
+	}
+	// Group the matched subscription ids by owning subscriber; each
+	// subscriber gets one delivery per document regardless of how many of
+	// its subscriptions matched.
+	count := 0
 	var single *conn // fast path: all matches belong to one subscriber
 	var singleIDs []uint64
 	var perConn map[*conn][]uint64
-	for _, m := range matches {
-		owner := c.subs[m]
-		if owner == nil || c.durable[m] {
-			continue // durable filters are delivered by the owner's WAL pump
+	s.subs.Fanout(keys, func(_ uint64, _ bool, nsubs int, subID uint64, owner *conn, durable bool) {
+		count++
+		if nsubs == 0 || durable {
+			// Pinned boot filter (no riders), or a durable subscription
+			// delivered by the owner's WAL pump.
+			return
 		}
 		switch {
 		case single == nil && perConn == nil:
 			single = owner
-			singleIDs = append(singleIDs, uint64(m))
+			singleIDs = append(singleIDs, subID)
 		case perConn == nil && owner == single:
-			singleIDs = append(singleIDs, uint64(m))
+			singleIDs = append(singleIDs, subID)
 		default:
 			if perConn == nil {
 				perConn = map[*conn][]uint64{single: singleIDs}
 				single = nil
 			}
-			perConn[owner] = append(perConn[owner], uint64(m))
+			perConn[owner] = append(perConn[owner], subID)
 		}
-	}
+	})
 	if single != nil {
 		s.enqueue(single, delivery{doc: doc, filters: singleIDs, enq: now, tc: tc})
 	}
 	for owner, ids := range perConn {
 		s.enqueue(owner, delivery{doc: doc, filters: ids, enq: now, tc: tc})
 	}
+	return count
 }
 
 // publishAsyncStaged completes one pipelined publish whose WAL append was
@@ -750,8 +1027,7 @@ func (s *Server) publishAsyncStaged(doc []byte, pend PendingAppend) (int, error)
 		return 0, ferr
 	}
 	s.mPublishes.Inc()
-	s.fanout(c, matches, doc, tc)
-	return len(matches), nil
+	return s.fanout(c, matches, doc, tc), nil
 }
 
 func (s *Server) enqueue(cn *conn, d delivery) {

@@ -212,6 +212,77 @@ func TestIntervalFsyncFailureLatches(t *testing.T) {
 	}
 }
 
+// TestAdaptiveBatchWaitPolicy pins the window-selection rules: an explicit
+// flag always wins (negative disables), the adaptive path needs FsyncAlways
+// plus evidence of concurrency (previous batch ≥ 2 records) plus room to
+// grow (open batch still below the previous batch's size), and the derived
+// window is half the fsync EWMA capped at maxAdaptiveBatchWait.
+func TestAdaptiveBatchWaitPolicy(t *testing.T) {
+	l := openTest(t, Options{Fsync: FsyncAlways})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Cold start: no EWMA, no batch history — never wait.
+	if w := l.batchWaitLocked(1); w != 0 {
+		t.Fatalf("cold adaptive wait = %v, want 0", w)
+	}
+
+	l.fsyncEWMA = 2 * time.Millisecond
+	l.lastBatchN = 1
+	if w := l.batchWaitLocked(1); w != 0 {
+		t.Fatalf("sequential (lastBatchN=1) wait = %v, want 0", w)
+	}
+
+	l.lastBatchN = 3
+	if w := l.batchWaitLocked(1); w != time.Millisecond {
+		t.Fatalf("adaptive wait = %v, want half the EWMA (1ms)", w)
+	}
+
+	// A batch that already matched the previous batch's size has nobody
+	// left to wait for (the closed-appender-loop case).
+	if w := l.batchWaitLocked(3); w != 0 {
+		t.Fatalf("caught-up batch wait = %v, want 0", w)
+	}
+
+	l.fsyncEWMA = 40 * time.Millisecond
+	if w := l.batchWaitLocked(1); w != maxAdaptiveBatchWait {
+		t.Fatalf("adaptive wait = %v, want the %v cap", w, maxAdaptiveBatchWait)
+	}
+
+	// Explicit flag overrides the adaptive path entirely, including the
+	// caught-up skip.
+	l.opt.BatchMaxWait = 7 * time.Millisecond
+	if w := l.batchWaitLocked(3); w != 7*time.Millisecond {
+		t.Fatalf("explicit wait = %v, want 7ms", w)
+	}
+	l.opt.BatchMaxWait = -1
+	if w := l.batchWaitLocked(1); w != 0 {
+		t.Fatalf("negative flag wait = %v, want 0 (disabled)", w)
+	}
+
+	// Without FsyncAlways there is nothing to amortize.
+	l.opt.BatchMaxWait = 0
+	l.opt.Fsync = FsyncInterval
+	if w := l.batchWaitLocked(1); w != 0 {
+		t.Fatalf("FsyncInterval adaptive wait = %v, want 0", w)
+	}
+}
+
+// TestAdaptiveFsyncEWMATracksLatency pins that committed FsyncAlways appends
+// feed the latency EWMA the adaptive window is derived from.
+func TestAdaptiveFsyncEWMATracksLatency(t *testing.T) {
+	ff := installFaultFile(t)
+	ff.delaySync = time.Millisecond
+	l := openTest(t, Options{Fsync: FsyncAlways})
+	appendN(t, l, 3)
+	l.mu.Lock()
+	ewma := l.fsyncEWMA
+	l.mu.Unlock()
+	if ewma < time.Millisecond {
+		t.Fatalf("fsyncEWMA = %v after 1ms-delayed fsyncs, want >= 1ms", ewma)
+	}
+}
+
 // TestGroupCommitSequentialUnchanged pins that uncontended appends behave
 // exactly as before group commit: batches of one, one fsync per append
 // under FsyncAlways.

@@ -124,9 +124,20 @@ type Options struct {
 	BatchMaxRecords int
 	// BatchMaxWait stretches the group-commit accumulation window: the
 	// batch leader holds the commit for up to this long (or until the
-	// batch is full) so more appenders can join. 0 commits as soon as the
-	// file lock is acquired — the previous batch's fsync is the natural
-	// accumulation window, so 0 adds no latency under contention.
+	// batch is full) so more appenders can join. The previous batch's
+	// fsync is the natural accumulation window, so usually nothing more
+	// is needed; the knob is an override for unusual disks.
+	//
+	// 0 (the default) is adaptive: under FsyncAlways, once committed
+	// batches show concurrent appenders (the previous batch coalesced two
+	// or more records) and the open batch is still smaller than that —
+	// i.e. there is plausibly still someone to wait for — the leader
+	// waits half the observed fsync-latency EWMA (capped at 5ms). Slow
+	// disks earn wider windows and bigger batches; fast disks stay near
+	// zero; strictly sequential appenders and closed appender loops that
+	// already piled in during the lock handoff never wait at all. A
+	// negative value disables the adaptive window and always commits as
+	// soon as the file lock is acquired.
 	BatchMaxWait time.Duration
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
@@ -196,8 +207,14 @@ type batch struct {
 	count int
 	full  chan struct{} // closed when count reaches the batch cap
 	done  chan struct{} // closed once the batch is committed or rejected
-	base  uint64        // offset of the batch's first record (valid when err == nil)
-	err   error
+	// goal, when > 0, is the adaptive accumulation target set by the
+	// leader before it waits; grown is closed (once) when count reaches
+	// it, waking the leader early. Both are guarded by Log.bmu.
+	goal       int
+	grown      chan struct{}
+	grownFired bool
+	base       uint64 // offset of the batch's first record (valid when err == nil)
+	err        error
 	// offsetsStand marks the fsync-failed-and-cannot-truncate corner: the
 	// records are in the file and will be replayed after a crash, so their
 	// offsets are reported alongside err (see Append's contract).
@@ -246,6 +263,12 @@ type Log struct {
 
 	fsyncLat   obs.Histogram
 	batchSizes obs.Histogram // records per committed group-commit batch
+
+	// Adaptive group-commit state (guarded by mu): the fsync-latency EWMA
+	// that sizes the accumulation window, and the previous committed
+	// batch's record count as the concurrency signal.
+	fsyncEWMA  time.Duration
+	lastBatchN int
 }
 
 // Stats is a point-in-time summary of the log.
@@ -543,6 +566,10 @@ func (l *Log) AppendAsync(doc []byte) *Pending {
 		l.pending = nil // batch is full: stop accepting joiners
 		close(b.full)
 	}
+	if b.goal > 0 && b.count >= b.goal && !b.grownFired {
+		b.grownFired = true
+		close(b.grown)
+	}
 	l.bmu.Unlock()
 	return &Pending{l: l, b: b, idx: idx}
 }
@@ -575,6 +602,38 @@ func (p *Pending) BatchSize() int {
 	return p.b.count
 }
 
+// maxAdaptiveBatchWait caps the derived accumulation window so a slow disk
+// (or a cold EWMA polluted by a latency spike) cannot stall commits.
+const maxAdaptiveBatchWait = 5 * time.Millisecond
+
+// batchWaitLocked picks the group-commit accumulation window; staged is how
+// many records the open batch already holds. An explicit BatchMaxWait
+// overrides everything (negative disables waiting). Otherwise the window
+// adapts: when fsync dominates commit cost (FsyncAlways), the previous
+// batch proved concurrent appenders exist (it coalesced ≥2 records), and
+// this batch has not yet caught up to that size — i.e. there is plausibly
+// still someone to wait for — the leader waits half the observed
+// fsync-latency EWMA, long enough to amortize the fsync, short enough not
+// to dominate latency. Sequential workloads see lastBatchN == 1 and never
+// wait; a closed loop of appenders that all staged during the lock handoff
+// sees staged >= lastBatchN and never waits either.
+func (l *Log) batchWaitLocked(staged int) time.Duration {
+	if w := l.opt.BatchMaxWait; w != 0 {
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	if l.opt.Fsync != FsyncAlways || l.lastBatchN < 2 || staged >= l.lastBatchN {
+		return 0
+	}
+	w := l.fsyncEWMA / 2
+	if w > maxAdaptiveBatchWait {
+		w = maxAdaptiveBatchWait
+	}
+	return w
+}
+
 // commit is run by the batch leader: it acquires the file lock — blocking
 // behind the previous batch's fsync, which is the accumulation window that
 // lets followers pile in — seals the batch, and commits it with one write
@@ -590,10 +649,23 @@ func (l *Log) commit(b *batch) {
 	// without this, an idle disk lets the leader seal a near-empty batch
 	// while the rest of a closed loop of publishers is still waking up.
 	runtime.Gosched()
-	if w := l.opt.BatchMaxWait; w > 0 {
-		t := time.NewTimer(w)
+	l.bmu.Lock()
+	wait := l.batchWaitLocked(b.count)
+	var grown chan struct{}
+	if wait > 0 && l.opt.BatchMaxWait == 0 {
+		// Adaptive window: arm an early exit so the wait ends the moment
+		// the batch catches up to the previous batch's size instead of
+		// sleeping out the whole window.
+		b.goal = l.lastBatchN
+		b.grown = make(chan struct{})
+		grown = b.grown
+	}
+	l.bmu.Unlock()
+	if wait > 0 {
+		t := time.NewTimer(wait)
 		select {
 		case <-b.full:
+		case <-grown: // nil under a static window: never fires
 		case <-t.C:
 		}
 		t.Stop()
@@ -605,6 +677,7 @@ func (l *Log) commit(b *batch) {
 	}
 	n := b.count
 	l.bmu.Unlock()
+	l.lastBatchN = n
 
 	if l.closed {
 		b.err = ErrClosed
@@ -737,9 +810,18 @@ func (l *Log) syncLocked(force bool) error {
 	}
 	t := time.Now()
 	err := l.f.Sync()
-	l.fsyncLat.Observe(time.Since(t).Seconds())
+	d := time.Since(t)
+	l.fsyncLat.Observe(d.Seconds())
 	l.syncs++
 	if err == nil {
+		// EWMA (α = 1/8) of successful fsync latency feeds the adaptive
+		// group-commit window; failed syncs are excluded so a dying disk's
+		// timeouts don't inflate the accumulation window.
+		if l.fsyncEWMA == 0 {
+			l.fsyncEWMA = d
+		} else {
+			l.fsyncEWMA += (d - l.fsyncEWMA) / 8
+		}
 		l.dirty = false
 		l.syncFailStreak = 0
 		return nil
