@@ -1,0 +1,193 @@
+// Package generator provides the seeded index distributions behind the
+// xpushload workload generator, modeled on the YCSB generator suite: every
+// distribution draws indexes into a pool of items (filters, documents,
+// subscriber slots) so workload skew is a property of the draw, not of the
+// pool. All generators are deterministic functions of their seed — two
+// generators built with the same parameters produce the same sequence —
+// which is what makes load scenarios reproducible across runs and machines.
+//
+// None of the types are safe for concurrent use; give each goroutine its
+// own generator (with its own seed) instead of sharing one behind a lock,
+// so a scenario's sequence does not depend on goroutine interleaving.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator draws item indexes in [0, n) from some distribution.
+type Generator interface {
+	// Next returns the next index in the sequence.
+	Next() int64
+	// N returns the current item-pool size.
+	N() int64
+}
+
+// New constructs a named distribution over [0, n): "uniform", "zipfian",
+// "latest", or "sequential". theta is only meaningful for zipfian and
+// latest (0 means the YCSB default 0.99).
+func New(name string, n int64, theta float64, seed int64) (Generator, error) {
+	switch name {
+	case "uniform", "":
+		return NewUniform(n, seed), nil
+	case "zipfian":
+		return NewZipfian(n, theta, seed), nil
+	case "latest":
+		return NewLatest(n, theta, seed), nil
+	case "sequential":
+		return NewSequential(n), nil
+	default:
+		return nil, fmt.Errorf("generator: unknown distribution %q (uniform, zipfian, latest, sequential)", name)
+	}
+}
+
+// Uniform draws every index with equal probability.
+type Uniform struct {
+	n int64
+	r *rand.Rand
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n, seed int64) *Uniform {
+	if n < 1 {
+		n = 1
+	}
+	return &Uniform{n: n, r: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a uniformly distributed index.
+func (u *Uniform) Next() int64 { return u.r.Int63n(u.n) }
+
+// N returns the pool size.
+func (u *Uniform) N() int64 { return u.n }
+
+// Sequential cycles 0, 1, ..., n-1, 0, ... — the round-robin baseline.
+type Sequential struct {
+	n, i int64
+}
+
+// NewSequential returns a sequential generator over [0, n).
+func NewSequential(n int64) *Sequential {
+	if n < 1 {
+		n = 1
+	}
+	return &Sequential{n: n}
+}
+
+// Next returns the next index in round-robin order.
+func (s *Sequential) Next() int64 {
+	v := s.i
+	s.i = (s.i + 1) % s.n
+	return v
+}
+
+// N returns the pool size.
+func (s *Sequential) N() int64 { return s.n }
+
+// DefaultZipfTheta is the YCSB-standard zipfian skew constant: the head
+// item draws a few percent of all traffic and popularity falls off as
+// 1/rank^0.99.
+const DefaultZipfTheta = 0.99
+
+// Zipfian draws index k with probability proportional to 1/(k+1)^theta,
+// using the Gray et al. "Quickly generating billion-record synthetic
+// databases" algorithm (the one YCSB uses). Unlike math/rand's Zipf it
+// supports the interesting regime theta < 1, where the tail still carries
+// real mass — the regime subscriber-popularity distributions live in.
+type Zipfian struct {
+	n     int64
+	theta float64
+	r     *rand.Rand
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+// NewZipfian returns a zipfian generator over [0, n) with skew theta
+// (0 < theta < 1; 0 means DefaultZipfTheta). Item 0 is the most popular.
+func NewZipfian(n int64, theta float64, seed int64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 {
+		theta = DefaultZipfTheta
+	}
+	z := &Zipfian{n: n, theta: theta, r: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns a zipfian-distributed index (0 = most popular).
+func (z *Zipfian) Next() int64 {
+	if z.n == 1 {
+		return 0
+	}
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// N returns the pool size.
+func (z *Zipfian) N() int64 { return z.n }
+
+// Latest is the YCSB "latest" distribution: a zipfian over recency, so the
+// most recently inserted item is the most popular. It models subscribers
+// piling onto whatever filter is currently hot. Insert advances the
+// frontier; Next draws indexes biased toward it.
+type Latest struct {
+	z    *Zipfian
+	last int64 // most recently inserted index (the popularity head)
+}
+
+// NewLatest returns a latest generator whose frontier starts at n-1 (the
+// pool is considered fully inserted).
+func NewLatest(n int64, theta float64, seed int64) *Latest {
+	if n < 1 {
+		n = 1
+	}
+	return &Latest{z: NewZipfian(n, theta, seed), last: n - 1}
+}
+
+// Next returns an index biased toward the most recently inserted item.
+func (l *Latest) Next() int64 {
+	off := l.z.Next() // 0 = most recent
+	idx := l.last - off
+	if idx < 0 {
+		idx += l.z.N()
+	}
+	return idx
+}
+
+// Insert advances the recency frontier to idx (monotonic in normal use:
+// the caller inserts n, n+1, ... modulo the pool).
+func (l *Latest) Insert(idx int64) {
+	if idx >= 0 && idx < l.z.N() {
+		l.last = idx
+	}
+}
+
+// N returns the pool size.
+func (l *Latest) N() int64 { return l.z.N() }

@@ -1,0 +1,161 @@
+package generator
+
+import (
+	"testing"
+)
+
+// drawn collects n draws from a generator.
+func drawn(g Generator, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// TestSeededDeterminism pins the reproducibility contract: same parameters
+// and seed, same sequence — across every distribution.
+func TestSeededDeterminism(t *testing.T) {
+	build := map[string]func() Generator{
+		"uniform":    func() Generator { return NewUniform(1000, 42) },
+		"zipfian":    func() Generator { return NewZipfian(1000, 0.99, 42) },
+		"latest":     func() Generator { return NewLatest(1000, 0.99, 42) },
+		"sequential": func() Generator { return NewSequential(1000) },
+	}
+	for name, mk := range build {
+		a, b := drawn(mk(), 5000), drawn(mk(), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: sequences diverge at %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+	// And a different seed must give a different sequence (not for
+	// sequential, which is seedless by design).
+	a, b := drawn(NewZipfian(1000, 0.99, 1), 1000), drawn(NewZipfian(1000, 0.99, 2), 1000)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("zipfian: different seeds produced identical sequences")
+	}
+}
+
+// TestBounds checks every distribution stays in [0, n).
+func TestBounds(t *testing.T) {
+	gens := []Generator{
+		NewUniform(17, 7),
+		NewZipfian(17, 0.99, 7),
+		NewLatest(17, 0.99, 7),
+		NewSequential(17),
+	}
+	for _, g := range gens {
+		for i := 0; i < 10000; i++ {
+			v := g.Next()
+			if v < 0 || v >= 17 {
+				t.Fatalf("%T: draw %d out of [0,17)", g, v)
+			}
+		}
+	}
+}
+
+// TestZipfianHeadMass checks the distribution's shape: with theta=0.99 over
+// 1000 items, the top 1% of items must receive a dominant share of draws
+// (analytically ~36%; assert a loose floor so the test is robust) and vastly
+// more than the uniform 1%.
+func TestZipfianHeadMass(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipfian(n, 0.99, 123)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	head := 0
+	for i := 0; i < n/100; i++ {
+		head += counts[i]
+	}
+	frac := float64(head) / draws
+	if frac < 0.25 {
+		t.Fatalf("zipfian head mass: top 1%% of items drew %.1f%% of traffic, want >= 25%%", 100*frac)
+	}
+	// Rank ordering: item 0 must beat the median-rank item decisively.
+	if counts[0] <= counts[n/2]*10 {
+		t.Fatalf("zipfian rank order: head item %d draws vs mid item %d", counts[0], counts[n/2])
+	}
+}
+
+// TestUniformIsFlat guards against a skewed "uniform": no item may draw
+// more than 3x its fair share over a large sample.
+func TestUniformIsFlat(t *testing.T) {
+	const n, draws = 100, 100000
+	u := NewUniform(n, 99)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[u.Next()]++
+	}
+	for i, c := range counts {
+		if c > 3*draws/n {
+			t.Fatalf("uniform: item %d drew %d of %d (fair share %d)", i, c, draws, draws/n)
+		}
+	}
+}
+
+// TestLatestRecencyBias checks the "latest" shape: draws concentrate on the
+// recency frontier, and follow it when it moves.
+func TestLatestRecencyBias(t *testing.T) {
+	const n, draws = 1000, 100000
+	l := NewLatest(n, 0.99, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[l.Next()]++
+	}
+	// The newest 1% of items (indexes n-10..n-1) must dominate.
+	recent := 0
+	for i := n - 10; i < n; i++ {
+		recent += counts[i]
+	}
+	if frac := float64(recent) / draws; frac < 0.25 {
+		t.Fatalf("latest recency bias: newest 1%% drew %.1f%%, want >= 25%%", 100*frac)
+	}
+	// Move the frontier to the middle; the hot spot must follow.
+	l.Insert(n / 2)
+	counts = make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[l.Next()]++
+	}
+	if counts[n/2] < counts[n-1] {
+		t.Fatalf("latest frontier moved to %d but old head still hotter: %d vs %d",
+			n/2, counts[n-1], counts[n/2])
+	}
+}
+
+// TestSequentialCycles pins the round-robin order.
+func TestSequentialCycles(t *testing.T) {
+	s := NewSequential(3)
+	want := []int64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("sequential draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestNewByName covers the name dispatcher.
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"uniform", "zipfian", "latest", "sequential", ""} {
+		g, err := New(name, 10, 0, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if g.N() != 10 {
+			t.Fatalf("New(%q).N() = %d", name, g.N())
+		}
+	}
+	if _, err := New("gaussian", 10, 0, 1); err == nil {
+		t.Fatal("New(gaussian) should fail")
+	}
+}

@@ -1,0 +1,187 @@
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style log-linear latency histogram: values (nanoseconds)
+// are bucketed into 64 linear sub-buckets per power of two, giving a
+// worst-case quantile error of ~1.6% across the whole range — fine enough
+// to report p99.9 honestly, unlike a plain factor-of-two log histogram
+// (obs.Histogram), whose buckets are too coarse above p99.
+//
+// Recording is lock-free (atomic adds), so delivery callbacks on many
+// connection read loops can record concurrently; Snapshot gives a
+// consistent-enough copy for reporting, and Snapshot.DeltaSince supports
+// the per-interval view (mirroring obs.Snapshot.DeltaSince).
+//
+// The zero value is ready to use.
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds; monotonic, plain add
+	max     atomic.Uint64 // CAS-updated
+}
+
+const (
+	histSubBits = 6                // 64 linear sub-buckets per octave
+	histSub     = 1 << histSubBits // 64
+	histMaxVal  = uint64(1) << 42  // ~73 min in ns; larger values clamp
+	histOctaves = 42 - histSubBits // octaves above the linear range
+	histBuckets = (histOctaves + 2) * histSub
+)
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(v uint64) int {
+	if v >= histMaxVal {
+		v = histMaxVal - 1
+	}
+	if v < histSub {
+		return int(v)
+	}
+	// Shift v down until its mantissa fits in [64, 128); the shift count
+	// picks the octave, the mantissa the linear sub-bucket.
+	exp := uint(bits.Len64(v)) - histSubBits - 1
+	return int(uint64(exp)<<histSubBits + v>>exp)
+}
+
+// histUpper returns the exclusive upper value bound of bucket i (used as
+// the reported quantile value, so estimates err on the honest, high side).
+func histUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i) + 1
+	}
+	exp := uint(i>>histSubBits) - 1
+	sub := uint64(i&(histSub-1)) + histSub
+	return (sub + 1) << exp
+}
+
+// Record adds one duration observation.
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old {
+			return
+		}
+		if h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram for quantile estimation. Per-field reads
+// are individually atomic but not globally consistent; concurrent
+// recordings may be partially reflected, which is irrelevant for load
+// reporting.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Hist.
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Max     uint64 // nanoseconds
+}
+
+// DeltaSince returns the observations recorded between prev and s: the
+// per-interval view behind xpushload's progress lines. Max is exact when
+// the cumulative max advanced during the interval, otherwise it is bounded
+// by the highest non-empty delta bucket.
+func (s HistSnapshot) DeltaSince(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	top := -1
+	for i := range s.Buckets {
+		if s.Buckets[i] >= prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		}
+		if d.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	if s.Count >= prev.Count {
+		d.Count = s.Count - prev.Count
+	}
+	if s.Sum >= prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	switch {
+	case s.Max > prev.Max:
+		d.Max = s.Max
+	case top >= 0:
+		d.Max = histUpper(top)
+	}
+	return d
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds,
+// reporting the containing bucket's upper bound (clamped to Max).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			v := histUpper(i)
+			if s.Max > 0 && v > s.Max {
+				v = s.Max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the mean observation.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// LatencySummary is the quantile set load reports carry.
+type LatencySummary struct {
+	Count                     uint64
+	Mean, P50, P90, P99, P999 time.Duration
+	Max                       time.Duration
+}
+
+// Summary condenses a snapshot into p50/p90/p99/p99.9/max.
+func (s HistSnapshot) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Max:   time.Duration(s.Max),
+	}
+}

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistIndexRoundTrip checks every value lands in a bucket whose bounds
+// contain it, with ~1.6% relative width.
+func TestHistIndexRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 63, 64, 65, 127, 128, 1000, 1e6, 1e9, 1e12}
+	for _, v := range vals {
+		i := histIndex(v)
+		up := histUpper(i)
+		var lo uint64
+		if i > 0 {
+			lo = histUpper(i - 1)
+		}
+		if v < lo || v >= up {
+			t.Fatalf("value %d mapped to bucket %d with bounds [%d, %d)", v, i, lo, up)
+		}
+		if v >= 128 && float64(up-lo)/float64(v) > 0.017 {
+			t.Fatalf("bucket width %d at value %d exceeds 1.7%% relative error", up-lo, v)
+		}
+	}
+	// Clamp: beyond the range must not panic or overflow the array.
+	if i := histIndex(1 << 62); i >= histBuckets {
+		t.Fatalf("clamped index %d out of range %d", i, histBuckets)
+	}
+}
+
+// TestHistQuantiles records a known distribution and checks the estimates.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1000 observations: 1ms, 2ms, ..., 1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want*98/100 || got > c.want*102/100 {
+			t.Fatalf("q%.3f = %v, want within 2%% of %v", c.q, got, c.want)
+		}
+	}
+	if s.Max != uint64(1000*time.Millisecond) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if m := s.Mean(); m < 498*time.Millisecond || m > 503*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+	sum := s.Summary()
+	if sum.Count != 1000 || sum.P999 == 0 || sum.P50 >= sum.P99 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestHistDeltaSince pins the per-interval view: the delta holds only the
+// observations recorded between the two snapshots.
+func TestHistDeltaSince(t *testing.T) {
+	var h Hist
+	h.Record(10 * time.Microsecond)
+	h.Record(20 * time.Microsecond)
+	prev := h.Snapshot()
+	h.Record(5 * time.Millisecond)
+	h.Record(6 * time.Millisecond)
+	h.Record(7 * time.Millisecond)
+	d := h.Snapshot().DeltaSince(prev)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if p50 := d.Quantile(0.5); p50 < 5*time.Millisecond || p50 > 7*time.Millisecond {
+		t.Fatalf("delta p50 = %v, want ~6ms (old 10-20us observations must not leak in)", p50)
+	}
+	// Max advanced during the window: exact.
+	if d.Max != uint64(7*time.Millisecond) {
+		t.Fatalf("delta max = %d, want %d", d.Max, 7*time.Millisecond)
+	}
+	// A window with smaller observations: max bounded by its top bucket.
+	prev = h.Snapshot()
+	h.Record(1 * time.Millisecond)
+	d = h.Snapshot().DeltaSince(prev)
+	if d.Count != 1 || time.Duration(d.Max) < 1*time.Millisecond || time.Duration(d.Max) > 2*time.Millisecond {
+		t.Fatalf("delta after max plateau: count=%d max=%v", d.Count, time.Duration(d.Max))
+	}
+	// Empty window.
+	prev = h.Snapshot()
+	d = h.Snapshot().DeltaSince(prev)
+	if d.Count != 0 || d.Max != 0 || d.Quantile(0.99) != 0 {
+		t.Fatalf("empty delta = %+v", d.Summary())
+	}
+}
+
+// TestHistConcurrent hammers Record from many goroutines; run under -race.
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(r.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot().Summary()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c := h.Count(); c != workers*per {
+		t.Fatalf("count = %d, want %d", c, workers*per)
+	}
+}

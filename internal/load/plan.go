@@ -1,0 +1,206 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/load/generator"
+	"repro/internal/workload"
+)
+
+// Seed derivation: every random stream gets its own sub-seed so the streams
+// are independent and each is reproducible regardless of how far the others
+// were consumed.
+const (
+	seedFilters   = 1 // filter-pool generation
+	seedAssign    = 2 // subscriber -> filter popularity draws
+	seedDurable   = 3 // durable-subscriber selection
+	seedDocs      = 4 // document-pool generation
+	seedPublish   = 5 // publisher's per-document draws (class + doc)
+	seedChurn     = 6 // churn engine's slot + filter draws
+	seedReconnect = 7 // reconnect-storm connection draws
+)
+
+// SubSpec is one planned subscriber: which filter it holds, whether it is
+// durable, and which connection slot carries it.
+type SubSpec struct {
+	Filter  int
+	Durable bool
+	Conn    int // index into the ephemeral or durable connection set
+}
+
+// Plan is a Spec deterministically materialized: the filter pool, every
+// subscriber's assignment, and the padded document pool. Two BuildPlan
+// calls with the same Spec produce identical Plans (and identical draw
+// sequences from the pickers derived off it) — the reproducibility
+// guarantee behind comparing runs across commits.
+type Plan struct {
+	Spec    Spec
+	Dataset *datagen.Dataset
+
+	// Filters is the distinct-filter pool (XPath source text).
+	Filters []string
+	// Subs holds one entry per subscriber.
+	Subs []SubSpec
+	// Docs is the document pool: for each size class (outer, in Spec
+	// order), DocPool pre-padded documents.
+	Docs [][][]byte
+
+	// classWeights is the cumulative weight table for class draws.
+	classWeights []int
+	totalWeight  int
+}
+
+// BuildPlan materializes a validated spec.
+func BuildPlan(spec Spec) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ds, ok := datagen.ByName(spec.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("load: unknown dataset %q", spec.Dataset)
+	}
+	p := &Plan{Spec: spec, Dataset: ds}
+
+	// Filter pool: the repo's YFilter-style generator, one distinct filter
+	// per pool slot.
+	filters := workload.Generate(ds, workload.Params{
+		Seed:           spec.Seed + seedFilters,
+		NumQueries:     spec.Filters,
+		MeanPreds:      spec.MeanPreds,
+		NestedPredProb: 0.2,
+	})
+	p.Filters = make([]string, len(filters))
+	for i, f := range filters {
+		p.Filters[i] = f.Source
+	}
+
+	// Subscriber assignments: popularity draws the filter, an independent
+	// stream draws durability, and connections are filled round-robin
+	// within each class.
+	pop, err := generator.New(spec.Popularity, int64(spec.Filters), spec.ZipfTheta, spec.Seed+seedAssign)
+	if err != nil {
+		return nil, err
+	}
+	durRand := rand.New(rand.NewSource(spec.Seed + seedDurable))
+	p.Subs = make([]SubSpec, spec.Subscribers)
+	nEph, nDur := 0, 0
+	for i := range p.Subs {
+		durable := durRand.Float64() < spec.DurableRatio
+		sub := SubSpec{Filter: int(pop.Next()), Durable: durable}
+		if durable {
+			sub.Conn = nDur % spec.DurableConnections
+			nDur++
+		} else {
+			sub.Conn = nEph % spec.Connections
+			nEph++
+		}
+		p.Subs[i] = sub
+	}
+
+	// Document pool: DocPool documents per size class, padded with an XML
+	// comment to the class size so "document size" is a controlled axis
+	// (the filter machine skips comments; the broker forwards bytes
+	// verbatim, so padding rides the whole pipeline).
+	gen := datagen.NewGenerator(ds, spec.Seed+seedDocs)
+	p.Docs = make([][][]byte, len(spec.DocSizes))
+	for ci, class := range spec.DocSizes {
+		p.Docs[ci] = make([][]byte, spec.DocPool)
+		for di := range p.Docs[ci] {
+			p.Docs[ci][di] = padDocument(gen.GenerateDocument(), class.Bytes)
+		}
+		p.classWeights = append(p.classWeights, p.totalWeight+class.Weight)
+		p.totalWeight += class.Weight
+	}
+	return p, nil
+}
+
+// padDocument grows doc to at least target bytes by prepending one comment
+// (documents already larger pass through untouched — size classes are
+// floors, since a DTD-shaped document cannot be shrunk).
+func padDocument(doc []byte, target int) []byte {
+	const overhead = len("<!--->")
+	pad := target - len(doc) - overhead - 1
+	if pad <= 0 {
+		return doc
+	}
+	var sb strings.Builder
+	sb.Grow(target)
+	sb.WriteString("<!--")
+	for pad >= 8 {
+		sb.WriteString("xpadxpad")
+		pad -= 8
+	}
+	for ; pad > 0; pad-- {
+		sb.WriteByte('x')
+	}
+	sb.WriteString("-->")
+	sb.Write(doc)
+	return []byte(sb.String())
+}
+
+// DurableName returns the persistent name for durable connection i. The
+// broker scopes one durable name (and cursor) per connection — every
+// durable filter on the connection shares its replay pump — so names are
+// per-connection, deterministic across runs of the same spec, and a
+// reconnecting run resumes the same cursors.
+func (p *Plan) DurableName(conn int) string {
+	return fmt.Sprintf("%s-s%d-c%03d", p.Spec.Name, p.Spec.Seed, conn)
+}
+
+// docPicker draws the publisher's document sequence: size class by weight,
+// then a pool document, both from the seedPublish stream.
+type docPicker struct {
+	p *Plan
+	r *rand.Rand
+}
+
+func (p *Plan) newDocPicker() *docPicker {
+	return &docPicker{p: p, r: rand.New(rand.NewSource(p.Spec.Seed + seedPublish))}
+}
+
+// next returns the class and pool indexes of the next document.
+func (d *docPicker) next() (class, doc int) {
+	w := d.r.Intn(d.p.totalWeight)
+	for ci, cum := range d.p.classWeights {
+		if w < cum {
+			return ci, d.r.Intn(len(d.p.Docs[ci]))
+		}
+	}
+	return len(d.p.Docs) - 1, d.r.Intn(len(d.p.Docs[len(d.p.Docs)-1]))
+}
+
+// churnPicker draws the churn engine's sequence: which ephemeral slot to
+// churn and which filter it resubscribes to (popularity-distributed, so
+// churn keeps the workload's skew alive instead of flattening it).
+type churnPicker struct {
+	r   *rand.Rand
+	pop generator.Generator
+	// slots lists the churnable (ephemeral) subscriber indexes.
+	slots []int
+}
+
+func (p *Plan) newChurnPicker() (*churnPicker, error) {
+	pop, err := generator.New(p.Spec.Popularity, int64(p.Spec.Filters), p.Spec.ZipfTheta, p.Spec.Seed+seedChurn)
+	if err != nil {
+		return nil, err
+	}
+	c := &churnPicker{r: rand.New(rand.NewSource(p.Spec.Seed + seedChurn)), pop: pop}
+	for i, s := range p.Subs {
+		if !s.Durable {
+			c.slots = append(c.slots, i)
+		}
+	}
+	return c, nil
+}
+
+// next returns the subscriber slot to churn and its new filter index; ok is
+// false when the plan has no ephemeral subscribers to churn.
+func (c *churnPicker) next() (slot, filter int, ok bool) {
+	if len(c.slots) == 0 {
+		return 0, 0, false
+	}
+	return c.slots[c.r.Intn(len(c.slots))], int(c.pop.Next()), true
+}

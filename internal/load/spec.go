@@ -1,0 +1,403 @@
+// Package load is the xpushload load-generator subsystem: a YCSB-style
+// open-loop harness that drives a real xpushserve broker over TCP with
+// skewed subscriber popularity, mixed document sizes, durable/ephemeral
+// subscription mixes, and churn (subscribe/unsubscribe/reconnect storms).
+//
+// The pieces:
+//
+//   - Spec / ParseProps: the pluggable workload description (a properties
+//     file plus programmatic overrides) — subscriber count, distinct-filter
+//     pool, popularity distribution, durable ratio, document size mix,
+//     publish rate, and a sequence of run phases.
+//   - Plan / BuildPlan: the deterministic materialization of a Spec —
+//     filter pool, subscriber assignments, padded document pool, and the
+//     seeded draw sequences. Same seed, same workload sequence.
+//   - Runner / Run: the open-loop engine — intended-start arrival
+//     scheduling with bounded in-flight publishes (client.PublishPipelined),
+//     a churn engine on the real client package, and coordinated-
+//     omission-safe measurement of publish-ack and end-to-end delivery
+//     latency into HDR-style histograms (Hist).
+//
+// Open loop means the scheduler decides when each document *should* be
+// published (intended-start timestamps from the target rate) and measures
+// every latency from that intended start, not from the moment the send
+// finally happened. A closed-loop harness silently stops sending while the
+// system stalls, so its percentiles omit exactly the intervals users
+// suffered through — coordinated omission. Here a stall inflates the
+// recorded latency of every document scheduled during it, which is what an
+// arrival-rate-driven production workload would experience.
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SizeClass is one entry of the document size mix: documents padded to
+// Bytes, published with relative frequency Weight.
+type SizeClass struct {
+	Bytes  int
+	Weight int
+}
+
+// Phase is one stage of a scenario: a duration at a publish rate, with
+// optional churn and reconnect storms running alongside.
+type Phase struct {
+	// Name labels the phase in reports ("warmup", "steady", "churn", ...).
+	Name string
+	// Duration is how long the phase runs.
+	Duration time.Duration
+	// Rate overrides Spec.Rate for this phase (0 = inherit).
+	Rate float64
+	// ChurnRate is subscribe/unsubscribe operations per second: each op
+	// unsubscribes a random ephemeral subscriber slot and resubscribes it
+	// to a filter drawn from the popularity distribution.
+	ChurnRate float64
+	// ReconnectRate is connection storms per second: each op closes a
+	// random subscriber connection outright and re-establishes it with
+	// client.DialRetry, resubscribing every slot it carried (durable slots
+	// resume their names and replay).
+	ReconnectRate float64
+}
+
+// Spec is a complete workload description. The zero value is not runnable;
+// start from DefaultSpec.
+type Spec struct {
+	// Name labels the scenario in reports and durable subscriber names.
+	Name string
+	// Seed makes the whole workload sequence deterministic.
+	Seed int64
+	// Dataset is the document/filter domain: "protein" or "nasa".
+	Dataset string
+	// Subscribers is the number of subscriptions held open.
+	Subscribers int
+	// Filters is the distinct-filter pool size; subscriber popularity
+	// draws indexes into it, so Subscribers >> Filters means shared
+	// (dedupable) filters with a skew-dependent fan-out.
+	Filters int
+	// MeanPreds is the filter generator's mean atomic predicates per query.
+	MeanPreds float64
+	// Popularity is the subscriber-filter distribution: "uniform",
+	// "zipfian", "latest", or "sequential".
+	Popularity string
+	// ZipfTheta is the zipfian/latest skew constant (0 = 0.99).
+	ZipfTheta float64
+	// DurableRatio is the fraction of subscribers using durable
+	// subscriptions (requires a WAL-backed broker).
+	DurableRatio float64
+	// DocSizes is the weighted document size mix.
+	DocSizes []SizeClass
+	// DocPool is how many distinct documents are pre-generated per size
+	// class.
+	DocPool int
+	// Rate is the default target publish rate, documents per second.
+	Rate float64
+	// Window bounds in-flight pipelined publishes.
+	Window int
+	// Connections is the number of ephemeral subscriber connections.
+	Connections int
+	// DurableConnections is the number of connections carrying the durable
+	// subscribers (each costs the broker one WAL replay pump).
+	DurableConnections int
+	// ReportInterval is the progress-line period (0 = 1s).
+	ReportInterval time.Duration
+	// Phases run in order. Empty is invalid.
+	Phases []Phase
+}
+
+// DefaultSpec returns the baseline every properties file and flag set
+// patches: a small uniform scenario that any broker can absorb.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:               "default",
+		Seed:               1,
+		Dataset:            "protein",
+		Subscribers:        100,
+		Filters:            50,
+		MeanPreds:          1.15,
+		Popularity:         "zipfian",
+		ZipfTheta:          0.99,
+		DurableRatio:       0,
+		DocSizes:           []SizeClass{{Bytes: 2048, Weight: 1}},
+		DocPool:            64,
+		Rate:               500,
+		Window:             64,
+		Connections:        8,
+		DurableConnections: 4,
+		ReportInterval:     time.Second,
+	}
+}
+
+// Validate checks a Spec for internal consistency.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Subscribers < 1:
+		return fmt.Errorf("load: subscribers must be >= 1, got %d", s.Subscribers)
+	case s.Filters < 1:
+		return fmt.Errorf("load: filters must be >= 1, got %d", s.Filters)
+	case s.Rate <= 0:
+		return fmt.Errorf("load: rate must be > 0, got %g", s.Rate)
+	case s.DurableRatio < 0 || s.DurableRatio > 1:
+		return fmt.Errorf("load: durable-ratio must be in [0,1], got %g", s.DurableRatio)
+	case len(s.DocSizes) == 0:
+		return fmt.Errorf("load: doc-sizes must name at least one size class")
+	case len(s.Phases) == 0:
+		return fmt.Errorf("load: at least one phase is required (e.g. phase.steady = 10s)")
+	case s.Connections < 1:
+		return fmt.Errorf("load: connections must be >= 1, got %d", s.Connections)
+	case s.DurableConnections < 1:
+		return fmt.Errorf("load: durable-connections must be >= 1, got %d", s.DurableConnections)
+	case s.DocPool < 1:
+		return fmt.Errorf("load: doc-pool must be >= 1, got %d", s.DocPool)
+	}
+	for _, c := range s.DocSizes {
+		if c.Bytes < 64 || c.Weight < 1 {
+			return fmt.Errorf("load: bad size class %d:%d", c.Bytes, c.Weight)
+		}
+	}
+	for _, p := range s.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("load: phase %q needs a positive duration", p.Name)
+		}
+		if p.ChurnRate < 0 || p.ReconnectRate < 0 || p.Rate < 0 {
+			return fmt.Errorf("load: phase %q has a negative rate", p.Name)
+		}
+	}
+	switch s.Popularity {
+	case "uniform", "zipfian", "latest", "sequential":
+	default:
+		return fmt.Errorf("load: unknown popularity %q (uniform, zipfian, latest, sequential)", s.Popularity)
+	}
+	switch s.Dataset {
+	case "protein", "nasa":
+	default:
+		return fmt.Errorf("load: unknown dataset %q (protein, nasa)", s.Dataset)
+	}
+	return nil
+}
+
+// ParseProps reads a YCSB-style properties file onto spec: one `key = value`
+// per line, '#' comments, later keys win. Phases are ordered by their
+// position in the file:
+//
+//	# smoke.props
+//	name = smoke
+//	subscribers = 200
+//	filters = 50
+//	popularity = zipfian
+//	durable-ratio = 0.2
+//	doc-sizes = 1024:4,8192:1
+//	rate = 400
+//	phase.warmup = 1s
+//	phase.steady = 3s
+//	phase.churn = 3s churn=50 reconnect=5
+func ParseProps(r io.Reader, spec *Spec) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(text, "=")
+		if !ok {
+			return fmt.Errorf("load: props line %d: expected key = value, got %q", line, text)
+		}
+		if err := spec.Set(strings.TrimSpace(key), strings.TrimSpace(value)); err != nil {
+			return fmt.Errorf("load: props line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// Set applies one property (the same keys the props file uses) onto the
+// spec, so command-line -set key=value overrides compose with a file.
+func (s *Spec) Set(key, value string) error {
+	if name, ok := strings.CutPrefix(key, "phase."); ok {
+		p, err := parsePhase(name, value)
+		if err != nil {
+			return err
+		}
+		// Re-setting an existing phase updates it in place (file order is
+		// preserved); a new name appends.
+		for i := range s.Phases {
+			if s.Phases[i].Name == name {
+				s.Phases[i] = p
+				return nil
+			}
+		}
+		s.Phases = append(s.Phases, p)
+		return nil
+	}
+	switch key {
+	case "name":
+		s.Name = value
+		return nil
+	case "seed":
+		return setInt64(&s.Seed, value)
+	case "dataset":
+		s.Dataset = value
+		return nil
+	case "subscribers":
+		return setInt(&s.Subscribers, value)
+	case "filters":
+		return setInt(&s.Filters, value)
+	case "mean-preds":
+		return setFloat(&s.MeanPreds, value)
+	case "popularity":
+		s.Popularity = value
+		return nil
+	case "zipf-theta":
+		return setFloat(&s.ZipfTheta, value)
+	case "durable-ratio":
+		return setFloat(&s.DurableRatio, value)
+	case "doc-sizes":
+		mix, err := ParseSizeMix(value)
+		if err != nil {
+			return err
+		}
+		s.DocSizes = mix
+		return nil
+	case "doc-pool":
+		return setInt(&s.DocPool, value)
+	case "rate":
+		return setFloat(&s.Rate, value)
+	case "window":
+		return setInt(&s.Window, value)
+	case "connections":
+		return setInt(&s.Connections, value)
+	case "durable-connections":
+		return setInt(&s.DurableConnections, value)
+	case "report-interval":
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return err
+		}
+		s.ReportInterval = d
+		return nil
+	default:
+		return fmt.Errorf("unknown workload property %q", key)
+	}
+}
+
+// parsePhase parses `<duration> [rate=N] [churn=N] [reconnect=N]`.
+func parsePhase(name, value string) (Phase, error) {
+	fields := strings.Fields(value)
+	if len(fields) == 0 {
+		return Phase{}, fmt.Errorf("phase %q: empty value", name)
+	}
+	d, err := time.ParseDuration(fields[0])
+	if err != nil {
+		return Phase{}, fmt.Errorf("phase %q: %w", name, err)
+	}
+	p := Phase{Name: name, Duration: d}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Phase{}, fmt.Errorf("phase %q: expected key=value, got %q", name, f)
+		}
+		var dst *float64
+		switch k {
+		case "rate":
+			dst = &p.Rate
+		case "churn":
+			dst = &p.ChurnRate
+		case "reconnect":
+			dst = &p.ReconnectRate
+		default:
+			return Phase{}, fmt.Errorf("phase %q: unknown option %q", name, k)
+		}
+		if err := setFloat(dst, v); err != nil {
+			return Phase{}, fmt.Errorf("phase %q: %w", name, err)
+		}
+	}
+	return p, nil
+}
+
+// ParseSizeMix parses a weighted size list like "1024:4,8192:1" (bytes
+// accept k/m suffixes: "64k:1").
+func ParseSizeMix(text string) ([]SizeClass, error) {
+	var out []SizeClass
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sz, wt, _ := strings.Cut(part, ":")
+		bytes, err := parseBytes(sz)
+		if err != nil {
+			return nil, fmt.Errorf("size class %q: %w", part, err)
+		}
+		weight := 1
+		if wt != "" {
+			weight, err = strconv.Atoi(wt)
+			if err != nil {
+				return nil, fmt.Errorf("size class %q: %w", part, err)
+			}
+		}
+		out = append(out, SizeClass{Bytes: bytes, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size mix %q", text)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes < out[j].Bytes })
+	return out, nil
+}
+
+func parseBytes(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// String renders the size mix back to props form.
+func SizeMixString(mix []SizeClass) string {
+	parts := make([]string, len(mix))
+	for i, c := range mix {
+		parts[i] = fmt.Sprintf("%d:%d", c.Bytes, c.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+func setInt(dst *int, v string) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func setInt64(dst *int64, v string) error {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func setFloat(dst *float64, v string) error {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	*dst = f
+	return nil
+}

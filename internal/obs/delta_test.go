@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSnapshotDeltaSince pins the per-interval semantics: only the
+// observations between the two snapshots appear in the delta.
+func TestSnapshotDeltaSince(t *testing.T) {
+	var h Histogram
+	h.Observe(10e-6)
+	h.Observe(20e-6)
+	prev := h.Snapshot()
+	h.Observe(5e-3)
+	h.Observe(6e-3)
+	h.Observe(7e-3)
+	d := h.Snapshot().DeltaSince(prev)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if d.Sum < 17e-3 || d.Sum > 19e-3 {
+		t.Fatalf("delta sum = %g, want ~18e-3", d.Sum)
+	}
+	// Old microsecond observations must not leak into the delta quantiles.
+	if p50 := d.Quantile(0.5); p50 < 1e-3 {
+		t.Fatalf("delta p50 = %g, cumulative history leaked in", p50)
+	}
+	// Max advanced during the interval: exact.
+	if d.Max != 7e-3 {
+		t.Fatalf("delta max = %g, want 7e-3", d.Max)
+	}
+
+	// Interval with only smaller observations: max falls back to the
+	// highest non-empty delta bucket's bound, not the stale cumulative max.
+	prev = h.Snapshot()
+	h.Observe(1e-3)
+	d = h.Snapshot().DeltaSince(prev)
+	if d.Count != 1 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	if d.Max < 1e-3 || d.Max > 3e-3 {
+		t.Fatalf("plateau delta max = %g, want within the ~1-2ms bucket", d.Max)
+	}
+
+	// Empty interval.
+	prev = h.Snapshot()
+	d = h.Snapshot().DeltaSince(prev)
+	if d.Count != 0 || d.Sum != 0 || d.Max != 0 {
+		t.Fatalf("empty delta = %+v", d)
+	}
+
+	// Delta against a zero-value snapshot is the cumulative view.
+	d = h.Snapshot().DeltaSince(Snapshot{})
+	if d.Count != h.Snapshot().Count {
+		t.Fatalf("delta since zero = %d, want full count %d", d.Count, h.Snapshot().Count)
+	}
+}
+
+// TestWindowDeltas drives the Window helper through several intervals.
+func TestWindowDeltas(t *testing.T) {
+	var h Histogram
+	w := NewWindow(&h)
+	h.Observe(1e-3)
+	h.Observe(2e-3)
+	if d := w.Delta(); d.Count != 2 {
+		t.Fatalf("first delta count = %d, want 2 (everything so far)", d.Count)
+	}
+	if d := w.Delta(); d.Count != 0 {
+		t.Fatalf("idle delta count = %d, want 0", d.Count)
+	}
+	h.Observe(3e-3)
+	if d := w.Delta(); d.Count != 1 {
+		t.Fatalf("third delta count = %d, want 1", d.Count)
+	}
+}
+
+// TestCumulativeEncodingUnchanged guards the satellite's "keep cumulative
+// behavior default" half: the Prometheus encoding of a histogram is the
+// cumulative view regardless of any Window tracking it.
+func TestCumulativeEncodingUnchanged(t *testing.T) {
+	r := NewRegistry()
+	var h Histogram
+	r.Histogram("x_latency_seconds", "test", &h)
+	w := NewWindow(&h)
+	h.Observe(1e-3)
+	w.Delta()
+	h.Observe(2e-3)
+	w.Delta() // windows consume deltas...
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// ...but the scrape still carries the cumulative count of 2.
+	if !strings.Contains(sb.String(), "x_latency_seconds_count 2") {
+		t.Fatalf("scrape lost cumulative behavior:\n%s", sb.String())
+	}
+}

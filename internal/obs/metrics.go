@@ -144,6 +144,68 @@ type Snapshot struct {
 	Max     float64
 }
 
+// DeltaSince returns the observations recorded between prev and s — the
+// per-interval view a scraper (or xpushload's progress reporter) computes
+// from two cumulative snapshots, so interval reports and /metrics agree on
+// the same underlying histogram. Cumulative encoding stays the default
+// everywhere; deltas are always derived client-side from two snapshots.
+//
+// Sum and bucket counts subtract exactly (clamped at zero against
+// concurrent-skew artifacts). Max cannot be recovered from cumulative
+// counts alone: it is exact when the cumulative max advanced during the
+// interval (the new max happened inside it), and otherwise bounded by the
+// upper edge of the highest non-empty delta bucket.
+func (s Snapshot) DeltaSince(prev Snapshot) Snapshot {
+	var d Snapshot
+	d.Buckets = make([]uint64, len(s.Buckets))
+	top := -1
+	for i := range s.Buckets {
+		p := uint64(0)
+		if i < len(prev.Buckets) {
+			p = prev.Buckets[i]
+		}
+		if s.Buckets[i] > p {
+			d.Buckets[i] = s.Buckets[i] - p
+			top = i
+		}
+	}
+	if s.Count > prev.Count {
+		d.Count = s.Count - prev.Count
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	switch {
+	case s.Max > prev.Max:
+		d.Max = s.Max
+	case top >= 0 && top < numBuckets:
+		d.Max = bucketBase * float64(uint64(1)<<top)
+	case top == numBuckets:
+		d.Max = s.Max // overflow bucket: cumulative max is the only bound
+	}
+	return d
+}
+
+// Window tracks a histogram's per-interval deltas: each Delta call returns
+// the observations since the previous call (the first call returns
+// everything so far). Not safe for concurrent use — give each reporter its
+// own Window over the shared histogram.
+type Window struct {
+	h    *Histogram
+	prev Snapshot
+}
+
+// NewWindow returns a delta tracker over h.
+func NewWindow(h *Histogram) *Window { return &Window{h: h} }
+
+// Delta returns the observations recorded since the last Delta call.
+func (w *Window) Delta() Snapshot {
+	cur := w.h.Snapshot()
+	d := cur.DeltaSince(w.prev)
+	w.prev = cur
+	return d
+}
+
 // Merge adds another snapshot's observations into s (for aggregating
 // per-worker histograms).
 func (s *Snapshot) Merge(o Snapshot) {

@@ -23,6 +23,13 @@
 # and fails if the deduplicated workload is not at least DEDUP_BUDGET (5th
 # arg, default 5) times faster than the naive one-query-per-subscription
 # path.
+#
+# Gate 5 (open-loop delivery latency): runs the xpushload smoke scenario
+# against a real broker (or reuses a report at $XPUSHLOAD_SMOKE_JSON, e.g.
+# the one scripts/load_smoke.sh just wrote in CI) and fails if the steady
+# phase's coordinated-omission-safe delivery p99 exceeds
+# $LOAD_P99_BUDGET_US microseconds (default 500000 — loose, because shared
+# CI runners stall; locally ~10000 is realistic).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -124,6 +131,32 @@ awk -v n="$zn" -v d="$zd" -v budget="$DEDUP_BUDGET" 'BEGIN {
     n, d, ratio, budget
   if (ratio < budget) {
     print "bench_gate: FAIL — workload deduplication no longer pays for itself on the zipfian workload" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'
+
+# Gate 5 (open-loop delivery latency): steady-phase delivery p99 from the
+# xpushload smoke scenario, measured from intended starts (coordinated-
+# omission safe), against an absolute budget.
+LOAD_P99_BUDGET_US="${LOAD_P99_BUDGET_US:-500000}"
+SMOKE_JSON="${XPUSHLOAD_SMOKE_JSON:-}"
+if [ -z "$SMOKE_JSON" ] || [ ! -f "$SMOKE_JSON" ]; then
+  SMOKE_JSON=$(mktemp /tmp/xpushload_smoke.XXXXXX.json)
+  scripts/load_smoke.sh "$SMOKE_JSON"
+fi
+p99=$(awk '
+  /"name": "xpushload\/smoke\/steady"/ { found = 1 }
+  found && /"delivery_p99_us"/ { gsub(/[^0-9.]/, "", $2); print $2; exit }
+' "$SMOKE_JSON")
+if [ -z "$p99" ]; then
+  echo "bench_gate: no steady-phase delivery_p99_us in $SMOKE_JSON" >&2
+  exit 2
+fi
+awk -v p="$p99" -v budget="$LOAD_P99_BUDGET_US" 'BEGIN {
+  printf "bench_gate: open-loop steady delivery p99 %.0fus, budget %sus\n", p, budget
+  if (p > budget + 0) {
+    print "bench_gate: FAIL — open-loop delivery p99 blew the latency budget" > "/dev/stderr"
     exit 1
   }
   print "bench_gate: OK"

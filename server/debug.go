@@ -57,6 +57,7 @@ type machineSnapshot struct {
 	Consolidations int64  `json:"consolidations"`
 	MemoryBytes    int64  `json:"memory_bytes,omitempty"`
 	Connections    int    `json:"connections"`
+	ConnsRejected  int64  `json:"conns_rejected"`
 	QueueDepth     int    `json:"queue_depth"`
 
 	States        int     `json:"states"`
@@ -107,6 +108,7 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 		SubsumedPairs:  int(s.subsumedPairs()),
 		RemovedSlots:   len(c.removed) - c.liveQueries(),
 		Consolidations: s.consolidations.Load(),
+		ConnsRejected:  s.mConnReject.Value(),
 
 		States:        st.States,
 		TopDownStates: st.TopDownStates,

@@ -537,6 +537,10 @@ func (s *Server) Stats() xpushstream.Stats { return s.cur.Load().stats() }
 // examples/netrouter) can add their own series next to the built-ins.
 func (s *Server) Registry() *xpushstream.Registry { return s.reg }
 
+// ConnectionsRejected reports how many connections the MaxConns limit has
+// refused since boot (also exported as xpush_conns_rejected_total).
+func (s *Server) ConnectionsRejected() int64 { return s.mConnReject.Value() }
+
 // NumSubscriptions reports the number of live subscriptions (across all
 // connections; several may share one compiled machine query).
 func (s *Server) NumSubscriptions() int { return s.subs.Subscriptions() }
@@ -559,6 +563,12 @@ func (s *Server) registerMetrics() {
 	s.mPublishErrs = s.reg.Counter("xpushserve_publish_errors_total", "rejected or failed publishes")
 	s.mDeliveries = s.reg.Counter("xpushserve_deliveries_total", "DELIVER frames written to subscribers")
 	s.mConnReject = s.reg.Counter("xpushserve_connections_rejected_total", "connections refused by the max-connections limit")
+	// Short-prefix alias: load harnesses and dashboards watch the xpush_*
+	// namespace, and reconnect-storm scenarios need rejections observable
+	// without knowing the server binary's metric prefix.
+	s.reg.CounterFunc("xpush_conns_rejected_total", "connections refused by the max-connections limit", func() int64 {
+		return s.mConnReject.Value()
+	})
 	s.mDropped = map[Policy]*obs.Counter{}
 	for _, p := range []Policy{DropOldest, DropNewest, Block, Disconnect} {
 		name := "xpushserve_dropped_" + strings.ReplaceAll(string(p), "-", "_") + "_total"
