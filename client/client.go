@@ -134,6 +134,16 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		if f.Type == server.FrameProtoErr {
+			// The server is about to close the connection; latch its reason
+			// so Err() reports the protocol violation instead of a bare EOF.
+			c.errMu.Lock()
+			if c.readErr == nil {
+				c.readErr = fmt.Errorf("client: protocol error from server: %s", f.Payload)
+			}
+			c.errMu.Unlock()
+			continue
+		}
 		if f.Type == server.FramePubAcks {
 			c.pipeMu.Lock()
 			p := c.pipe
@@ -275,6 +285,9 @@ func (c *Client) Ping() error {
 	}
 	return nil
 }
+
+// RemoteAddr returns the address of the broker end of the connection.
+func (c *Client) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 
 // Done is closed when the connection's read loop has exited (server closed
 // the connection, or Close was called) — after the final delivery has been

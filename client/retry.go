@@ -96,6 +96,15 @@ func (b Backoff) delay(i int) time.Duration {
 // On give-up the last dial (or probe) error is returned, wrapped with the
 // attempt count.
 func DialRetry(ctx context.Context, addr string, opt Options, b Backoff) (*Client, error) {
+	return DialRetryContext(ctx, addr, opt, b)
+}
+
+// DialRetryContext is DialRetry under its context-first name. The context
+// cancels the retry loop *promptly*: a cancellation mid-backoff interrupts
+// the sleep rather than waiting it out, so a supervisor tearing down (the
+// xpushgate connection pool on shutdown, say) never blocks behind a
+// multi-second reconnect delay.
+func DialRetryContext(ctx context.Context, addr string, opt Options, b Backoff) (*Client, error) {
 	if opt.DialTimeout <= 0 {
 		opt.DialTimeout = 2 * time.Second
 	}

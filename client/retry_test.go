@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -158,6 +159,93 @@ func TestDialRetryContextBounded(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("DialRetry ran %v past a 200ms context", elapsed)
+	}
+}
+
+// TestDialRetryContextCancelInterruptsBackoff: cancelling the context while
+// DialRetryContext is asleep in a long backoff must interrupt the sleep
+// promptly — the gate's pool shutdown cannot wait out a multi-second
+// reconnect delay.
+func TestDialRetryContextCancelInterruptsBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Min=30s guarantees the goroutine is parked in the backoff sleep
+		// after the first refused dial, not dialing, when cancel fires.
+		_, err := DialRetryContext(ctx, addr, Options{},
+			Backoff{Min: 30 * time.Second, Max: 30 * time.Second})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first dial fail and the sleep start
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error should wrap context.Canceled: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("cancellation took %v to interrupt a 30s backoff sleep", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DialRetryContext did not return within 5s of cancellation")
+	}
+}
+
+// TestClientRemoteAddr: the accessor reports the broker end of the
+// connection (the gate keys per-node state by it).
+func TestClientRemoteAddr(t *testing.T) {
+	fl := startFlakyListener(t, 0)
+	c, err := Dial(fl.ln.Addr().String(), Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, want := c.RemoteAddr().String(), fl.ln.Addr().String(); got != want {
+		t.Fatalf("RemoteAddr = %s, want %s", got, want)
+	}
+}
+
+// TestClientLatchesProtoErr: a PROTO_ERR frame from the server latches its
+// reason as the client's terminal error, so version skew surfaces as a
+// diagnosable message instead of a bare EOF.
+func TestClientLatchesProtoErr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if _, err := server.ReadFrame(nc, 1<<20); err != nil {
+			return
+		}
+		server.WriteFrame(nc, server.FrameProtoErr, []byte("server: unknown frame type 0x03"))
+	}()
+	c, err := Dial(ln.Addr().String(), Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Ping() // draws the PROTO_ERR and the close
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("connection not closed after PROTO_ERR")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "unknown frame type 0x03") {
+		t.Fatalf("Err() = %v, want the latched protocol-error reason", err)
 	}
 }
 

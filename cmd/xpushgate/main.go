@@ -1,0 +1,140 @@
+// Command xpushgate runs the cluster ingress: it makes N unmodified
+// xpushserve nodes look like one broker speaking the ordinary framed
+// protocol. Subscriptions are partitioned across nodes by the consistent
+// hash of their canonical filter text (durable subscriptions by durable
+// name, so replay cursors stay node-local), publishes fan out to every node
+// owning at least one live filter, delivery streams merge back per
+// subscriber, and a publish acks only once every owning node has acked it.
+//
+// Usage:
+//
+//	xpushgate [-addr :9410] -nodes host1:9310,host2:9310 | -nodes-file hosts
+//	          [-metrics-addr :9411] [-vnodes 256] [-ping-interval 2s]
+//	          [-publish-window 256] [-max-doc-bytes 0]
+//	          [-request-timeout 10s] [-dial-timeout 2s] [-version]
+//
+// Membership is static: the node set is fixed at startup. When a node's
+// connection dies the gate marks it down, fails the publishes pending on
+// it, and replays its subscriptions onto the ring's next owners (ephemeral
+// filters resume seamlessly; durable subscriptions restart from the
+// takeover node's own cursor — see DESIGN.md "Cluster mode" for the exact
+// guarantees and the WAL-shipping follow-on that closes the gap).
+//
+// /metrics exposes per-node health (xpushgate_node_up), live-key counts,
+// publish fan-out width and per-node ack latency; /debug/cluster returns
+// the same as JSON. /healthz reports degraded until every node is
+// connected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/cluster"
+)
+
+func main() {
+	cfg, opts, err := buildConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpushgate: %v\n", err)
+		os.Exit(2)
+	}
+	if opts.version {
+		fmt.Println(versionString())
+		return
+	}
+	logger := log.New(os.Stderr, "xpushgate: ", log.LstdFlags)
+	cfg.Logf = logger.Printf
+
+	g, err := cluster.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("gating %d nodes on %s (vnodes=%d)", len(cfg.Nodes), g.Addr(), cfg.VirtualNodes)
+	if g.MetricsAddr() != "" {
+		logger.Printf("metrics on http://%s/metrics (+ /debug/cluster)", g.MetricsAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	logger.Printf("%v: shutting down", got)
+	g.Close()
+	logger.Printf("closed")
+}
+
+// options carries the non-Config outputs of flag parsing.
+type options struct {
+	version bool
+}
+
+// buildConfig parses flags into a gate configuration; factored out of main
+// for testing.
+func buildConfig(args []string) (cluster.Config, options, error) {
+	fs := flag.NewFlagSet("xpushgate", flag.ContinueOnError)
+	addr := fs.String("addr", ":9410", "subscriber-facing listen address")
+	nodes := fs.String("nodes", "", "comma-separated xpushserve node addresses")
+	nodesFile := fs.String("nodes-file", "", "hosts file: one node address per line, # comments")
+	metricsAddr := fs.String("metrics-addr", ":9411", "metrics listen address: /metrics, /healthz, /debug/cluster (empty disables)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVirtualNodes, "virtual points per node on the hash ring")
+	pingInterval := fs.Duration("ping-interval", cluster.DefaultPingInterval, "node health-check cadence")
+	publishWindow := fs.Int("publish-window", 0, "per-connection and per-node in-flight publish window (0 = 256)")
+	maxDocBytes := fs.Int("max-doc-bytes", 0, "published document size bound in bytes (0 = 64 MiB)")
+	requestTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request node round-trip bound (also bounds a fan-out publish's wait for all node acks)")
+	dialTimeout := fs.Duration("dial-timeout", 2*time.Second, "single node dial attempt bound")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return cluster.Config{}, options{}, err
+	}
+	if *version {
+		return cluster.Config{}, options{version: true}, nil
+	}
+	if (*nodes == "") == (*nodesFile == "") {
+		return cluster.Config{}, options{}, fmt.Errorf("exactly one of -nodes or -nodes-file is required")
+	}
+	var members []string
+	var err error
+	if *nodes != "" {
+		members, err = cluster.ParseNodes(*nodes)
+	} else {
+		members, err = cluster.ReadNodesFile(*nodesFile)
+	}
+	if err != nil {
+		return cluster.Config{}, options{}, err
+	}
+	cfg := cluster.Config{
+		Addr:         *addr,
+		Nodes:        members,
+		VirtualNodes: *vnodes,
+		MetricsAddr:  *metricsAddr,
+		Client: client.Options{
+			Timeout:     *requestTimeout,
+			DialTimeout: *dialTimeout,
+			MaxDocBytes: *maxDocBytes,
+		},
+		PingInterval:  *pingInterval,
+		PublishWindow: *publishWindow,
+	}
+	return cfg, options{}, nil
+}
+
+// versionString reports the module version (from build info, "(devel)" for
+// a plain `go build`) and the Go runtime.
+func versionString() string {
+	v := "(unknown)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v = bi.Main.Version
+		if v == "" {
+			v = "(devel)"
+		}
+	}
+	return fmt.Sprintf("xpushgate %s %s %s/%s", v, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,530 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/obs"
+)
+
+// Config configures a Gate.
+type Config struct {
+	// Addr is the subscriber-facing listen address ("" = 127.0.0.1:0).
+	Addr string
+	// Nodes is the static cluster membership (xpushserve addresses).
+	Nodes []string
+	// VirtualNodes is the ring's per-node point count (0 = default).
+	VirtualNodes int
+	// MetricsAddr, when non-empty, serves /metrics, /healthz and
+	// /debug/cluster on that address.
+	MetricsAddr string
+	// Client configures every node-facing connection (downstream
+	// subscription conns and the pool's publish conns). Timeout also bounds
+	// a fan-out publish's wait for all node acks (defaulted to 10s).
+	Client client.Options
+	// Backoff shapes the pool's reconnect schedule.
+	Backoff client.Backoff
+	// PingInterval is the pool's health-check cadence (0 = default).
+	PingInterval time.Duration
+	// PublishWindow bounds each subscriber connection's in-flight
+	// PUBLISH_ASYNC documents and each node pipeline's window (0 = 256).
+	PublishWindow int
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) publishWindow() int {
+	if c.PublishWindow > 0 {
+		return c.PublishWindow
+	}
+	return 256
+}
+
+func (c *Config) publishTimeout() time.Duration {
+	if c.Client.Timeout > 0 {
+		return c.Client.Timeout
+	}
+	return 10 * time.Second
+}
+
+// Gate is the cluster ingress: it terminates subscriber connections
+// speaking the ordinary framed protocol, routes each subscription to the
+// ring owner of its canonical filter text (durable subscriptions by
+// durable name), fans publishes out to every node owning at least one live
+// filter, merges the nodes' delivery streams back per subscriber, and
+// aggregates publish acks so a publish acks only once every owning node
+// has. To the client a gate is indistinguishable from one big xpushserve.
+type Gate struct {
+	cfg  Config
+	ring *Ring
+	pool *Pool
+	ln   net.Listener
+	hln  net.Listener
+	hsrv *http.Server
+	reg  *obs.Registry
+
+	mu     sync.Mutex
+	conns  map[*gconn]struct{}
+	down   map[string]bool // nodes proven down (OnDown fired, not yet back)
+	closed bool
+	wg     sync.WaitGroup
+
+	pubs     map[string]*nodePub      // per-node publish plane (fixed keys)
+	liveKeys map[string]*atomic.Int64 // per-node live subscription count
+
+	fanout *obs.Histogram // nodes per publish fan-out
+
+	mConns          atomic.Int64
+	mSubs           atomic.Int64
+	mPublishes      *obs.Counter
+	mPublishErrs    *obs.Counter
+	mDeliveriesFwd  *obs.Counter
+	mAcksFwd        *obs.Counter
+	mAcksDropped    *obs.Counter
+	mFailovers      *obs.Counter
+	mFailoverResubs *obs.Counter
+	mFailoverDrops  *obs.Counter
+}
+
+// New starts a gate: it builds the ring, starts the node pool, binds the
+// subscriber listener (and the metrics listener, if configured), and begins
+// accepting. Node connections come up asynchronously; /healthz reports
+// degraded until every node is connected.
+func New(cfg Config) (*Gate, error) {
+	ring, err := NewRing(cfg.Nodes, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gate{
+		cfg:      cfg,
+		ring:     ring,
+		ln:       ln,
+		conns:    map[*gconn]struct{}{},
+		down:     map[string]bool{},
+		pubs:     map[string]*nodePub{},
+		liveKeys: map[string]*atomic.Int64{},
+		fanout:   &obs.Histogram{},
+		reg:      obs.NewRegistry(),
+	}
+	for _, n := range ring.Nodes() {
+		g.liveKeys[n] = &atomic.Int64{}
+		g.pubs[n] = newNodePub(n)
+	}
+	g.registerMetrics()
+	g.pool = NewPool(ring.Nodes(), PoolOptions{
+		Client:       cfg.Client,
+		Backoff:      cfg.Backoff,
+		PingInterval: cfg.PingInterval,
+		OnUp:         g.onNodeUp,
+		OnDown:       g.onNodeDown,
+	})
+	if cfg.MetricsAddr != "" {
+		hln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			g.pool.Close()
+			return nil, err
+		}
+		g.hln = hln
+		mux := g.reg.NewMuxWithStatus(g.health)
+		mux.HandleFunc("/debug/cluster", g.debugCluster)
+		g.hsrv = &http.Server{Handler: mux}
+		go g.hsrv.Serve(hln)
+	}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the subscriber-facing listen address.
+func (g *Gate) Addr() string { return g.ln.Addr().String() }
+
+// MetricsAddr returns the metrics listen address ("" if not configured).
+func (g *Gate) MetricsAddr() string {
+	if g.hln == nil {
+		return ""
+	}
+	return g.hln.Addr().String()
+}
+
+// Ring exposes the gate's ring (for tests and debug tooling).
+func (g *Gate) Ring() *Ring { return g.ring }
+
+func (g *Gate) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+func (g *Gate) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		cn := newGconn(g, nc)
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			nc.Close()
+			return
+		}
+		g.conns[cn] = struct{}{}
+		g.mu.Unlock()
+		g.mConns.Add(1)
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			cn.serve()
+			g.mu.Lock()
+			delete(g.conns, cn)
+			g.mu.Unlock()
+			g.mConns.Add(-1)
+		}()
+	}
+}
+
+// isDown reports whether node has been proven down. Nodes that have never
+// connected are treated as routable: static membership is assumed healthy
+// until a live connection to it fails, so the gate can route before the
+// pool's first connect completes.
+func (g *Gate) isDown(node string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.down[node]
+}
+
+// onNodeUp runs on the pool's manage goroutine with a freshly probed
+// connection: attach the publish pipeline and clear the down mark.
+func (g *Gate) onNodeUp(node string, c *client.Client) {
+	np := g.pubs[node]
+	pipe, err := c.PublishPipelined(g.cfg.publishWindow(), np.onResult)
+	if err != nil {
+		return // the connection is already dying; the pool will cycle it
+	}
+	np.attach(c, pipe)
+	g.mu.Lock()
+	delete(g.down, node)
+	g.mu.Unlock()
+	g.logf("cluster: node %s up", node)
+}
+
+// onNodeDown runs on the pool's manage goroutine after a node's connection
+// died: mark it down, fail the publishes pending on it, and replay its
+// subscriptions onto the ring's next owners.
+func (g *Gate) onNodeDown(node string, err error) {
+	g.mu.Lock()
+	g.down[node] = true
+	closed := g.closed
+	conns := make([]*gconn, 0, len(g.conns))
+	for cn := range g.conns {
+		conns = append(conns, cn)
+	}
+	g.mu.Unlock()
+	g.pubs[node].fail(fmt.Errorf("cluster: node %s down: %w", node, errOr(err)))
+	if closed {
+		return
+	}
+	g.mFailovers.Inc()
+	g.logf("cluster: node %s down (%v); rerouting subscriptions", node, err)
+	for _, cn := range conns {
+		cn := cn
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			cn.rerouteNode(node, nil)
+		}()
+	}
+}
+
+func errOr(err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("connection closed")
+}
+
+// pubTargets returns the nodes a publish must reach: every node owning at
+// least one live filter and not proven down.
+func (g *Gate) pubTargets() []string {
+	nodes := g.ring.Nodes()
+	targets := make([]string, 0, len(nodes))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range nodes {
+		if g.liveKeys[n].Load() > 0 && !g.down[n] {
+			targets = append(targets, n)
+		}
+	}
+	return targets
+}
+
+// fanPublish publishes doc to every target node and aggregates: the total
+// match count across nodes, and the first per-node error. It blocks until
+// all targets ack or the publish timeout expires.
+func (g *Gate) fanPublish(doc []byte) (int, error) {
+	targets := g.pubTargets()
+	g.fanout.Observe(float64(len(targets)))
+	g.mPublishes.Inc()
+	if len(targets) == 0 {
+		// No node owns a live filter: the document matches nothing.
+		return 0, nil
+	}
+	agg := &pubAgg{remaining: len(targets), done: make(chan struct{})}
+	for _, node := range targets {
+		if err := g.pubs[node].publish(doc, agg.settle); err != nil {
+			agg.settle(client.PublishResult{Err: err})
+		}
+	}
+	t := time.NewTimer(g.cfg.publishTimeout())
+	defer t.Stop()
+	select {
+	case <-agg.done:
+	case <-t.C:
+		g.mPublishErrs.Inc()
+		return 0, fmt.Errorf("cluster: publish timed out after %v waiting for node acks", g.cfg.publishTimeout())
+	}
+	agg.mu.Lock()
+	defer agg.mu.Unlock()
+	if agg.firstErr != nil {
+		g.mPublishErrs.Inc()
+		return 0, agg.firstErr
+	}
+	return agg.matches, nil
+}
+
+// pubAgg aggregates one fan-out publish's per-node outcomes.
+type pubAgg struct {
+	mu        sync.Mutex
+	remaining int
+	matches   int
+	firstErr  error
+	done      chan struct{}
+}
+
+// settle records one node's outcome; callable from node read loops.
+func (a *pubAgg) settle(r client.PublishResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.remaining == 0 {
+		return
+	}
+	a.matches += r.Matches
+	if r.Err != nil && a.firstErr == nil {
+		a.firstErr = r.Err
+	}
+	a.remaining--
+	if a.remaining == 0 {
+		close(a.done)
+	}
+}
+
+// nodePub is one node's publish plane: the pool connection's pipeline plus
+// the callbacks of publishes awaiting that node's ack. Acks may arrive on
+// the read loop before the publisher registers its callback (the sequence
+// number is only known after Publish returns), so early acks park in
+// orphans until the registration catches up.
+type nodePub struct {
+	node string
+	hist obs.Histogram // ack latency, seconds
+
+	mu      sync.Mutex
+	pipe    *client.Pipeline
+	pending map[uint64]*pubWait
+	orphans map[uint64]client.PublishResult
+}
+
+type pubWait struct {
+	cb    func(client.PublishResult)
+	start time.Time
+}
+
+func newNodePub(node string) *nodePub {
+	return &nodePub{
+		node:    node,
+		pending: map[uint64]*pubWait{},
+		orphans: map[uint64]client.PublishResult{},
+	}
+}
+
+func (np *nodePub) attach(c *client.Client, pipe *client.Pipeline) {
+	np.mu.Lock()
+	np.pipe = pipe
+	np.mu.Unlock()
+}
+
+// publish submits doc on the node's pipeline and registers cb for its ack.
+func (np *nodePub) publish(doc []byte, cb func(client.PublishResult)) error {
+	np.mu.Lock()
+	pipe := np.pipe
+	np.mu.Unlock()
+	if pipe == nil {
+		return fmt.Errorf("cluster: node %s not connected", np.node)
+	}
+	start := time.Now()
+	seq, err := pipe.Publish(doc)
+	if err != nil {
+		return err
+	}
+	np.mu.Lock()
+	if r, ok := np.orphans[seq]; ok {
+		delete(np.orphans, seq)
+		np.mu.Unlock()
+		np.hist.Observe(time.Since(start).Seconds())
+		cb(r)
+		return nil
+	}
+	np.pending[seq] = &pubWait{cb: cb, start: start}
+	np.mu.Unlock()
+	return nil
+}
+
+// onResult runs on the node connection's read loop for every ack.
+func (np *nodePub) onResult(r client.PublishResult) {
+	np.mu.Lock()
+	w, ok := np.pending[r.Seq]
+	if ok {
+		delete(np.pending, r.Seq)
+	} else {
+		np.orphans[r.Seq] = r
+	}
+	np.mu.Unlock()
+	if ok {
+		np.hist.Observe(time.Since(w.start).Seconds())
+		w.cb(r)
+	}
+}
+
+// fail detaches the pipeline and fails every pending publish, so fan-out
+// publishers waiting on a dead node unblock with an error instead of
+// timing out.
+func (np *nodePub) fail(err error) {
+	np.mu.Lock()
+	np.pipe = nil
+	pending := np.pending
+	np.pending = map[uint64]*pubWait{}
+	np.orphans = map[uint64]client.PublishResult{}
+	np.mu.Unlock()
+	for _, w := range pending {
+		w.cb(client.PublishResult{Err: err})
+	}
+}
+
+// health backs /healthz: degraded while any node lacks a live connection.
+func (g *Gate) health() (bool, string) {
+	for _, n := range g.ring.Nodes() {
+		if !g.pool.Up(n) {
+			return false, fmt.Sprintf("degraded: node %s not connected", n)
+		}
+	}
+	return true, "ok"
+}
+
+func (g *Gate) registerMetrics() {
+	r := g.reg
+	g.mPublishes = r.Counter("xpushgate_publishes_total", "Documents accepted for fan-out publish.")
+	g.mPublishErrs = r.Counter("xpushgate_publish_errors_total", "Fan-out publishes that failed or timed out.")
+	g.mDeliveriesFwd = r.Counter("xpushgate_deliveries_forwarded_total", "Delivery frames forwarded from nodes to subscribers.")
+	g.mAcksFwd = r.Counter("xpushgate_acks_forwarded_total", "Durable acks forwarded to the owning node.")
+	g.mAcksDropped = r.Counter("xpushgate_acks_dropped_total", "Durable acks dropped because their offset was outside the current node's forwarded window (stale after failover).")
+	g.mFailovers = r.Counter("xpushgate_failovers_total", "Node-down events that triggered subscription rerouting.")
+	g.mFailoverResubs = r.Counter("xpushgate_failover_resubscribes_total", "Subscriptions successfully replayed onto a surviving node.")
+	g.mFailoverDrops = r.Counter("xpushgate_failover_dropped_subscriptions_total", "Subscriptions dropped because no surviving node could take them.")
+	r.GaugeFunc("xpushgate_connections", "Open subscriber connections.", func() float64 { return float64(g.mConns.Load()) })
+	r.GaugeFunc("xpushgate_subscriptions", "Live subscriptions across all subscriber connections.", func() float64 { return float64(g.mSubs.Load()) })
+	r.GaugeVecFunc("xpushgate_node_up", "Per-node connectivity (1 = live pool connection).", func() []obs.Labeled {
+		nodes := g.ring.Nodes()
+		out := make([]obs.Labeled, 0, len(nodes))
+		for _, n := range nodes {
+			v := 0.0
+			if g.pool.Up(n) {
+				v = 1
+			}
+			out = append(out, obs.Labeled{Labels: fmt.Sprintf("node=%q", n), Value: v})
+		}
+		return out
+	})
+	r.GaugeVecFunc("xpushgate_node_live_keys", "Per-node live subscription count (publish fan-out skips zero).", func() []obs.Labeled {
+		nodes := g.ring.Nodes()
+		out := make([]obs.Labeled, 0, len(nodes))
+		for _, n := range nodes {
+			out = append(out, obs.Labeled{Labels: fmt.Sprintf("node=%q", n), Value: float64(g.liveKeys[n].Load())})
+		}
+		return out
+	})
+	r.HistogramFunc("xpushgate_publish_fanout_nodes", "Nodes per publish fan-out (bucket bounds are generic; read _sum/_count for the mean).", g.fanout.Snapshot)
+	r.SummaryVecFunc("xpushgate_node_ack_latency_seconds", "Per-node publish ack latency.", nil, func() []obs.LabeledSnapshot {
+		nodes := g.ring.Nodes()
+		out := make([]obs.LabeledSnapshot, 0, len(nodes))
+		for _, n := range nodes {
+			out = append(out, obs.LabeledSnapshot{Labels: fmt.Sprintf("node=%q", n), Snap: g.pubs[n].hist.Snapshot()})
+		}
+		return out
+	})
+}
+
+// debugCluster serves /debug/cluster: per-node health, live-key counts and
+// gate totals as JSON.
+func (g *Gate) debugCluster(w http.ResponseWriter, req *http.Request) {
+	type nodeInfo struct {
+		NodeStatus
+		LiveKeys int64 `json:"live_keys"`
+	}
+	snap := g.pool.Snapshot()
+	nodes := make([]nodeInfo, 0, len(snap))
+	for _, ns := range snap {
+		nodes = append(nodes, nodeInfo{NodeStatus: ns, LiveKeys: g.liveKeys[ns.Node].Load()})
+	}
+	out := struct {
+		Nodes         []nodeInfo `json:"nodes"`
+		Connections   int64      `json:"connections"`
+		Subscriptions int64      `json:"subscriptions"`
+		Failovers     int64      `json:"failovers"`
+		VirtualNodes  int        `json:"virtual_nodes"`
+	}{nodes, g.mConns.Load(), g.mSubs.Load(), g.mFailovers.Value(), len(g.ring.points) / len(g.ring.nodes)}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// Close stops accepting, tears down every subscriber connection, the node
+// pool and the metrics listener, and waits for all gate goroutines.
+func (g *Gate) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	conns := make([]*gconn, 0, len(g.conns))
+	for cn := range g.conns {
+		conns = append(conns, cn)
+	}
+	g.mu.Unlock()
+	g.ln.Close()
+	for _, cn := range conns {
+		cn.shutdown()
+	}
+	g.pool.Close()
+	if g.hsrv != nil {
+		g.hsrv.Close()
+	}
+	g.wg.Wait()
+	return nil
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseNodes parses a comma-separated node address list ("host:port,...").
+// Entries are trimmed; empties between commas are rejected (a typo'd flag
+// should fail loudly, not silently shrink the cluster). Duplicates are
+// collapsed.
+func ParseNodes(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	var nodes []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty node address in %q", spec)
+		}
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		nodes = append(nodes, addr)
+	}
+	return nodes, nil
+}
+
+// ReadNodesFile reads a hosts file: one node address per line, blank lines
+// and '#' comments skipped. This is the static-membership config for
+// clusters too large for a flag.
+func ReadNodesFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var nodes []string
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Allow trailing comments: "10.0.0.1:9310  # filter node A".
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+			if line == "" {
+				continue
+			}
+		}
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		nodes = append(nodes, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: %s lists no nodes", path)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,162 @@
+// Package cluster makes N unmodified xpushserve nodes look like one broker:
+// a consistent-hash ring partitions the filter workload across nodes by
+// canonical filter text (durable subscriptions by durable name, so their
+// replay cursors stay node-local), a health-checked connection pool keeps a
+// publish/control channel to every node, and the Gate terminates subscriber
+// connections, routing each subscription to its owning node and merging the
+// nodes' delivery streams back.
+//
+// The key insight is that it is the *filters* that shard, not the documents:
+// the XPush machine's lazy-DFA state is per-workload, so giving each node a
+// slice of the filter set keeps each node's machine small and warm, while
+// every published document fans out only to the nodes that own at least one
+// live filter.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when a Ring
+// is built with vnodes <= 0. 256 points per node keeps the ownership split
+// of a uniformly hashed key population within a few percent of ideal.
+const DefaultVirtualNodes = 256
+
+// Ring is an immutable consistent-hash ring mapping stable string keys
+// (canonical filter text, durable names) to member nodes. Each node
+// contributes vnodes virtual points; a key is owned by the node of the
+// first point at or clockwise after the key's hash. Because points are
+// per-node, removing a node only reassigns the keys it owned (to each key's
+// next owner), and adding one only claims keys from its new points'
+// predecessors — the consistent-hashing contract the failover path and the
+// property tests pin.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a position on the ring and the index of
+// the member that owns it.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring over the given nodes (deduplicated, order
+// irrelevant) with vnodes virtual points each (<= 0 = DefaultVirtualNodes).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	var members []string
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address")
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		members = append(members, n)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(members) // point layout independent of config order
+	r := &Ring{nodes: members, points: make([]ringPoint, 0, len(members)*vnodes)}
+	var buf []byte
+	for i, n := range members {
+		for v := 0; v < vnodes; v++ {
+			buf = append(buf[:0], n...)
+			buf = append(buf, '#')
+			buf = appendUint(buf, uint64(v))
+			r.points = append(r.points, ringPoint{hash: hash64(buf), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Nodes returns the ring's members in sorted order. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the node owning key.
+func (r *Ring) Owner(key string) string {
+	node, _ := r.OwnerAvoid(key, nil)
+	return node
+}
+
+// OwnerAvoid returns the first owner of key, walking clockwise past nodes
+// for which avoid reports true (a down set). It reports false only when
+// every member is avoided. A nil avoid never skips.
+func (r *Ring) OwnerAvoid(key string, avoid func(node string) bool) (string, bool) {
+	h := hash64String(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	tried := make(map[int32]bool, 2)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.node] {
+			continue
+		}
+		tried[p.node] = true
+		n := r.nodes[p.node]
+		if avoid == nil || !avoid(n) {
+			return n, true
+		}
+		if len(tried) == len(r.nodes) {
+			break
+		}
+	}
+	return "", false
+}
+
+// hash64String hashes a key string (FNV-1a 64).
+func hash64String(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// Finalize with a 64-bit mix (splitmix64): FNV alone clusters nearby
+	// inputs, and ring balance depends on point/key hashes filling the
+	// 64-bit space uniformly.
+	return mix64(h)
+}
+
+func hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// genKeys builds n canonical-filter-shaped keys from seeded randomness, so
+// every run exercises the same population (the property tests must be
+// deterministic in CI).
+func genKeys(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "dept", "emp", "name", "protein", "seq", "org", "ref"}
+	keys := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(keys) < n {
+		var k string
+		switch rng.Intn(4) {
+		case 0:
+			k = fmt.Sprintf("//%s[%s=\"%d\"]", names[rng.Intn(len(names))], names[rng.Intn(len(names))], rng.Intn(1000))
+		case 1:
+			k = fmt.Sprintf("/%s/%s", names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+		case 2:
+			k = fmt.Sprintf("//%s//%s[@id=\"%d\"]", names[rng.Intn(len(names))], names[rng.Intn(len(names))], rng.Intn(10000))
+		default:
+			k = fmt.Sprintf("/%s[%s][%s=\"%d\"]", names[rng.Intn(len(names))], names[rng.Intn(len(names))], names[rng.Intn(len(names))], rng.Intn(100))
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func nodeAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:9310", i+1)
+	}
+	return out
+}
+
+// TestRingBalance is the satellite's balance property: 1k canonical keys
+// spread within +-25% of ideal across 4 nodes.
+func TestRingBalance(t *testing.T) {
+	const keys = 1000
+	nodes := nodeAddrs(4)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range genKeys(1, keys) {
+		counts[r.Owner(k)]++
+	}
+	ideal := float64(keys) / float64(len(nodes))
+	lo, hi := int(ideal*0.75), int(ideal*1.25)
+	for _, n := range nodes {
+		if c := counts[n]; c < lo || c > hi {
+			t.Errorf("node %s owns %d keys, outside [%d, %d] (ideal %.0f)", n, c, lo, hi, ideal)
+		}
+	}
+	if t.Failed() {
+		t.Logf("distribution: %v", counts)
+	}
+}
+
+// TestRingLeaveMovement pins the consistent-hash contract on node removal:
+// only keys owned by the departed node change owner, and that is ~K/N keys.
+func TestRingLeaveMovement(t *testing.T) {
+	const keyCount = 1000
+	nodes := nodeAddrs(4)
+	full, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := genKeys(2, keyCount)
+	for _, removed := range nodes {
+		var rest []string
+		for _, n := range nodes {
+			if n != removed {
+				rest = append(rest, n)
+			}
+		}
+		shrunk, err := NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), shrunk.Owner(k)
+			if before == after {
+				continue
+			}
+			moved++
+			if before != removed {
+				t.Fatalf("key %q moved %s -> %s, but %s is the node that left", k, before, after, removed)
+			}
+		}
+		// The moved set is exactly the removed node's ownership share:
+		// bounded by the balance property's +25% envelope.
+		if max := keyCount / len(nodes) * 5 / 4; moved > max {
+			t.Errorf("removing %s moved %d keys, want <= ~K/N = %d", removed, moved, max)
+		}
+		if moved == 0 {
+			t.Errorf("removing %s moved no keys — ring is not partitioning", removed)
+		}
+	}
+}
+
+// TestRingJoinMovement is the mirror property: a joining node only claims
+// keys (every moved key moves TO it), again ~K/N of them.
+func TestRingJoinMovement(t *testing.T) {
+	const keyCount = 1000
+	nodes := nodeAddrs(5)
+	small, err := NewRing(nodes[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := nodes[4]
+	moved := 0
+	for _, k := range genKeys(3, keyCount) {
+		before, after := small.Owner(k), grown.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != joined {
+			t.Fatalf("key %q moved %s -> %s, but the joining node is %s", k, before, after, joined)
+		}
+	}
+	if max := keyCount / 5 * 5 / 4; moved > max {
+		t.Errorf("join moved %d keys, want <= ~K/N = %d", moved, max)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys")
+	}
+}
+
+// TestRingDeterminism: ownership is a function of the member set, not the
+// order the members were configured in.
+func TestRingDeterminism(t *testing.T) {
+	nodes := nodeAddrs(4)
+	a, _ := NewRing(nodes, 64)
+	b, _ := NewRing([]string{nodes[2], nodes[0], nodes[3], nodes[1]}, 64)
+	for _, k := range genKeys(4, 200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %q: owner depends on configuration order (%s vs %s)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingOwnerAvoid: the failover walk skips avoided nodes and fails only
+// when every member is down.
+func TestRingOwnerAvoid(t *testing.T) {
+	nodes := nodeAddrs(3)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range genKeys(5, 100) {
+		primary := r.Owner(k)
+		next, ok := r.OwnerAvoid(k, func(n string) bool { return n == primary })
+		if !ok {
+			t.Fatalf("key %q: no owner with one of three nodes down", k)
+		}
+		if next == primary {
+			t.Fatalf("key %q: avoid did not skip the down node", k)
+		}
+		if _, ok := r.OwnerAvoid(k, func(string) bool { return true }); ok {
+			t.Fatalf("key %q: found an owner with every node down", k)
+		}
+	}
+}
+
+func TestNewRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing accepted an empty member set")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("NewRing accepted an empty node address")
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	got, err := ParseNodes(" a:1, b:2 ,a:1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("ParseNodes = %v", got)
+	}
+	for _, bad := range []string{"", " , ", "a:1,,b:2"} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Fatalf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadNodesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts")
+	content := "# filter tier\n10.0.0.1:9310\n\n10.0.0.2:9310  # node B\n10.0.0.1:9310\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNodesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "10.0.0.1:9310" || got[1] != "10.0.0.2:9310" {
+		t.Fatalf("ReadNodesFile = %v", got)
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if _, err := ReadNodesFile(empty); err == nil {
+		t.Fatal("ReadNodesFile accepted a file with no nodes")
+	}
+}

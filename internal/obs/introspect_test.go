@@ -145,6 +145,40 @@ func TestGaugeVecFunc(t *testing.T) {
 	}
 }
 
+func TestSummaryVecFunc(t *testing.T) {
+	r := NewRegistry()
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(2e-3)
+	}
+	r.SummaryVecFunc("xpush_test_node_ack", "per-node ack latency", []float64{0.5, 0.99}, func() []LabeledSnapshot {
+		return []LabeledSnapshot{
+			{Labels: `node="a:1"`, Snap: h.Snapshot()},
+			{Labels: `node="b:2"`, Snap: Snapshot{}},
+		}
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE xpush_test_node_ack summary",
+		`xpush_test_node_ack{node="a:1",quantile="0.5"}`,
+		`xpush_test_node_ack{node="a:1",quantile="0.99"}`,
+		`xpush_test_node_ack_count{node="a:1"} 100`,
+		`xpush_test_node_ack_count{node="b:2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The populated member's median lands in the observed bucket range.
+	if !strings.Contains(out, `xpush_test_node_ack_sum{node="a:1"} 0.2`) {
+		t.Fatalf("sum not encoded per label set:\n%s", out)
+	}
+}
+
 func TestGaugeVecFuncEmpty(t *testing.T) {
 	r := NewRegistry()
 	r.GaugeVecFunc("xpush_empty_vec", "empty family", func() []Labeled { return nil })

@@ -18,6 +18,7 @@ const (
 	kindHistogram
 	kindSummary
 	kindGaugeVec
+	kindSummaryVec
 )
 
 // Labeled is one sample of a labeled gauge family: Labels is the rendered
@@ -39,7 +40,16 @@ type metric struct {
 	counterFn func() int64
 	snapFn    func() Snapshot
 	vecFn     func() []Labeled
+	svecFn    func() []LabeledSnapshot
 	quantiles []float64
+}
+
+// LabeledSnapshot is one member of a labeled summary family: Labels is the
+// rendered label set without braces (`node="10.0.0.1:9310"`), Snap the
+// member's observation snapshot.
+type LabeledSnapshot struct {
+	Labels string
+	Snap   Snapshot
 }
 
 // Registry holds named metrics and encodes them in the Prometheus text
@@ -120,6 +130,17 @@ func (r *Registry) SummaryFunc(name, help string, quantiles []float64, f func() 
 	r.add(&metric{name: name, help: help, kind: kindSummary, snapFn: f, quantiles: quantiles})
 }
 
+// SummaryVecFunc registers a labeled summary family pulled at encoding
+// time: f returns one LabeledSnapshot per label set (e.g. one per cluster
+// node). Each member is emitted as a Prometheus summary — {labels,
+// quantile="..."} series plus _sum{labels} and _count{labels}.
+func (r *Registry) SummaryVecFunc(name, help string, quantiles []float64, f func() []LabeledSnapshot) {
+	if len(quantiles) == 0 {
+		quantiles = []float64{0.5, 0.9, 0.99}
+	}
+	r.add(&metric{name: name, help: help, kind: kindSummaryVec, svecFn: f, quantiles: quantiles})
+}
+
 // WritePrometheus encodes every registered metric in the Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -137,7 +158,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func (m *metric) write(w io.Writer) error {
-	typ := [...]string{"counter", "gauge", "histogram", "summary", "gauge"}[m.kind]
+	typ := [...]string{"counter", "gauge", "histogram", "summary", "gauge", "summary"}[m.kind]
 	if m.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
 			return err
@@ -191,6 +212,21 @@ func (m *metric) write(w io.Writer) error {
 		}
 		_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count)
 		return err
+	case kindSummaryVec:
+		for _, ls := range m.svecFn() {
+			for _, q := range m.quantiles {
+				if _, err := fmt.Fprintf(w, "%s{%s,quantile=%q} %s\n", m.name, ls.Labels, fmtFloat(q), fmtFloat(ls.Snap.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", m.name, ls.Labels, fmtFloat(ls.Snap.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", m.name, ls.Labels, ls.Snap.Count); err != nil {
+				return err
+			}
+		}
+		return nil
 	case kindSummary:
 		s := m.snapFn()
 		for _, q := range m.quantiles {

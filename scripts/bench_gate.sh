@@ -30,6 +30,12 @@
 # phase's coordinated-omission-safe delivery p99 exceeds
 # $LOAD_P99_BUDGET_US microseconds (default 500000 — loose, because shared
 # CI runners stall; locally ~10000 is realistic).
+#
+# Gate 6 (gated delivery latency): same check through a 2-node cluster
+# behind xpushgate (or a report at $XPUSHGATE_SMOKE_JSON, e.g. the one
+# scripts/cluster_smoke.sh just wrote in CI), against
+# $GATE_P99_BUDGET_US microseconds (default 750000 — the ingress hop and
+# fan-out merge cost something, but not an order of magnitude).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -157,6 +163,31 @@ awk -v p="$p99" -v budget="$LOAD_P99_BUDGET_US" 'BEGIN {
   printf "bench_gate: open-loop steady delivery p99 %.0fus, budget %sus\n", p, budget
   if (p > budget + 0) {
     print "bench_gate: FAIL — open-loop delivery p99 blew the latency budget" > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}'
+
+# Gate 6 (gated delivery latency): steady-phase delivery p99 of the same
+# smoke scenario run through xpushgate in front of a 2-node cluster.
+GATE_P99_BUDGET_US="${GATE_P99_BUDGET_US:-750000}"
+GATE_JSON="${XPUSHGATE_SMOKE_JSON:-}"
+if [ -z "$GATE_JSON" ] || [ ! -f "$GATE_JSON" ]; then
+  GATE_JSON=$(mktemp /tmp/xpushgate_smoke.XXXXXX.json)
+  scripts/cluster_smoke.sh "$GATE_JSON"
+fi
+gp99=$(awk '
+  /"name": "xpushload\/smoke\/steady"/ { found = 1 }
+  found && /"delivery_p99_us"/ { gsub(/[^0-9.]/, "", $2); print $2; exit }
+' "$GATE_JSON")
+if [ -z "$gp99" ]; then
+  echo "bench_gate: no steady-phase delivery_p99_us in $GATE_JSON" >&2
+  exit 2
+fi
+awk -v p="$gp99" -v budget="$GATE_P99_BUDGET_US" 'BEGIN {
+  printf "bench_gate: gated 2-node steady delivery p99 %.0fus, budget %sus\n", p, budget
+  if (p > budget + 0) {
+    print "bench_gate: FAIL — delivery p99 through xpushgate blew the latency budget" > "/dev/stderr"
     exit 1
   }
   print "bench_gate: OK"

@@ -87,6 +87,15 @@ const (
 	FrameDeliver   byte = 0x84
 	FrameDeliverAt byte = 0x85
 	FramePubAcks   byte = 0x86
+
+	// FrameProtoErr is a terminal protocol-level error: the payload is a
+	// UTF-8 reason string and the sender closes the connection immediately
+	// after writing it. Unlike FrameErr (a per-request failure on a healthy
+	// connection), FrameProtoErr means the peer could not keep speaking the
+	// protocol at all — e.g. an unknown frame type from version skew between
+	// an xpushgate and an older node — so the violation is diagnosable
+	// instead of surfacing as a bare connection drop.
+	FrameProtoErr byte = 0x8F
 )
 
 // Frame is one decoded protocol frame.

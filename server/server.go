@@ -1226,9 +1226,12 @@ func (cn *conn) serve() {
 			}
 			cn.publishAsync(seq, doc)
 		default:
-			if cn.writeFrame(FrameErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", f.Type))) != nil {
-				return
-			}
+			// An unknown frame type means the peer speaks a different
+			// protocol revision (gate↔node version skew) or is desynchronized;
+			// either way subsequent frames are untrustworthy. Name the
+			// violation in a terminal PROTO_ERR frame, then close.
+			cn.writeFrame(FrameProtoErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", f.Type)))
+			return
 		}
 	}
 }

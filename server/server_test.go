@@ -1,9 +1,11 @@
 package server_test
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -543,6 +545,37 @@ func TestPing(t *testing.T) {
 	case <-c.Done():
 	case <-time.After(5 * time.Second):
 		t.Fatal("idle connection was not reaped by the read timeout")
+	}
+}
+
+// TestUnknownFrameProtoErr pins the version-skew contract: an unknown frame
+// type draws a terminal PROTO_ERR (0x8F) frame naming the bad opcode, and
+// the server closes the connection instead of continuing to parse a stream
+// it no longer understands.
+func TestUnknownFrameProtoErr(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := server.WriteFrame(nc, 0x7e, []byte("bogus")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := server.ReadFrame(bufio.NewReader(nc), 1<<20)
+	if err != nil {
+		t.Fatalf("expected a PROTO_ERR frame, got read error %v", err)
+	}
+	if f.Type != server.FrameProtoErr {
+		t.Fatalf("frame type = 0x%02x, want PROTO_ERR 0x%02x", f.Type, server.FrameProtoErr)
+	}
+	if !strings.Contains(string(f.Payload), "0x7e") {
+		t.Fatalf("reason %q does not name the offending opcode", f.Payload)
+	}
+	// The connection must be closed right after: the next read is EOF.
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the connection open after a protocol error")
 	}
 }
 
