@@ -251,7 +251,20 @@ func (c *Client) Unsubscribe(id uint64) error {
 // Publish sends one XML document and returns how many subscriptions
 // (across all subscribers) matched it.
 func (c *Client) Publish(doc []byte) (int, error) {
-	f, err := c.roundTrip(server.FramePublish, doc)
+	return c.PublishTraced(doc, 0)
+}
+
+// PublishTraced is Publish carrying an upstream trace id: the broker adopts
+// the id for its own spans (wal_append, filter, deliver), so the document's
+// trace stitches across process hops. A zero traceID sends the plain,
+// byte-identical PUBLISH frame.
+func (c *Client) PublishTraced(doc []byte, traceID uint64) (int, error) {
+	typ, payload := server.FramePublish, doc
+	if traceID != 0 {
+		typ |= server.FrameTraceFlag
+		payload = server.AppendTracedPayload(make([]byte, 0, 8+len(doc)), traceID, doc)
+	}
+	f, err := c.roundTrip(typ, payload)
 	if err != nil {
 		return 0, err
 	}
@@ -384,6 +397,12 @@ func (c *Client) PublishPipelined(window int, onResult func(PublishResult)) (*Pi
 // write error tears the pipeline's usefulness down (the connection is
 // broken); it is also latched for Close.
 func (p *Pipeline) Publish(doc []byte) (uint64, error) {
+	return p.PublishTraced(doc, 0)
+}
+
+// PublishTraced is Publish carrying an upstream trace id (see
+// Client.PublishTraced). A zero traceID sends the plain PUBLISH_ASYNC frame.
+func (p *Pipeline) PublishTraced(doc []byte, traceID uint64) (uint64, error) {
 	select {
 	case p.tokens <- struct{}{}:
 	case <-p.c.done:
@@ -400,9 +419,16 @@ func (p *Pipeline) Publish(doc []byte) (uint64, error) {
 	p.inflight++
 	p.mu.Unlock()
 
-	payload := server.AppendPublishAsyncPayload(nil, seq, doc)
+	typ := server.FramePublishAsync
+	var payload []byte
+	if traceID != 0 {
+		typ |= server.FrameTraceFlag
+		payload = server.AppendPublishAsyncPayload(server.AppendUint64(make([]byte, 0, 16+len(doc)), traceID), seq, doc)
+	} else {
+		payload = server.AppendPublishAsyncPayload(nil, seq, doc)
+	}
 	p.c.wmu.Lock()
-	err := server.WriteFrame(p.c.nc, server.FramePublishAsync, payload)
+	err := server.WriteFrame(p.c.nc, typ, payload)
 	p.c.wmu.Unlock()
 	if err != nil {
 		p.settle(PublishResult{Seq: seq, Err: err}, false)

@@ -11,7 +11,9 @@
 //	xpushgate [-addr :9410] -nodes host1:9310,host2:9310 | -nodes-file hosts
 //	          [-metrics-addr :9411] [-vnodes 256] [-ping-interval 2s]
 //	          [-publish-window 256] [-max-doc-bytes 0]
-//	          [-request-timeout 10s] [-dial-timeout 2s] [-version]
+//	          [-request-timeout 10s] [-dial-timeout 2s]
+//	          [-trace-sample 0] [-trace-slow 0] [-node-debug addrs]
+//	          [-version]
 //
 // Membership is static: the node set is fixed at startup. When a node's
 // connection dies the gate marks it down, fails the publishes pending on
@@ -23,7 +25,15 @@
 // /metrics exposes per-node health (xpushgate_node_up), live-key counts,
 // publish fan-out width and per-node ack latency; /debug/cluster returns
 // the same as JSON. /healthz reports degraded until every node is
-// connected.
+// connected, naming every disconnected node.
+//
+// With -trace-sample N (and/or -trace-slow D) the gate traces one of every
+// N fan-out publishes end to end: the sampled publish's trace id rides the
+// node-bound frames, each node records its own wal/filter/deliver spans
+// under that id, and /debug/cluster/traces fetches the nodes'
+// /debug/traces (via -node-debug, a comma-separated list of node
+// introspection addresses parallel to -nodes) and merges everything into
+// one Chrome trace_event document — load it at ui.perfetto.dev.
 package main
 
 import (
@@ -90,6 +100,9 @@ func buildConfig(args []string) (cluster.Config, options, error) {
 	maxDocBytes := fs.Int("max-doc-bytes", 0, "published document size bound in bytes (0 = 64 MiB)")
 	requestTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request node round-trip bound (also bounds a fan-out publish's wait for all node acks)")
 	dialTimeout := fs.Duration("dial-timeout", 2*time.Second, "single node dial attempt bound")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 of every N fan-out publishes across the cluster (0 disables)")
+	traceSlow := fs.Duration("trace-slow", 0, "also keep any fan-out publish slower than this threshold (0 disables)")
+	nodeDebug := fs.String("node-debug", "", "comma-separated node introspection addresses, parallel to -nodes; enables node-side span merging on /debug/cluster/traces")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return cluster.Config{}, options{}, err
@@ -122,6 +135,18 @@ func buildConfig(args []string) (cluster.Config, options, error) {
 		},
 		PingInterval:  *pingInterval,
 		PublishWindow: *publishWindow,
+		TraceSample:   *traceSample,
+		TraceSlow:     *traceSlow,
+	}
+	if *nodeDebug != "" {
+		dbg, err := cluster.ParseNodes(*nodeDebug)
+		if err != nil {
+			return cluster.Config{}, options{}, err
+		}
+		if len(dbg) != len(members) {
+			return cluster.Config{}, options{}, fmt.Errorf("-node-debug lists %d addresses for %d nodes", len(dbg), len(members))
+		}
+		cfg.NodeDebug = dbg
 	}
 	return cfg, options{}, nil
 }

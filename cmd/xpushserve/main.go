@@ -32,10 +32,17 @@
 // timings and machine telemetry, per-subscriber queue wait, DELIVER write);
 // -trace-slow 50ms additionally captures every document slower than the
 // threshold regardless of sampling. Traces are served at -debug-addr's
-// /debug/traces (next to /debug/machine and /debug/pprof/*), and -trace-out
-// writes everything retained at shutdown as a Chrome trace_event file —
-// load it at ui.perfetto.dev or chrome://tracing. With both tracing flags
-// zero the publish hot path is unaffected.
+// /debug/traces (next to /debug/machine, /debug/queries and
+// /debug/pprof/*), and -trace-out writes everything retained at shutdown
+// as a Chrome trace_event file — load it at ui.perfetto.dev or
+// chrome://tracing. With both tracing flags zero the publish hot path is
+// unaffected.
+//
+// Tracing also feeds the per-query cost profiler: every traced document's
+// filter time, machine states and fan-out are attributed to the canonical
+// queries it matched, ranked at /debug/queries and exported as top-K
+// xpush_query_* metric series — the answer to "which subscription is
+// expensive?".
 //
 // On SIGTERM or SIGINT the broker drains gracefully: it stops accepting,
 // rejects new publishes, flips /healthz to not-ready, flushes every
@@ -95,7 +102,7 @@ func main() {
 		logger.Printf("metrics on http://%s/metrics", srv.MetricsAddr())
 	}
 	if srv.DebugAddr() != "" {
-		logger.Printf("introspection on http://%s/debug/traces (+ /debug/machine, /debug/pprof)", srv.DebugAddr())
+		logger.Printf("introspection on http://%s/debug/traces (+ /debug/machine, /debug/queries, /debug/pprof)", srv.DebugAddr())
 	}
 	if r := srv.Tracer(); r.Enabled() {
 		logger.Printf("tracing: sample 1/%d, slow threshold %v", r.SampleEvery(), r.SlowThreshold())
@@ -164,7 +171,7 @@ func buildConfig(args []string) (server.Config, options, error) {
 	fs := flag.NewFlagSet("xpushserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":9310", "data-plane listen address")
 	metricsAddr := fs.String("metrics-addr", ":9311", "metrics listen address (empty disables /metrics)")
-	debugAddr := fs.String("debug-addr", "", "introspection listen address: /debug/traces, /debug/machine, /debug/pprof (empty disables; pprof exposes heap contents — bind to loopback)")
+	debugAddr := fs.String("debug-addr", "", "introspection listen address: /debug/traces, /debug/machine, /debug/queries, /debug/pprof (empty disables; pprof exposes heap contents — bind to loopback)")
 	traceSample := fs.Int("trace-sample", 0, "trace 1 of every N published documents end to end (0 disables sampling)")
 	traceSlow := fs.Duration("trace-slow", 0, "capture every document slower than this end to end, regardless of sampling (0 disables)")
 	traceOut := fs.String("trace-out", "", "write retained traces as a Chrome trace_event file on shutdown (view at ui.perfetto.dev)")

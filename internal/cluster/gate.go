@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/client"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config configures a Gate.
@@ -35,6 +37,18 @@ type Config struct {
 	// PublishWindow bounds each subscriber connection's in-flight
 	// PUBLISH_ASYNC documents and each node pipeline's window (0 = 256).
 	PublishWindow int
+	// TraceSample enables the gate's cross-hop trace recorder: one of
+	// every N fan-out publishes gets a trace whose id is propagated to
+	// every node the document reaches (<= 0 disables).
+	TraceSample int
+	// TraceSlow additionally keeps any fan-out publish slower than the
+	// threshold (0 disables tail capture).
+	TraceSlow time.Duration
+	// NodeDebug lists the nodes' introspection addresses, parallel to
+	// Nodes. /debug/cluster/traces fetches each node's /debug/traces from
+	// these to merge node-side spans into the gate's traces; when empty
+	// (or mismatched in length) merged traces carry only gate spans.
+	NodeDebug []string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -78,7 +92,18 @@ type Gate struct {
 	pubs     map[string]*nodePub      // per-node publish plane (fixed keys)
 	liveKeys map[string]*atomic.Int64 // per-node live subscription count
 
-	fanout *obs.Histogram // nodes per publish fan-out
+	// tracer head-samples fan-out publishes; nil when tracing is off.
+	// active indexes in-flight gate publish traces by id so downstream
+	// read loops can attach merge-write spans to them (best effort: a
+	// delivery arriving after the publish settled records nothing).
+	tracer    *trace.Recorder
+	nodeDebug map[string]string // node addr -> introspection addr
+	traceMu   sync.Mutex
+	active    map[uint64]*trace.Ctx
+
+	fanout   *obs.Histogram // nodes per publish fan-out
+	subLat   obs.Histogram  // subscriber-visible SUBSCRIBE round-trip seconds
+	unsubLat obs.Histogram  // subscriber-visible UNSUBSCRIBE round-trip seconds
 
 	mConns          atomic.Int64
 	mSubs           atomic.Int64
@@ -110,15 +135,25 @@ func New(cfg Config) (*Gate, error) {
 		return nil, err
 	}
 	g := &Gate{
-		cfg:      cfg,
-		ring:     ring,
-		ln:       ln,
-		conns:    map[*gconn]struct{}{},
-		down:     map[string]bool{},
-		pubs:     map[string]*nodePub{},
-		liveKeys: map[string]*atomic.Int64{},
-		fanout:   &obs.Histogram{},
-		reg:      obs.NewRegistry(),
+		cfg:       cfg,
+		ring:      ring,
+		ln:        ln,
+		conns:     map[*gconn]struct{}{},
+		down:      map[string]bool{},
+		pubs:      map[string]*nodePub{},
+		liveKeys:  map[string]*atomic.Int64{},
+		tracer:    trace.New(cfg.TraceSample, cfg.TraceSlow),
+		nodeDebug: map[string]string{},
+		active:    map[uint64]*trace.Ctx{},
+		fanout:    &obs.Histogram{},
+		reg:       obs.NewRegistry(),
+	}
+	if len(cfg.NodeDebug) == len(cfg.Nodes) {
+		for i, n := range cfg.Nodes {
+			if cfg.NodeDebug[i] != "" {
+				g.nodeDebug[n] = cfg.NodeDebug[i]
+			}
+		}
 	}
 	for _, n := range ring.Nodes() {
 		g.liveKeys[n] = &atomic.Int64{}
@@ -142,6 +177,8 @@ func New(cfg Config) (*Gate, error) {
 		g.hln = hln
 		mux := g.reg.NewMuxWithStatus(g.health)
 		mux.HandleFunc("/debug/cluster", g.debugCluster)
+		mux.HandleFunc("/debug/cluster/traces", g.debugClusterTraces)
+		mux.Handle("/debug/traces", g.tracer.Handler())
 		g.hsrv = &http.Server{Handler: mux}
 		go g.hsrv.Serve(hln)
 	}
@@ -274,28 +311,100 @@ func (g *Gate) pubTargets() []string {
 	return targets
 }
 
+// beginPublishTrace starts the gate-hop trace for one fan-out publish.
+// remoteID is the trace id carried on the incoming frame (0 = untraced):
+// a publisher that already traced the document wins over local sampling,
+// so the whole path shares one id.
+func (g *Gate) beginPublishTrace(remoteID uint64) *trace.Ctx {
+	if remoteID != 0 {
+		return g.tracer.BeginRemote("gate_publish", remoteID, time.Now())
+	}
+	return g.tracer.Begin("gate_publish")
+}
+
+// trackTrace indexes an in-flight publish trace so delivery forwarding can
+// attach merge-write spans; untrackTrace must run before the publish path's
+// Finish so a concurrent traceRef never revives a completed trace.
+func (g *Gate) trackTrace(tc *trace.Ctx) {
+	g.traceMu.Lock()
+	g.active[tc.ID] = tc
+	g.traceMu.Unlock()
+}
+
+func (g *Gate) untrackTrace(tc *trace.Ctx) {
+	g.traceMu.Lock()
+	delete(g.active, tc.ID)
+	g.traceMu.Unlock()
+}
+
+// traceRef resolves a forwarded delivery's trace id to the in-flight gate
+// trace, taking a reference the caller must Finish. The map holds only
+// traces whose publish path still owns a reference (untrack precedes
+// Finish), so the Ref here can never race a final release.
+func (g *Gate) traceRef(id uint64) *trace.Ctx {
+	if id == 0 {
+		return nil
+	}
+	g.traceMu.Lock()
+	tc := g.active[id]
+	if tc != nil {
+		tc.Ref()
+	}
+	g.traceMu.Unlock()
+	return tc
+}
+
 // fanPublish publishes doc to every target node and aggregates: the total
 // match count across nodes, and the first per-node error. It blocks until
-// all targets ack or the publish timeout expires.
-func (g *Gate) fanPublish(doc []byte) (int, error) {
+// all targets ack or the publish timeout expires. remoteID is the trace id
+// the subscriber's frame carried (0 = untraced); traced publishes record a
+// per-node fan-out span (closed by that node's ack) plus an ack-aggregation
+// wait span, and propagate the trace id on every node-bound frame.
+func (g *Gate) fanPublish(doc []byte, remoteID uint64) (int, error) {
 	targets := g.pubTargets()
 	g.fanout.Observe(float64(len(targets)))
 	g.mPublishes.Inc()
+	tc := g.beginPublishTrace(remoteID)
+	tid := remoteID
+	if tc != nil {
+		tid = tc.ID
+		tc.SetAttr(trace.Root, "fanout_nodes", int64(len(targets)))
+		g.trackTrace(tc)
+		defer func() {
+			g.untrackTrace(tc)
+			tc.Finish()
+		}()
+	}
 	if len(targets) == 0 {
 		// No node owns a live filter: the document matches nothing.
 		return 0, nil
 	}
 	agg := &pubAgg{remaining: len(targets), done: make(chan struct{})}
 	for _, node := range targets {
-		if err := g.pubs[node].publish(doc, agg.settle); err != nil {
-			agg.settle(client.PublishResult{Err: err})
+		settle := agg.settle
+		if tc != nil {
+			// One span per node, on its own track, closed by the node's ack
+			// (which arrives on that node connection's read loop).
+			sp := tc.StartSpan("fanout "+node, trace.Root)
+			tc.SetTrack(sp, tc.NextTrack())
+			settle = func(r client.PublishResult) {
+				tc.SetAttr(sp, "matches", int64(r.Matches))
+				tc.EndSpan(sp)
+				agg.settle(r)
+			}
+		}
+		if err := g.pubs[node].publish(doc, tid, settle); err != nil {
+			settle(client.PublishResult{Err: err})
 		}
 	}
+	wait := tc.StartSpan("ack_wait", trace.Root)
 	t := time.NewTimer(g.cfg.publishTimeout())
 	defer t.Stop()
 	select {
 	case <-agg.done:
+		tc.EndSpan(wait)
 	case <-t.C:
+		tc.EndSpan(wait)
 		g.mPublishErrs.Inc()
 		return 0, fmt.Errorf("cluster: publish timed out after %v waiting for node acks", g.cfg.publishTimeout())
 	}
@@ -334,14 +443,23 @@ func (a *pubAgg) settle(r client.PublishResult) {
 	}
 }
 
+// maxOrphanAcks bounds each node's parked-ack map. Orphans normally live
+// microseconds (the window between the read loop seeing an ack and
+// publish registering its callback), so the cap only bites when acks leak
+// — e.g. a node acking sequence numbers the gate never registered. Past
+// the cap an arbitrary parked ack is evicted (and counted): the publisher
+// it belonged to, if any, times out instead of leaking map entries.
+const maxOrphanAcks = 1024
+
 // nodePub is one node's publish plane: the pool connection's pipeline plus
 // the callbacks of publishes awaiting that node's ack. Acks may arrive on
 // the read loop before the publisher registers its callback (the sequence
 // number is only known after Publish returns), so early acks park in
 // orphans until the registration catches up.
 type nodePub struct {
-	node string
-	hist obs.Histogram // ack latency, seconds
+	node    string
+	hist    obs.Histogram // ack latency, seconds
+	evicted atomic.Int64  // orphaned acks dropped by the cap
 
 	mu      sync.Mutex
 	pipe    *client.Pipeline
@@ -369,7 +487,9 @@ func (np *nodePub) attach(c *client.Client, pipe *client.Pipeline) {
 }
 
 // publish submits doc on the node's pipeline and registers cb for its ack.
-func (np *nodePub) publish(doc []byte, cb func(client.PublishResult)) error {
+// traceID, when non-zero, rides the frame so the node's trace adopts the
+// gate's id (the cross-hop merge key).
+func (np *nodePub) publish(doc []byte, traceID uint64, cb func(client.PublishResult)) error {
 	np.mu.Lock()
 	pipe := np.pipe
 	np.mu.Unlock()
@@ -377,7 +497,7 @@ func (np *nodePub) publish(doc []byte, cb func(client.PublishResult)) error {
 		return fmt.Errorf("cluster: node %s not connected", np.node)
 	}
 	start := time.Now()
-	seq, err := pipe.Publish(doc)
+	seq, err := pipe.PublishTraced(doc, traceID)
 	if err != nil {
 		return err
 	}
@@ -401,6 +521,13 @@ func (np *nodePub) onResult(r client.PublishResult) {
 	if ok {
 		delete(np.pending, r.Seq)
 	} else {
+		if len(np.orphans) >= maxOrphanAcks {
+			for seq := range np.orphans {
+				delete(np.orphans, seq)
+				np.evicted.Add(1)
+				break
+			}
+		}
 		np.orphans[r.Seq] = r
 	}
 	np.mu.Unlock()
@@ -426,11 +553,17 @@ func (np *nodePub) fail(err error) {
 }
 
 // health backs /healthz: degraded while any node lacks a live connection.
+// The body names every disconnected node, not just the first, so one curl
+// tells an operator the full blast radius.
 func (g *Gate) health() (bool, string) {
+	var down []string
 	for _, n := range g.ring.Nodes() {
 		if !g.pool.Up(n) {
-			return false, fmt.Sprintf("degraded: node %s not connected", n)
+			down = append(down, n)
 		}
+	}
+	if len(down) > 0 {
+		return false, "degraded: nodes not connected: " + strings.Join(down, ", ")
 	}
 	return true, "ok"
 }
@@ -476,6 +609,37 @@ func (g *Gate) registerMetrics() {
 		}
 		return out
 	})
+	r.GaugeVecFunc("xpushgate_orphan_acks", "Per-node acks parked awaiting publisher registration (bounded at 1024; overflow evicts).", func() []obs.Labeled {
+		nodes := g.ring.Nodes()
+		out := make([]obs.Labeled, 0, len(nodes))
+		for _, n := range nodes {
+			np := g.pubs[n]
+			np.mu.Lock()
+			v := float64(len(np.orphans))
+			np.mu.Unlock()
+			out = append(out, obs.Labeled{Labels: fmt.Sprintf("node=%q", n), Value: v})
+		}
+		return out
+	})
+	r.CounterFunc("xpushgate_orphan_acks_evicted_total", "Parked acks dropped because a node's orphan map hit its cap.", func() int64 {
+		var sum int64
+		for _, n := range g.ring.Nodes() {
+			sum += g.pubs[n].evicted.Load()
+		}
+		return sum
+	})
+	r.SummaryFunc("xpushgate_subscribe_latency_seconds", "Subscriber-visible SUBSCRIBE round-trip latency (includes the node hop).", []float64{0.5, 0.9, 0.99}, g.subLat.Snapshot)
+	r.HistogramFunc("xpushgate_subscribe_latency_histogram_seconds", "Subscriber-visible SUBSCRIBE round-trip latency.", g.subLat.Snapshot)
+	r.SummaryFunc("xpushgate_unsubscribe_latency_seconds", "Subscriber-visible UNSUBSCRIBE round-trip latency (includes the node hop).", []float64{0.5, 0.9, 0.99}, g.unsubLat.Snapshot)
+	r.HistogramFunc("xpushgate_unsubscribe_latency_histogram_seconds", "Subscriber-visible UNSUBSCRIBE round-trip latency.", g.unsubLat.Snapshot)
+	if g.tracer.Enabled() {
+		r.CounterFunc("xpushgate_traces_started_total", "Fan-out publish traces begun.", func() int64 {
+			return g.tracer.Stats().Started
+		})
+		r.CounterFunc("xpushgate_traces_kept_total", "Fan-out publish traces retained in a ring.", func() int64 {
+			return g.tracer.Stats().Kept
+		})
+	}
 }
 
 // debugCluster serves /debug/cluster: per-node health, live-key counts and
@@ -483,12 +647,23 @@ func (g *Gate) registerMetrics() {
 func (g *Gate) debugCluster(w http.ResponseWriter, req *http.Request) {
 	type nodeInfo struct {
 		NodeStatus
-		LiveKeys int64 `json:"live_keys"`
+		LiveKeys   int64       `json:"live_keys"`
+		OrphanAcks int         `json:"orphan_acks"`
+		AckLatency obs.Summary `json:"ack_latency_seconds"`
 	}
 	snap := g.pool.Snapshot()
 	nodes := make([]nodeInfo, 0, len(snap))
 	for _, ns := range snap {
-		nodes = append(nodes, nodeInfo{NodeStatus: ns, LiveKeys: g.liveKeys[ns.Node].Load()})
+		np := g.pubs[ns.Node]
+		np.mu.Lock()
+		orphans := len(np.orphans)
+		np.mu.Unlock()
+		nodes = append(nodes, nodeInfo{
+			NodeStatus: ns,
+			LiveKeys:   g.liveKeys[ns.Node].Load(),
+			OrphanAcks: orphans,
+			AckLatency: np.hist.Snapshot().Summary(),
+		})
 	}
 	out := struct {
 		Nodes         []nodeInfo `json:"nodes"`

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/client"
+	"repro/internal/trace"
 	"repro/internal/xpath"
 	"repro/server"
 )
@@ -137,38 +139,65 @@ func (cn *gconn) serve() {
 		if err != nil {
 			return
 		}
-		switch f.Type {
+		// A set trace-flag bit on a publish frame marks an 8-byte trace-id
+		// prefix (same encoding the broker accepts); strip it here so the
+		// dispatch below sees the base type and a plain payload.
+		typ := f.Type
+		var remoteID uint64
+		if typ&server.FrameTraceFlag != 0 {
+			switch base := typ &^ server.FrameTraceFlag; base {
+			case server.FramePublish, server.FramePublishAsync:
+				var terr error
+				remoteID, f.Payload, terr = server.SplitTracedPayload(f.Payload)
+				if terr != nil {
+					cn.writeFrame(server.FrameErr, []byte(terr.Error()))
+					return
+				}
+				typ = base
+			}
+		}
+		switch typ {
 		case server.FramePing:
 			if cn.writeFrame(server.FramePong, nil) != nil {
 				return
 			}
 		case server.FrameSubscribe:
+			t0 := time.Now()
 			id, err := cn.subscribe(string(f.Payload))
-			if cn.reply(id, err) != nil {
+			werr := cn.reply(id, err)
+			cn.g.subLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 		case server.FrameSubscribeDurable:
+			t0 := time.Now()
 			name, query, err := server.ParseSubscribeDurablePayload(f.Payload)
 			var id, resume uint64
 			if err == nil {
 				id, resume, err = cn.subscribeDurable(name, query)
 			}
 			if err != nil {
+				cn.g.subLat.Observe(time.Since(t0).Seconds())
 				if cn.writeFrame(server.FrameErr, []byte(err.Error())) != nil {
 					return
 				}
 				continue
 			}
 			payload := server.AppendUint64(server.AppendUint64(nil, id), resume)
-			if cn.writeFrame(server.FrameOK, payload) != nil {
+			werr := cn.writeFrame(server.FrameOK, payload)
+			cn.g.subLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 		case server.FrameUnsubscribe:
+			t0 := time.Now()
 			id, err := server.ParseUint64(f.Payload)
 			if err == nil {
 				err = cn.unsubscribe(id)
 			}
-			if cn.reply(id, err) != nil {
+			werr := cn.reply(id, err)
+			cn.g.unsubLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 		case server.FrameAck:
@@ -178,7 +207,7 @@ func (cn *gconn) serve() {
 			}
 			cn.handleAck(off)
 		case server.FramePublish:
-			n, err := cn.g.fanPublish(f.Payload)
+			n, err := cn.g.fanPublish(f.Payload, remoteID)
 			if cn.reply(uint64(n), err) != nil {
 				return
 			}
@@ -188,7 +217,7 @@ func (cn *gconn) serve() {
 				cn.writeFrame(server.FrameErr, []byte(err.Error()))
 				return
 			}
-			cn.publishAsync(seq, doc)
+			cn.publishAsync(seq, doc, remoteID)
 		default:
 			// Mirror the broker's protocol hygiene: name the violation in a
 			// terminal PROTO_ERR, then close.
@@ -401,11 +430,18 @@ func sub0(sub *gateSub) string {
 
 // forwardDeliver runs on a downstream connection's read loop: translate
 // node ids to gate ids and forward the delivery frame to the subscriber.
+// When the delivery carries a trace id with a still-in-flight gate publish
+// trace, the downstream merge write becomes a span on it (best effort: a
+// delivery arriving after the publish settled records nothing).
 func (cn *gconn) forwardDeliver(ds *downstream, d client.Delivery) {
 	gids := ds.mapIDs(d.Filters)
 	if len(gids) == 0 {
 		return
 	}
+	tc := cn.g.traceRef(d.TraceID)
+	sp := tc.StartSpan("merge_write "+ds.node, trace.Root)
+	tc.SetTrack(sp, tc.NextTrack())
+	tc.SetAttr(sp, "filters", int64(len(gids)))
 	var payload []byte
 	typ := server.FrameDeliver
 	if d.Durable {
@@ -418,6 +454,8 @@ func (cn *gconn) forwardDeliver(ds *downstream, d client.Delivery) {
 	if cn.writeFrame(typ, payload) == nil {
 		cn.g.mDeliveriesFwd.Inc()
 	}
+	tc.EndSpan(sp)
+	tc.Finish()
 }
 
 // noteDurableDelivery widens the ack floor window with an offset actually
@@ -562,7 +600,7 @@ func (cn *gconn) ensureAsync() *gateAsync {
 
 // publishAsync runs on the serve loop: acquire a window slot and hand the
 // fan-out to a worker so the loop keeps parsing frames.
-func (cn *gconn) publishAsync(seq uint64, doc []byte) {
+func (cn *gconn) publishAsync(seq uint64, doc []byte, remoteID uint64) {
 	a := cn.ensureAsync()
 	a.sem <- struct{}{}
 	d := append([]byte(nil), doc...) // frame buffer is reused by the reader
@@ -570,7 +608,7 @@ func (cn *gconn) publishAsync(seq uint64, doc []byte) {
 	go func() {
 		defer a.wg.Done()
 		defer func() { <-a.sem }()
-		n, err := cn.g.fanPublish(d)
+		n, err := cn.g.fanPublish(d, remoteID)
 		ack := server.PubAck{Seq: seq, Matches: uint64(n)}
 		if err != nil {
 			ack.Err = err.Error()

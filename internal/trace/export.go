@@ -8,8 +8,10 @@ import (
 	"time"
 )
 
-// jsonAttr, jsonSpan, jsonTrace shape the /debug/traces payload.
-type jsonSpan struct {
+// JSONSpan and JSONTrace shape the /debug/traces payload. They are exported
+// so a downstream consumer — the xpushgate cluster merge exporter — can
+// decode a node's payload and re-emit its spans inside a merged trace.
+type JSONSpan struct {
 	Name    string `json:"name"`
 	Parent  SpanID `json:"parent"`
 	Track   int32  `json:"track,omitempty"`
@@ -18,23 +20,35 @@ type jsonSpan struct {
 	Attrs   []Attr `json:"attrs,omitempty"`
 }
 
-type jsonTrace struct {
+type JSONTrace struct {
 	ID        uint64     `json:"id"`
 	Kind      string     `json:"kind"`
 	Wall      time.Time  `json:"wall"`
 	TotalNS   int64      `json:"total_ns"`
 	Slow      bool       `json:"slow"`
 	Sampled   bool       `json:"sampled"`
+	Remote    bool       `json:"remote,omitempty"`
 	Truncated int32      `json:"truncated_spans,omitempty"`
-	Spans     []jsonSpan `json:"spans"`
+	Spans     []JSONSpan `json:"spans"`
 }
 
-func toJSONTrace(c *Ctx) jsonTrace {
+// TracesPayload is the full /debug/traces document.
+type TracesPayload struct {
+	Enabled     bool          `json:"enabled"`
+	SampleEvery int           `json:"sample_every"`
+	SlowNS      int64         `json:"slow_threshold_ns"`
+	Stats       RecorderStats `json:"stats"`
+	Traces      []JSONTrace   `json:"traces"`
+	SlowTraces  []JSONTrace   `json:"slow_traces"`
+}
+
+// ToJSON renders one trace in the /debug/traces shape.
+func ToJSON(c *Ctx) JSONTrace {
 	spans := c.Spans()
-	js := make([]jsonSpan, len(spans))
+	js := make([]JSONSpan, len(spans))
 	for i := range spans {
 		s := &spans[i]
-		js[i] = jsonSpan{
+		js[i] = JSONSpan{
 			Name:    s.Name,
 			Parent:  s.Parent,
 			Track:   s.Track,
@@ -45,16 +59,40 @@ func toJSONTrace(c *Ctx) jsonTrace {
 			js[i].Attrs = append([]Attr(nil), a...)
 		}
 	}
-	return jsonTrace{
+	return JSONTrace{
 		ID:        c.ID,
 		Kind:      c.Kind,
 		Wall:      c.Wall,
 		TotalNS:   c.Total.Nanoseconds(),
 		Slow:      c.Slow,
 		Sampled:   c.Sampled,
+		Remote:    c.Remote,
 		Truncated: c.Truncated(),
 		Spans:     js,
 	}
+}
+
+// Payload snapshots the recorder state in the /debug/traces shape. Safe on
+// a nil recorder (reports enabled=false).
+func (r *Recorder) Payload() TracesPayload {
+	p := TracesPayload{
+		Enabled:     r.Enabled(),
+		SampleEvery: r.SampleEvery(),
+		SlowNS:      r.SlowThreshold().Nanoseconds(),
+		Traces:      []JSONTrace{},
+		SlowTraces:  []JSONTrace{},
+	}
+	if r == nil {
+		return p
+	}
+	p.Stats = r.Stats()
+	for _, c := range r.Traces() {
+		p.Traces = append(p.Traces, ToJSON(c))
+	}
+	for _, c := range r.SlowTraces() {
+		p.SlowTraces = append(p.SlowTraces, ToJSON(c))
+	}
+	return p
 }
 
 // Handler returns the /debug/traces HTTP handler: a JSON document with the
@@ -63,31 +101,9 @@ func toJSONTrace(c *Ctx) jsonTrace {
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		type payload struct {
-			Enabled     bool          `json:"enabled"`
-			SampleEvery int           `json:"sample_every"`
-			SlowNS      int64         `json:"slow_threshold_ns"`
-			Stats       RecorderStats `json:"stats"`
-			Traces      []jsonTrace   `json:"traces"`
-			SlowTraces  []jsonTrace   `json:"slow_traces"`
-		}
-		p := payload{
-			Enabled:     r.Enabled(),
-			SampleEvery: r.SampleEvery(),
-			SlowNS:      r.SlowThreshold().Nanoseconds(),
-			Stats:       r.Stats(),
-			Traces:      []jsonTrace{},
-			SlowTraces:  []jsonTrace{},
-		}
-		for _, c := range r.Traces() {
-			p.Traces = append(p.Traces, toJSONTrace(c))
-		}
-		for _, c := range r.SlowTraces() {
-			p.SlowTraces = append(p.SlowTraces, toJSONTrace(c))
-		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(p)
+		enc.Encode(r.Payload())
 	})
 }
 

@@ -100,6 +100,7 @@ type Ctx struct {
 	Total   time.Duration
 	Slow    bool // kept by tail capture (total latency over the threshold)
 	Sampled bool // kept by head sampling
+	Remote  bool // begun by BeginRemote: ID was assigned by an upstream hop
 
 	mu        sync.Mutex
 	spans     [MaxSpans]Span
@@ -377,6 +378,55 @@ func (r *Recorder) BeginAt(kind string, at time.Time) *Ctx {
 	c.refs.Store(1)
 	c.addSpan(kind, NoSpan, 0, -1)
 	return c
+}
+
+// BeginRemote starts a trace for a document whose trace id was assigned by
+// an upstream hop (an xpushgate that sampled it at ingress). Propagated
+// traces bypass local head sampling — the upstream recorder already made
+// the keep decision — so the document is always captured (when the local
+// recorder is enabled at all) and retained in the sampled ring under the
+// carried id, letting the cluster merge exporter stitch both hops by id.
+func (r *Recorder) BeginRemote(kind string, id uint64, at time.Time) *Ctx {
+	if r == nil {
+		return nil
+	}
+	r.started.Add(1)
+	c := r.pool.Get().(*Ctx)
+	*c = Ctx{ID: id, Kind: kind, Wall: at, Sampled: true, Remote: true, start: at, rec: r}
+	c.refs.Store(1)
+	c.addSpan(kind, NoSpan, 0, -1)
+	return c
+}
+
+// SpanCost returns the duration and one integer attribute of the most
+// recently recorded span with the given name — the per-query profiler's
+// window into the filter span's machine telemetry (states_created, ...)
+// without copying the span table. attrVal is 0 when the span lacks the
+// attribute; ok is false when no such span exists (or c is nil).
+func (c *Ctx) SpanCost(name, attrKey string) (durNS, attrVal int64, ok bool) {
+	if c == nil {
+		return 0, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := c.n - 1; i >= 0; i-- {
+		s := &c.spans[i]
+		if s.Name != name {
+			continue
+		}
+		durNS = s.End - s.Start
+		if durNS < 0 {
+			durNS = 0
+		}
+		for j := int32(0); j < s.nattrs; j++ {
+			if s.attrs[j].Key == attrKey {
+				attrVal = s.attrs[j].Val
+				break
+			}
+		}
+		return durNS, attrVal, true
+	}
+	return 0, 0, false
 }
 
 // complete publishes a finished trace. Kept traces are inserted into the

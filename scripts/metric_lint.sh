@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# metric_lint.sh — static lint of the metric namespace: every name
+# registered on an obs.Registry must carry the xpush prefix
+# (xpushserve_/xpushgate_/xpush_...), counters must end in _total,
+# plain gauges must not, and anything measuring time (latency, duration)
+# must end in _seconds. Run standalone or as the tail of
+# cluster_smoke.sh; exits non-zero naming each violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pairs=$(grep -rhoE '\.(Counter|CounterFunc|Gauge|GaugeFunc|GaugeVecFunc|HistogramFunc|SummaryFunc|SummaryVecFunc)\("[a-zA-Z0-9_]+"' \
+    --include='*.go' --exclude='*_test.go' server internal cmd client 2>/dev/null \
+  | sed -E 's/^\.([A-Za-z]+)\("([^"]+)"/\1 \2/' | sort -u)
+
+fail=0
+while read -r call name; do
+  [ -z "$name" ] && continue
+  case "$name" in
+    # process_* is the conventional Prometheus process namespace the obs
+    # package self-registers; everything else must be ours.
+    xpush_*|xpushserve_*|xpushgate_*|xpushload_*|process_*) ;;
+    *) echo "metric_lint: $name (via $call) lacks the xpush namespace prefix" >&2; fail=1 ;;
+  esac
+  case "$call" in
+    Counter|CounterFunc)
+      case "$name" in
+        *_total) ;;
+        *) echo "metric_lint: counter $name must end in _total" >&2; fail=1 ;;
+      esac ;;
+    Gauge|GaugeFunc)
+      # GaugeVecFunc is exempt: the repo exports labeled monotonic
+      # counters through it (xpush_durable_pump_docs_scanned_total, the
+      # per-query xpush_query_*_total series), which legitimately end in
+      # _total.
+      case "$name" in
+        *_total) echo "metric_lint: gauge $name must not end in _total" >&2; fail=1 ;;
+      esac ;;
+  esac
+  case "$name" in
+    *latency*|*duration*)
+      case "$name" in
+        *_seconds) ;;
+        *) echo "metric_lint: $name measures time and must end in _seconds" >&2; fail=1 ;;
+      esac ;;
+  esac
+done <<<"$pairs"
+
+if [ "$fail" -ne 0 ]; then
+  echo "metric_lint: FAIL" >&2
+  exit 1
+fi
+echo "metric_lint: OK ($(echo "$pairs" | wc -l) registered series checked)"

@@ -36,7 +36,39 @@ func (s *Server) debugMux() *http.ServeMux {
 	obs.RegisterPprof(mux)
 	mux.Handle("/debug/traces", s.tracer.Handler())
 	mux.HandleFunc("/debug/machine", s.handleMachine)
+	mux.HandleFunc("/debug/queries", s.handleQueries)
 	return mux
+}
+
+// queriesSnapshot is the /debug/queries payload: the per-query cost table
+// ranked by cumulative traced filter time. Enabled only when tracing is on
+// (the profiler rides the trace sample).
+type queriesSnapshot struct {
+	Enabled  bool        `json:"enabled"`
+	Tracked  int         `json:"tracked"`
+	Cap      int         `json:"cap"`
+	Overflow int64       `json:"overflow"`
+	Queries  []QueryCost `json:"queries"`
+	Other    QueryCost   `json:"other"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if s.prof == nil {
+		enc.Encode(queriesSnapshot{Queries: []QueryCost{}})
+		return
+	}
+	entries, other, overflow := s.prof.snapshot(s.subs.Canons())
+	enc.Encode(queriesSnapshot{
+		Enabled:  true,
+		Tracked:  len(entries),
+		Cap:      s.prof.max,
+		Overflow: overflow,
+		Queries:  entries,
+		Other:    other,
+	})
 }
 
 // machineSnapshot is the /debug/machine payload: one consistent look at the

@@ -237,6 +237,7 @@ func (cn *conn) pump(name string, start uint64) {
 			cn.close()
 			return
 		}
+		cn.pumpScanned.Add(1)
 		// BeginAt backdates the trace to before Next so the log read is
 		// covered; the tail-parked EOF path above never reaches here, so t0
 		// measures an actual read, not a wait.
@@ -274,6 +275,7 @@ func (cn *conn) pump(name string, start uint64) {
 				return
 			}
 			s.mDurDeliver.Inc()
+			cn.pumpDelivered.Add(1)
 		}
 		tc.Finish()
 		cn.pumpOff.Store(off + 1)
@@ -306,6 +308,15 @@ func (s *Server) matchDurable(cn *conn, doc []byte, tc *trace.Ctx, parent trace.
 	keys := make([]uint64, 0, len(matches))
 	for _, m := range matches {
 		keys = append(keys, c.keys[m])
+	}
+	// Traced replays feed the per-query profiler's replay column: which
+	// canonical queries the pump keeps re-filtering documents for.
+	if tc != nil && s.prof != nil {
+		canons := make([]string, 0, len(matches))
+		for _, m := range matches {
+			canons = append(canons, c.canon[m])
+		}
+		s.prof.observeReplay(keys, canons)
 	}
 	return s.subs.OwnerSubs(keys, cn, true), nil
 }
@@ -417,6 +428,24 @@ func (s *Server) registerDurableMetrics() {
 	s.reg.GaugeFunc("xpush_durable_pump_active", "running durable replay pumps", func() float64 {
 		return float64(s.pumpsActive.Load())
 	})
+	pumpVec := func(pick func(*conn) int64) func() []obs.Labeled {
+		return func() []obs.Labeled {
+			s.durMu.Lock()
+			out := make([]obs.Labeled, 0, len(s.durables))
+			for name, cn := range s.durables {
+				out = append(out, obs.Labeled{Labels: fmt.Sprintf("name=%q", name), Value: float64(pick(cn))})
+			}
+			s.durMu.Unlock()
+			sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+			return out
+		}
+	}
+	s.reg.GaugeVecFunc("xpush_durable_pump_docs_scanned_total",
+		"log records read and re-filtered by each durable subscriber's replay pump",
+		pumpVec(func(cn *conn) int64 { return cn.pumpScanned.Load() }))
+	s.reg.GaugeVecFunc("xpush_durable_pump_deliveries_total",
+		"DELIVERAT frames each durable subscriber's replay pump wrote",
+		pumpVec(func(cn *conn) int64 { return cn.pumpDelivered.Load() }))
 	s.reg.GaugeFunc("xpushserve_acked_offset_min", "lowest persisted cursor among connected durable subscribers", func() float64 {
 		s.durMu.Lock()
 		defer s.durMu.Unlock()

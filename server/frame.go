@@ -50,6 +50,13 @@ import (
 //	                    server answers with batched PubAcks frames, so a
 //	                    client can stream documents windowed by sequence
 //	                    instead of paying a round trip each.
+//
+//	Publish and PublishAsync additionally reserve bit 6 of the type byte
+//	(FrameTraceFlag): when set, an 8-byte big-endian trace id precedes the
+//	normal payload, propagating a trace begun upstream (at an xpushgate or
+//	a tracing publisher) into this hop — the same reserved-bit trick the
+//	Deliver frame plays with bit 31 of its count word. Untraced frames keep
+//	the plain type byte and are byte-identical to the pre-flag encoding.
 //	server -> client
 //	  OK           8-byte big-endian value: the assigned filter id
 //	               (Subscribe), the echoed id (Unsubscribe), or the
@@ -80,6 +87,14 @@ const (
 	FrameSubscribeDurable byte = 0x05
 	FrameAck              byte = 0x06
 	FramePublishAsync     byte = 0x07
+
+	// FrameTraceFlag is bit 6 of a request's type byte. OR'd into
+	// FramePublish or FramePublishAsync it marks a traced publish: the
+	// payload starts with an 8-byte big-endian trace id (see
+	// AppendTracedPayload / SplitTracedPayload), followed by the frame's
+	// normal payload. Servers receiving a traced publish adopt the carried
+	// id so the document's spans across processes stitch into one trace.
+	FrameTraceFlag byte = 0x40
 
 	FrameOK        byte = 0x81
 	FrameErr       byte = 0x82
@@ -306,6 +321,23 @@ func AppendPublishAsyncPayload(dst []byte, seq uint64, doc []byte) []byte {
 func ParsePublishAsyncPayload(p []byte) (seq uint64, doc []byte, err error) {
 	if len(p) < 8 {
 		return 0, nil, fmt.Errorf("server: short publish-async payload")
+	}
+	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
+}
+
+// AppendTracedPayload encodes the payload of a FrameTraceFlag-marked
+// publish: the trace id carried from the upstream hop, then the frame's
+// normal payload (the document for Publish, seq+document for PublishAsync).
+func AppendTracedPayload(dst []byte, traceID uint64, rest []byte) []byte {
+	dst = AppendUint64(dst, traceID)
+	return append(dst, rest...)
+}
+
+// SplitTracedPayload strips the 8-byte trace id off a FrameTraceFlag-marked
+// payload. The returned rest aliases p.
+func SplitTracedPayload(p []byte) (traceID uint64, rest []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("server: short traced payload")
 	}
 	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
 }

@@ -315,8 +315,14 @@ type Server struct {
 	ckWG     sync.WaitGroup
 	closeOne sync.Once
 
+	// prof is the per-query cost profiler, fed only by traced documents
+	// (nil when tracing is disabled — the same nil discipline as tracer, so
+	// the untraced hot path never touches it).
+	prof *queryProfiler
+
 	// Metrics.
 	consolidations atomic.Int64 // engine-layer consolidations applied on the swap path
+	consolidating  atomic.Int64 // consolidations currently recompiling (in-progress gauge)
 	pumpsActive    atomic.Int64 // running durable pump goroutines
 	mPublishes     *obs.Counter
 	mPublishErrs   *obs.Counter
@@ -326,6 +332,9 @@ type Server struct {
 	mAcks          *obs.Counter
 	mDurDeliver    *obs.Counter
 	deliverLat     obs.Histogram
+	subLat         obs.Histogram // SUBSCRIBE round-trip handling latency
+	unsubLat       obs.Histogram // UNSUBSCRIBE round-trip handling latency
+	consolidateLat obs.Histogram // duration of each workload consolidation
 }
 
 // New compiles (or warm-starts) the workload, starts the listeners, and
@@ -355,6 +364,9 @@ func New(cfg Config) (*Server, error) {
 		walNote:  make(chan struct{}),
 		subs:     workload.NewDedup[*conn](),
 		anDirty:  true,
+	}
+	if s.tracer.Enabled() {
+		s.prof = newQueryProfiler(profilerMaxQueries)
 	}
 	c, err := s.bootCore()
 	if err != nil {
@@ -614,6 +626,31 @@ func (s *Server) registerMetrics() {
 		s.deliverLat.Snapshot)
 	s.reg.HistogramFunc("xpushserve_delivery_latency_histogram_seconds",
 		"publish-to-DELIVER-write latency (log buckets)", s.deliverLat.Snapshot)
+	// Control-plane stall instrumentation: subscribe/unsubscribe round-trip
+	// handling time (frame parse through reply write) plus the consolidation
+	// gauge/histogram, so the ROADMAP stall bottlenecks are measurable.
+	s.reg.SummaryFunc("xpushserve_subscribe_latency_seconds",
+		"SUBSCRIBE round-trip handling latency quantiles (includes durable subscribes)", []float64{0.5, 0.9, 0.99},
+		s.subLat.Snapshot)
+	s.reg.HistogramFunc("xpushserve_subscribe_latency_histogram_seconds",
+		"SUBSCRIBE round-trip handling latency (log buckets)", s.subLat.Snapshot)
+	s.reg.SummaryFunc("xpushserve_unsubscribe_latency_seconds",
+		"UNSUBSCRIBE round-trip handling latency quantiles", []float64{0.5, 0.9, 0.99},
+		s.unsubLat.Snapshot)
+	s.reg.HistogramFunc("xpushserve_unsubscribe_latency_histogram_seconds",
+		"UNSUBSCRIBE round-trip handling latency (log buckets)", s.unsubLat.Snapshot)
+	s.reg.GaugeFunc("xpushserve_consolidation_in_progress",
+		"workload consolidations currently recompiling on the swap path", func() float64 {
+			return float64(s.consolidating.Load())
+		})
+	s.reg.SummaryFunc("xpushserve_consolidation_duration_seconds",
+		"duration of each workload consolidation recompile", []float64{0.5, 0.9, 0.99},
+		s.consolidateLat.Snapshot)
+	s.reg.HistogramFunc("xpushserve_consolidation_duration_histogram_seconds",
+		"duration of each workload consolidation recompile (log buckets)", s.consolidateLat.Snapshot)
+	if s.prof != nil {
+		s.registerProfilerMetrics()
+	}
 	if s.tracer.Enabled() {
 		s.reg.CounterFunc("xpushserve_traces_started_total", "document traces begun (sampled or slow-candidate)", func() int64 {
 			return s.tracer.Stats().Started
@@ -800,7 +837,15 @@ func (s *Server) maybeConsolidate(c *core) *core {
 		(maxRemoved <= 0 || nRemoved <= maxRemoved) {
 		return c
 	}
+	// The recompile below runs inline on the subscribe/unsubscribe swap
+	// path and is the source of the multi-second SUBSCRIBE stalls ROADMAP
+	// item 3 documents; the in-progress gauge and duration histogram make
+	// the stall attributable from metrics alone.
+	s.consolidating.Add(1)
+	t0 := time.Now()
 	e, mapping, err := c.engine.Consolidated()
+	s.consolidateLat.Observe(time.Since(t0).Seconds())
+	s.consolidating.Add(-1)
 	if err != nil {
 		s.logf("consolidate: %v", err)
 		return c
@@ -880,7 +925,12 @@ func (s *Server) subsumedPairs() float64 {
 // WAL-backed server the document is appended to the log (and the append is
 // durable per the fsync policy) before anything else — a failed append
 // rejects the publish, so every accepted document is replayable.
-func (s *Server) publish(doc []byte) (int, error) {
+//
+// remoteID is the trace id carried on a FrameTraceFlag-marked publish (0
+// for the plain frames): the upstream hop (an xpushgate) already sampled
+// this document, so the node traces it unconditionally under the carried id
+// and the two hops stitch into one trace.
+func (s *Server) publish(doc []byte, remoteID uint64) (int, error) {
 	if s.draining.Load() {
 		s.mPublishErrs.Inc()
 		return 0, errDraining
@@ -891,7 +941,7 @@ func (s *Server) publish(doc []byte) (int, error) {
 	// the deferred Finish; each enqueued delivery takes another, so the
 	// trace completes (and its total latency is measured) at the last
 	// DELIVER write, not when publish returns.
-	tc := s.tracer.Begin("publish")
+	tc := s.beginPublishTrace(remoteID)
 	defer tc.Finish()
 	tc.SetAttr(trace.Root, "doc_bytes", int64(len(doc)))
 	if s.wal != nil {
@@ -918,6 +968,15 @@ func (s *Server) publish(doc []byte) (int, error) {
 	}
 	s.mPublishes.Inc()
 	return s.fanout(c, matches, doc, tc), nil
+}
+
+// beginPublishTrace starts the publish trace: locally sampled for direct
+// publishes, unconditional under the carried id for remote-traced ones.
+func (s *Server) beginPublishTrace(remoteID uint64) *trace.Ctx {
+	if remoteID != 0 {
+		return s.tracer.BeginRemote("publish", remoteID, time.Now())
+	}
+	return s.tracer.Begin("publish")
 }
 
 // filter runs one document through the current workload generation and
@@ -956,12 +1015,27 @@ func (s *Server) fanout(c *core, matches []int, doc []byte, tc *trace.Ctx) int {
 	// Group the matched subscription ids by owning subscriber; each
 	// subscriber gets one delivery per document regardless of how many of
 	// its subscriptions matched.
+	// Per-query cost attribution, traced documents only: the filter span's
+	// duration and machine telemetry are charged to every matched key, and
+	// each fanned-out subscription below increments its key's fan-out count.
+	// Untraced documents (tc == nil) never touch the profiler.
+	if tc != nil && s.prof != nil {
+		canons := make([]string, 0, len(matches))
+		for _, m := range matches {
+			canons = append(canons, c.canon[m])
+		}
+		durNS, states, _ := tc.SpanCost("filter", "states_created")
+		s.prof.observeFilter(keys, canons, durNS, states)
+	}
 	count := 0
 	var single *conn // fast path: all matches belong to one subscriber
 	var singleIDs []uint64
 	var perConn map[*conn][]uint64
-	s.subs.Fanout(keys, func(_ uint64, _ bool, nsubs int, subID uint64, owner *conn, durable bool) {
+	s.subs.Fanout(keys, func(key uint64, _ bool, nsubs int, subID uint64, owner *conn, durable bool) {
 		count++
+		if tc != nil && s.prof != nil {
+			s.prof.observeFanout(key, 1)
+		}
 		if nsubs == 0 || durable {
 			// Pinned boot filter (no riders), or a durable subscription
 			// delivered by the owner's WAL pump.
@@ -996,8 +1070,8 @@ func (s *Server) fanout(c *core, matches []int, doc []byte, tc *trace.Ctx) int {
 // document is filtered FIRST and the batch outcome awaited after, so the
 // filter work of consecutive pipelined publishes overlaps the shared batch
 // fsync instead of serializing behind it.
-func (s *Server) publishAsyncStaged(doc []byte, pend PendingAppend) (int, error) {
-	tc := s.tracer.Begin("publish")
+func (s *Server) publishAsyncStaged(doc []byte, pend PendingAppend, remoteID uint64) (int, error) {
+	tc := s.beginPublishTrace(remoteID)
 	defer tc.Finish()
 	tc.SetAttr(trace.Root, "doc_bytes", int64(len(doc)))
 	if s.wal != nil && pend == nil {
@@ -1083,6 +1157,11 @@ type conn struct {
 	pumpOff  atomic.Uint64 // next offset the pump will replay (lag gauge)
 	acked    atomic.Uint64 // persisted cursor (monotonic)
 
+	// Per-pump replay throughput (exported per durable name): log records
+	// the pump has read and re-filtered, and DeliverAt frames it wrote.
+	pumpScanned   atomic.Int64
+	pumpDelivered atomic.Int64
+
 	closeOnce sync.Once
 }
 
@@ -1152,7 +1231,25 @@ func (cn *conn) serve() {
 			}
 			return
 		}
-		switch f.Type {
+		typ := f.Type
+		var remoteID uint64
+		if typ&FrameTraceFlag != 0 {
+			// A FrameTraceFlag-marked publish carries the upstream hop's
+			// trace id before its normal payload; strip it and dispatch on
+			// the base type. The flag is only defined for the publish
+			// frames — anything else falls through to the unknown-type arm.
+			switch base := typ &^ FrameTraceFlag; base {
+			case FramePublish, FramePublishAsync:
+				var terr error
+				remoteID, f.Payload, terr = SplitTracedPayload(f.Payload)
+				if terr != nil {
+					cn.writeFrame(FrameErr, []byte(terr.Error()))
+					return
+				}
+				typ = base
+			}
+		}
+		switch typ {
 		case FramePing:
 			if cn.writeFrame(FramePong, nil) != nil {
 				return
@@ -1162,8 +1259,11 @@ func (cn *conn) serve() {
 			// published, so a publish racing with this subscribe never
 			// fans out to a queueless subscriber.
 			cn.ensureQueue()
+			t0 := time.Now()
 			id, err := s.subscribe(cn, string(f.Payload), false)
-			if cn.reply(id, err) != nil {
+			werr := cn.reply(id, err)
+			s.subLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 			if err == nil {
@@ -1172,18 +1272,23 @@ func (cn *conn) serve() {
 				cn.mu.Unlock()
 			}
 		case FrameSubscribeDurable:
+			t0 := time.Now()
 			name, xpath, err := ParseSubscribeDurablePayload(f.Payload)
 			var id, resume uint64
 			if err == nil {
 				id, resume, err = s.subscribeDurable(cn, name, xpath)
 			}
 			if err != nil {
-				if cn.writeFrame(FrameErr, []byte(err.Error())) != nil {
+				werr := cn.writeFrame(FrameErr, []byte(err.Error()))
+				s.subLat.Observe(time.Since(t0).Seconds())
+				if werr != nil {
 					return
 				}
 				continue
 			}
-			if cn.writeFrame(FrameOK, AppendUint64(AppendUint64(nil, id), resume)) != nil {
+			werr := cn.writeFrame(FrameOK, AppendUint64(AppendUint64(nil, id), resume))
+			s.subLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 			cn.mu.Lock()
@@ -1199,11 +1304,14 @@ func (cn *conn) serve() {
 			}
 			cn.handleAck(off)
 		case FrameUnsubscribe:
+			t0 := time.Now()
 			id, err := ParseUint64(f.Payload)
 			if err == nil {
 				err = s.unsubscribe(cn, id)
 			}
-			if cn.reply(id, err) != nil {
+			werr := cn.reply(id, err)
+			s.unsubLat.Observe(time.Since(t0).Seconds())
+			if werr != nil {
 				return
 			}
 			if err == nil {
@@ -1212,7 +1320,7 @@ func (cn *conn) serve() {
 				cn.mu.Unlock()
 			}
 		case FramePublish:
-			n, err := s.publish(f.Payload)
+			n, err := s.publish(f.Payload, remoteID)
 			if cn.reply(uint64(n), err) != nil {
 				return
 			}
@@ -1224,7 +1332,7 @@ func (cn *conn) serve() {
 				cn.writeFrame(FrameErr, []byte(err.Error()))
 				return
 			}
-			cn.publishAsync(seq, doc)
+			cn.publishAsync(seq, doc, remoteID)
 		default:
 			// An unknown frame type means the peer speaks a different
 			// protocol revision (gate↔node version skew) or is desynchronized;
@@ -1322,7 +1430,7 @@ func (cn *conn) ensureAsync() *asyncPub {
 // next frame while this document's batch accumulates. That decoupling is
 // what feeds multi-record batches: without it each publish would seal a
 // batch of one.
-func (cn *conn) publishAsync(seq uint64, doc []byte) {
+func (cn *conn) publishAsync(seq uint64, doc []byte, remoteID uint64) {
 	s := cn.s
 	a := cn.ensureAsync()
 	a.sem <- struct{}{} // in-flight window: blocks the read loop when full
@@ -1342,7 +1450,7 @@ func (cn *conn) publishAsync(seq uint64, doc []byte) {
 	go func() {
 		defer a.wg.Done()
 		defer func() { <-a.sem }()
-		n, err := s.publishAsyncStaged(doc, pend)
+		n, err := s.publishAsyncStaged(doc, pend, remoteID)
 		ack := PubAck{Seq: seq, Matches: uint64(n)}
 		if err != nil {
 			ack.Err = err.Error()
